@@ -1,0 +1,52 @@
+"""E14 — §4 claim: "a dynamic power manager (DPM) can incrementally
+trade off QoS for higher energy efficiency".
+
+Sweeps the sleep timeout of a timeout DPM over a bursty multimedia
+workload, bracketing the trade-off curve with the always-on policy
+(perfect QoS, zero saving) and the clairvoyant oracle (maximal saving
+at zero QoS damage).
+"""
+
+from repro.core import DpmDevice, timeout_sweep
+from repro.utils import Table
+
+TIMEOUTS = (0.0, 0.005, 0.02, 0.05, 0.2)
+
+
+def bench_e14_dpm_tradeoff(once):
+    results = once(timeout_sweep, TIMEOUTS)
+    device = DpmDevice()
+    table = Table(
+        ["policy", "energy_J", "saving", "late_rate", "delay_ms"],
+        title=f"E14: DPM energy-QoS trade-off "
+              f"(break-even {device.break_even() * 1e3:.1f} ms)",
+    )
+    for r in results:
+        table.add_row([
+            r.policy, r.energy, r.energy_saving, r.late_rate,
+            r.total_delay * 1e3,
+        ])
+    table.show()
+
+    always_on = results[0]
+    oracle = results[-1]
+    timeouts = results[1:-1]
+
+    assert abs(always_on.energy_saving) < 1e-9
+    assert oracle.late_wakeups == 0
+    assert oracle.energy_saving > 0.30
+    # The *incremental* trade-off: shorter timeouts buy monotonically
+    # more energy.  Late rates fall with the timeout once the timeout
+    # exceeds the wake-up latency (below it, the lateness window just
+    # shifts within the idle distribution).
+    savings = [r.energy_saving for r in timeouts]
+    assert savings == sorted(savings, reverse=True)
+    lates_beyond_latency = [
+        r.late_rate for r, timeout in zip(timeouts, TIMEOUTS)
+        if timeout >= DpmDevice().wakeup_latency
+    ]
+    assert lates_beyond_latency == sorted(lates_beyond_latency,
+                                          reverse=True)
+    # No timeout policy with QoS damage does much better than the
+    # QoS-clean oracle (it is the sensible target).
+    assert max(savings) < oracle.energy_saving + 0.05

@@ -1,0 +1,23 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table/figure of the paper (see
+the per-experiment index in ``DESIGN.md``) and prints its rows through
+:class:`repro.utils.Table` so the output can be diffed against
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark
+    timer (pytest-benchmark would otherwise loop it)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

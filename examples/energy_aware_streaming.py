@@ -1,0 +1,54 @@
+"""Energy-aware MPEG-4 FGS streaming to a DVFS handheld (§4.1).
+
+Streams the same FGS-coded video with and without client feedback and
+reports the client's communication energy, decoded quality and
+normalized decoding load — reproducing the policy of [28] interactively.
+
+Run:  python examples/energy_aware_streaming.py
+"""
+
+from repro.streaming import (
+    DvfsVideoClient,
+    FeedbackServer,
+    FgsSource,
+    FullRateServer,
+    run_session,
+)
+from repro.utils import Table
+
+
+def main() -> None:
+    n_frames = 1_500
+    table = Table(
+        ["policy", "rx_energy_J", "compute_J", "psnr_db", "norm_load",
+         "waste"],
+        title=f"FGS streaming, {n_frames} frames at 25 fps",
+    )
+    reports = {}
+    for server in (FullRateServer(), FeedbackServer()):
+        client = DvfsVideoClient(min_psnr=33.0)
+        report = run_session(
+            server, n_frames=n_frames, source_seed=7,
+            client=client, source=FgsSource(seed=7),
+        )
+        reports[report.policy] = report
+        table.add_row([
+            report.policy, report.rx_energy, report.compute_energy,
+            report.mean_psnr, report.mean_normalized_load,
+            report.waste_fraction,
+        ])
+    table.show()
+
+    full = reports["full-rate"]
+    fed = reports["feedback"]
+    reduction = 1 - fed.rx_energy / full.rx_energy
+    print(f"\nclient communication-energy reduction: "
+          f"{reduction * 100:.1f}%  (paper reports ~15%)")
+    print(f"feedback keeps the normalized decoding load at "
+          f"{fed.mean_normalized_load:.3f} — '(unity) produces the "
+          f"optimum video quality with no energy waste'")
+    print(f"quality cost: {full.mean_psnr - fed.mean_psnr:.2f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Power-aware routing in a MANET of multimedia hosts (§4.2).
+
+Fifty battery-powered hosts relay video sessions; three routing
+protocols compete on network lifetime.  "nodes along these least-power
+cost routes tend to 'die' soon ... doubly harmful since the nodes that
+die early are precisely the ones that are most needed."
+
+Run:  python examples/manet_lifetime.py
+"""
+
+from repro.manet import PROTOCOLS, random_network, simulate_lifetime
+from repro.utils import Table
+
+
+def main() -> None:
+    table = Table(
+        ["protocol", "lifetime", "first_death", "delivered",
+         "delivery_ratio", "energy_J"],
+        title="network lifetime (sessions to 20% node death), "
+              "50 nodes / 1 km^2",
+    )
+    results = {}
+    for protocol_cls in PROTOCOLS:
+        network = random_network(
+            n_nodes=50, battery=10.0, tx_range=300.0, seed=11,
+        )
+        protocol = protocol_cls()
+        result = simulate_lifetime(
+            protocol, network, n_sessions=100_000,
+            bits_per_session=80_000.0, death_fraction=0.2, seed=12,
+        )
+        results[protocol.name] = result
+        table.add_row([
+            result.protocol, result.lifetime_sessions,
+            result.first_death_session, result.delivered,
+            result.delivery_ratio, result.total_energy,
+        ])
+    table.show()
+
+    base = results["min-power"]
+    for name in ("battery-cost", "lifetime-prediction"):
+        gain = results[name].lifetime_sessions / \
+            base.lifetime_sessions - 1
+        print(f"{name}: lifetime {gain * +100:+.1f}% vs minimum-power "
+              f"routing")
+    print("(the paper: power-aware protocols improve lifetime by more "
+          "than 20% on average, at the cost of extra control traffic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Self-similar traffic and NoC buffer sizing (§3.2).
+
+"the bursty nature of the multimedia traffic makes self-similarity a
+critical design factor ... This is the subtle point where the
+long-range dependence analysis surpasses classical Markovian analysis
+and proves its practical value."
+
+Generates self-similar and Markovian traffic at the same mean load,
+verifies the Hurst exponents, and sizes an input buffer for a 1e-3
+overflow target under each model — showing how badly a Markovian
+assumption undersizes the buffer.
+
+Run:  python examples/selfsimilar_traffic.py
+"""
+
+import numpy as np
+
+from repro.traffic import (
+    fgn_trace,
+    poisson_trace,
+    rs_hurst,
+    simulate_trace_queue,
+    variance_time_hurst,
+)
+from repro.utils import Table
+
+N = 2**15
+MEAN_RATE = 10.0
+SERVICE = 12.0
+TARGET_OVERFLOW = 1e-3
+
+
+def buffer_for_target(trace, service, target):
+    """Smallest buffer with P[Q > B] <= target (empirical)."""
+    result = simulate_trace_queue(trace, service)
+    occupancies = np.sort(result.occupancies)
+    index = int(np.ceil((1 - target) * len(occupancies))) - 1
+    return float(occupancies[max(index, 0)])
+
+
+def main() -> None:
+    traces = {
+        "self-similar (H=0.85)": fgn_trace(
+            N, 0.85, MEAN_RATE, peakedness=0.4, seed=21,
+        ),
+        "poisson": poisson_trace(N, MEAN_RATE, seed=22),
+    }
+
+    table = Table(
+        ["traffic", "hurst_rs", "hurst_vt", "mean_Q",
+         f"buffer_for_P(ovf)<{TARGET_OVERFLOW}"],
+        title=f"buffer sizing at identical load (rho = "
+              f"{MEAN_RATE / SERVICE:.2f})",
+    )
+    buffers = {}
+    for name, trace in traces.items():
+        normalized = trace * (MEAN_RATE / trace.mean())
+        result = simulate_trace_queue(normalized, SERVICE)
+        buffers[name] = buffer_for_target(normalized, SERVICE,
+                                          TARGET_OVERFLOW)
+        table.add_row([
+            name, rs_hurst(trace), variance_time_hurst(trace),
+            result.mean_occupancy, buffers[name],
+        ])
+    table.show()
+
+    ratio = buffers["self-similar (H=0.85)"] / max(
+        buffers["poisson"], 1e-9
+    )
+    print(f"\na designer trusting the Markovian model would "
+          f"undersize this buffer by about {ratio:.0f}x")
+    print("(§3.2: self-similar processes 'produce scenarios which are "
+          "drastically different from those experienced with "
+          "traditional short-range dependent models')")
+
+
+if __name__ == "__main__":
+    main()

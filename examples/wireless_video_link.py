@@ -1,0 +1,69 @@
+"""Video over an adaptive radio: composing §4's link layer with the
+Fig.1(a) stream model.
+
+For each fading state of an indoor channel, the link adaptation of [26]
+picks a (modulation, code) pair; the resulting BER becomes a
+packet-level error model driving the full stream pipeline — encoder,
+Tx/Rx buffers, playout.  The static 16-QAM baseline collapses in the
+deep fade; the adaptive link keeps the video watchable everywhere.
+
+Run:  python examples/wireless_video_link.py
+"""
+
+from repro.streams import Channel, MpegSource, Sink, StreamPipeline
+from repro.utils import Table
+from repro.wireless import (
+    FiniteStateChannel,
+    LinkConfig,
+    QAM16,
+    TransceiverParams,
+    UNCODED,
+    evaluate_adaptation,
+    link_error_model,
+)
+
+
+def stream_over(error_model, seed: int = 0):
+    pipe = StreamPipeline(
+        source=MpegSource(fps=25.0, i_frame_bits=200_000.0, seed=seed),
+        channel=Channel(bandwidth=6e6, error_model=error_model,
+                        max_retries=1, seed=seed + 1),
+        sink=Sink(display_rate_hz=25.0, startup_delay=0.3),
+        rx_buffer_size=64,
+    )
+    return pipe.run(horizon=20.0)
+
+
+def main() -> None:
+    channel = FiniteStateChannel.indoor_default()
+    params = TransceiverParams()
+    adaptation = evaluate_adaptation(channel=channel, params=params)
+    static = LinkConfig(QAM16, UNCODED)
+    # Power control sized for the shadow state at BER 1e-5 (a sensible
+    # fixed budget the radio cannot exceed).
+    budget = channel.required_tx_power(
+        static.required_snr(1e-5), channel.states[2]
+    )
+
+    table = Table(
+        ["fading_state", "link", "ber", "video_loss", "underruns"],
+        title="MPEG video over the indoor radio, per fading state",
+    )
+    for state in channel.states:
+        for label, config in [
+            ("static 16-QAM", static),
+            ("adaptive", adaptation.dynamic_configs[state.name]),
+        ]:
+            model = link_error_model(config, channel, state, budget)
+            report = stream_over(model, seed=hash(state.name) % 100)
+            table.add_row([
+                state.name, f"{label} ({config})", model.ber,
+                report.loss_rate, report.underrun_rate,
+            ])
+    table.show()
+    print("\nthe adaptive link trades constellation density for "
+          "robustness exactly where the channel needs it (§4, [26])")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The sandbox lacks the ``wheel`` package, so PEP 660 editable installs fail;
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — a holistic distributed-multimedia system design framework.
+
+A from-scratch reproduction of *"Distributed Multimedia System Design:
+A Holistic Perspective"* (R. Marculescu, M. Pedram, J. Henkel,
+DATE 2004).  The paper argues that networked multimedia systems must be
+designed node- and network-centric at once, with power as the first-
+class constraint; this package builds every subsystem that argument
+rests on:
+
+* :mod:`repro.des` — a discrete-event simulation kernel;
+* :mod:`repro.core` — application/architecture models, mapping, QoS,
+  power, evaluation and the holistic design flow (§1–2);
+* :mod:`repro.streams` — the Fig.1 stream abstraction and the MPEG-2
+  decoder process network;
+* :mod:`repro.analysis` — Markov chains and queueing formulas (§2.2);
+* :mod:`repro.traffic` — self-similar vs. Markovian traffic (§3.2);
+* :mod:`repro.noc` — networks-on-chip: mapping, scheduling, packet
+  sizing (§3.2–3.3);
+* :mod:`repro.asip` — extensible processors and the Fig.2 design flow
+  (§3.1);
+* :mod:`repro.wireless` — modulation/coding/energy adaptation (§4);
+* :mod:`repro.streaming` — energy-aware MPEG-4 FGS streaming (§4.1);
+* :mod:`repro.manet` — power-aware ad-hoc routing (§4.2).
+
+Quickstart::
+
+    from repro.core import (ApplicationGraph, ProcessNode, ChannelSpec,
+                            Platform, ProcessingElement, QoSSpec,
+                            HolisticDesignFlow)
+    # build app + platform, then:
+    # report = HolisticDesignFlow(app, platform, QoSSpec(...)).run()
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-claim reproduction experiments (indexed in ``DESIGN.md``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

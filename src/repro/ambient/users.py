@@ -1,0 +1,129 @@
+"""Stochastic user-behavior modeling for ambient multimedia (§5).
+
+"since the human user gets the driver seat through a system of complex
+interactions based on sensing and actuation, the ability to consider
+users behavior when building the overall performance model becomes a
+must.  Since users tend to behave non-deterministically, there is room
+for stochastic modeling based on capturing the uncertainty in users
+behavior [34]."
+
+The model: a Markov chain over user activities, each activity mapping
+to a demand the ambient system must serve.  The steady state (via
+:class:`repro.analysis.DTMC`) yields the long-run load; trajectories
+drive the smart-space simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dtmc import DTMC
+from repro.utils.rng import spawn_rng
+
+__all__ = ["UserActivity", "UserBehaviorModel", "default_home_user"]
+
+
+@dataclass(frozen=True)
+class UserActivity:
+    """One user activity and the ambient demand it generates.
+
+    Parameters
+    ----------
+    name:
+        Activity label ("absent", "watching", ...).
+    service_demand:
+        Fraction of the smart space's media capacity this activity
+        needs (0 = nothing, 1 = full pipeline).
+    """
+
+    name: str
+    service_demand: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.service_demand <= 1.0:
+            raise ValueError("service demand must lie in [0, 1]")
+
+
+class UserBehaviorModel:
+    """A Markov chain over user activities.
+
+    Parameters
+    ----------
+    activities:
+        States of the chain.
+    transition_matrix:
+        Row-stochastic matrix over the activities (per time slot, e.g.
+        one slot = one minute).
+
+    Examples
+    --------
+    >>> model = default_home_user()
+    >>> pi = model.steady_state()
+    >>> abs(sum(pi.values()) - 1.0) < 1e-9
+    True
+    """
+
+    def __init__(self, activities: list[UserActivity],
+                 transition_matrix):
+        names = [a.name for a in activities]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate activity names")
+        self.activities = list(activities)
+        self.chain = DTMC(transition_matrix, labels=names)
+
+    def activity(self, name: str) -> UserActivity:
+        """Look up an activity by name."""
+        for activity in self.activities:
+            if activity.name == name:
+                return activity
+        raise KeyError(name)
+
+    def steady_state(self) -> dict[str, float]:
+        """Long-run fraction of time in each activity."""
+        pi = self.chain.steady_state()
+        return {
+            activity.name: float(p)
+            for activity, p in zip(self.activities, pi)
+        }
+
+    def mean_demand(self) -> float:
+        """Steady-state average service demand."""
+        pi = self.steady_state()
+        return sum(
+            pi[a.name] * a.service_demand for a in self.activities
+        )
+
+    def trajectory(self, n_slots: int, seed: int = 0
+                   ) -> list[UserActivity]:
+        """Sample an activity sequence of ``n_slots`` slots."""
+        if n_slots < 0:
+            raise ValueError("n_slots must be non-negative")
+        rng = spawn_rng(seed, "user-trajectory")
+        indices = self.chain.simulate(n_slots, rng, start=0)
+        return [self.activities[int(i)] for i in indices]
+
+
+def default_home_user() -> UserBehaviorModel:
+    """A future-home user: mostly absent or idle, bursts of media use.
+
+    Slots are minutes; sojourns are geometric with realistic means
+    (absence ~hours, watching ~tens of minutes).
+    """
+    activities = [
+        UserActivity("absent", 0.0),
+        UserActivity("idle_home", 0.1),     # ambient sensing only
+        UserActivity("browsing", 0.35),
+        UserActivity("video_call", 0.7),
+        UserActivity("watching", 1.0),
+    ]
+    transition = np.array([
+        #  absent idle   browse call   watch
+        [0.995, 0.005, 0.000, 0.000, 0.000],   # absent (mean ~3h)
+        [0.010, 0.950, 0.020, 0.005, 0.015],   # idle at home
+        [0.000, 0.060, 0.900, 0.010, 0.030],   # browsing
+        [0.000, 0.050, 0.020, 0.930, 0.000],   # video call
+        [0.002, 0.028, 0.010, 0.000, 0.960],   # watching (mean ~25min)
+    ])
+    return UserBehaviorModel(activities, transition)

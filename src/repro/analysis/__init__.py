@@ -1,0 +1,42 @@
+"""Analytical engine (§2.2): Markov chains, queueing formulas and the
+closed-form stream model, plus the sim-vs-analysis comparison harness."""
+
+from repro.analysis.comparison import (
+    ComparisonRow,
+    MM1KSimResult,
+    compare_mm1k,
+    simulate_mm1k,
+)
+from repro.analysis.ctmc import CTMC, birth_death_rates
+from repro.analysis.dtmc import DTMC
+from repro.analysis.queueing import MG1, MM1, MM1K, erlang_b
+from repro.analysis.stream_model import (
+    AnalyticalStreamModel,
+    StreamModelResult,
+)
+from repro.analysis.tandem import (
+    TandemMetrics,
+    TandemQueueModel,
+    simulate_tandem,
+    state_space_study,
+)
+
+__all__ = [
+    "DTMC",
+    "CTMC",
+    "birth_death_rates",
+    "MM1",
+    "MM1K",
+    "MG1",
+    "erlang_b",
+    "AnalyticalStreamModel",
+    "StreamModelResult",
+    "MM1KSimResult",
+    "simulate_mm1k",
+    "ComparisonRow",
+    "compare_mm1k",
+    "TandemMetrics",
+    "TandemQueueModel",
+    "simulate_tandem",
+    "state_space_study",
+]

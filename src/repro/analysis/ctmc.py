@@ -1,0 +1,147 @@
+"""Continuous-time Markov chains.
+
+The CTMC is the workhorse behind the analytical stream models (§2.2):
+queue levels, channel states and power states all map onto small CTMCs
+whose stationary distribution yields throughput, loss and power in closed
+form — no simulation needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CTMC", "birth_death_rates"]
+
+
+class CTMC:
+    """A finite continuous-time Markov chain.
+
+    Parameters
+    ----------
+    rate_matrix:
+        Generator matrix ``Q``: ``Q[i, j]`` (i≠j) is the transition rate
+        from ``i`` to ``j``; diagonals must make rows sum to zero (they
+        are recomputed and verified).
+    labels:
+        Optional state labels.
+
+    Examples
+    --------
+    An M/M/1/2 queue with arrival rate 1 and service rate 2:
+
+    >>> chain = CTMC([[-1, 1, 0], [2, -3, 1], [0, 2, -2]])
+    >>> pi = chain.steady_state()
+    >>> [round(float(p), 4) for p in pi]
+    [0.5714, 0.2857, 0.1429]
+    """
+
+    def __init__(self, rate_matrix, labels: list[str] | None = None):
+        Q = np.asarray(rate_matrix, dtype=float)
+        if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+            raise ValueError("rate matrix must be square")
+        off_diag = Q - np.diag(np.diag(Q))
+        if (off_diag < -1e-12).any():
+            raise ValueError("negative off-diagonal rate")
+        if not np.allclose(Q.sum(axis=1), 0.0, atol=1e-8):
+            raise ValueError("rows of the generator must sum to 0")
+        self.Q = Q
+        self.n = Q.shape[0]
+        if labels is not None:
+            if len(labels) != self.n:
+                raise ValueError("label count mismatch")
+            self.labels = list(labels)
+        else:
+            self.labels = [str(i) for i in range(self.n)]
+
+    @classmethod
+    def from_rates(
+        cls, rates: dict[tuple[int, int], float], n_states: int,
+        labels: list[str] | None = None,
+    ) -> "CTMC":
+        """Build a CTMC from a sparse ``{(i, j): rate}`` description."""
+        Q = np.zeros((n_states, n_states))
+        for (i, j), rate in rates.items():
+            if i == j:
+                raise ValueError("self-transitions are not allowed")
+            if rate < 0:
+                raise ValueError("negative rate")
+            Q[i, j] = rate
+        np.fill_diagonal(Q, 0.0)
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        return cls(Q, labels)
+
+    def steady_state(self) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi Q = 0``.
+
+        Solved directly by replacing one balance equation with the
+        normalization constraint (O(n³) but with a small constant);
+        falls back to least squares for numerically degenerate chains.
+        """
+        A = self.Q.T.copy()
+        A[-1, :] = 1.0
+        b = np.zeros(self.n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError:
+            A_ls = np.vstack([self.Q.T, np.ones(self.n)])
+            b_ls = np.zeros(self.n + 1)
+            b_ls[-1] = 1.0
+            pi, *_ = np.linalg.lstsq(A_ls, b_ls, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise np.linalg.LinAlgError("steady-state solve failed")
+        return pi / total
+
+    def transient(self, distribution, t: float,
+                  steps: int = 256) -> np.ndarray:
+        """Distribution after ``t`` time units via uniformization.
+
+        ``steps`` bounds the Poisson series truncation.
+        """
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        pi0 = np.asarray(distribution, dtype=float)
+        if pi0.shape != (self.n,):
+            raise ValueError("distribution size mismatch")
+        lam = max(-np.diag(self.Q).min(), 1e-12)
+        P = np.eye(self.n) + self.Q / lam
+        weight = np.exp(-lam * t)
+        term = pi0.copy()
+        result = weight * term
+        for k in range(1, steps):
+            term = term @ P
+            weight *= lam * t / k
+            result = result + weight * term
+            if weight < 1e-16 and k > lam * t:
+                break
+        return result / result.sum()
+
+    def expected_value(self, values) -> float:
+        """Steady-state expectation of a per-state value vector."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n,):
+            raise ValueError("value vector size mismatch")
+        return float(self.steady_state() @ values)
+
+    def __repr__(self) -> str:
+        return f"CTMC(n={self.n})"
+
+
+def birth_death_rates(
+    birth: list[float], death: list[float]
+) -> dict[tuple[int, int], float]:
+    """Sparse rates of a birth–death chain with ``len(birth)+1`` states.
+
+    ``birth[k]`` is the rate k→k+1, ``death[k]`` the rate k+1→k.  The
+    backbone of every queueing model in this package.
+    """
+    if len(birth) != len(death):
+        raise ValueError("birth and death rate lists differ in length")
+    rates: dict[tuple[int, int], float] = {}
+    for k, rate in enumerate(birth):
+        rates[(k, k + 1)] = rate
+    for k, rate in enumerate(death):
+        rates[(k + 1, k)] = rate
+    return rates

@@ -1,0 +1,196 @@
+"""Closed-form queueing results used across the reproduction.
+
+M/M/1, M/M/1/K and M/G/1 (Pollaczek–Khinchine) formulas — the
+"theoretical assumptions (for instance, exponentially distributed
+arrival times) that are needed in order to make the analysis tractable"
+(§2.2).  Experiment E2 shows exactly where these Markovian results stop
+applying (self-similar input); experiment E10 shows where they shine
+(orders-of-magnitude faster than simulation at equal accuracy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MM1", "MM1K", "MG1", "erlang_b"]
+
+
+@dataclass(frozen=True)
+class MM1:
+    """The M/M/1 queue: Poisson arrivals, exponential service, infinite
+    room.
+
+    Parameters
+    ----------
+    arrival_rate:
+        λ, customers per second.
+    service_rate:
+        μ, customers per second; requires λ < μ for stability.
+    """
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0 or self.service_rate <= 0:
+            raise ValueError("rates must be positive")
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ/μ."""
+        return self.arrival_rate / self.service_rate
+
+    def _require_stable(self) -> None:
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"unstable queue (rho={self.utilization:.3f} >= 1)"
+            )
+
+    def mean_queue_length(self) -> float:
+        """L = ρ/(1−ρ), customers in system."""
+        self._require_stable()
+        rho = self.utilization
+        return rho / (1 - rho)
+
+    def mean_waiting_time(self) -> float:
+        """W = 1/(μ−λ), sojourn time in system (Little's law)."""
+        self._require_stable()
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def mean_queueing_delay(self) -> float:
+        """Wq = W − 1/μ, time spent waiting before service."""
+        return self.mean_waiting_time() - 1.0 / self.service_rate
+
+    def prob_n(self, n: int) -> float:
+        """P[N = n] = (1−ρ)ρⁿ."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._require_stable()
+        rho = self.utilization
+        return (1 - rho) * rho**n
+
+    def prob_exceeds(self, n: int) -> float:
+        """P[N > n] = ρ^(n+1) — exponential tail, the Markovian
+        signature that self-similar input destroys (E2)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._require_stable()
+        return self.utilization ** (n + 1)
+
+
+@dataclass(frozen=True)
+class MM1K:
+    """The M/M/1/K queue: K total slots (waiting + in service).
+
+    The analytical twin of :class:`repro.des.FiniteQueue` behind a
+    single server — the paper's "finite-length queues".
+    """
+
+    arrival_rate: float
+    service_rate: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0 or self.service_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+
+    @property
+    def utilization(self) -> float:
+        """Offered load a = λ/μ (may exceed 1; the queue still works)."""
+        return self.arrival_rate / self.service_rate
+
+    def state_probabilities(self) -> np.ndarray:
+        """P[N = n] for n = 0..K."""
+        a = self.utilization
+        k = self.capacity
+        if abs(a - 1.0) < 1e-12:
+            return np.full(k + 1, 1.0 / (k + 1))
+        weights = a ** np.arange(k + 1)
+        return weights * (1 - a) / (1 - a ** (k + 1))
+
+    def blocking_probability(self) -> float:
+        """P[N = K]: fraction of arrivals dropped."""
+        return float(self.state_probabilities()[-1])
+
+    def mean_queue_length(self) -> float:
+        """E[N], customers in system."""
+        probs = self.state_probabilities()
+        return float(probs @ np.arange(self.capacity + 1))
+
+    def throughput(self) -> float:
+        """Accepted rate λ(1 − P_block)."""
+        return self.arrival_rate * (1 - self.blocking_probability())
+
+    def mean_waiting_time(self) -> float:
+        """Mean sojourn of *accepted* customers (Little on the
+        effective arrival rate)."""
+        thr = self.throughput()
+        if thr <= 0:
+            return math.nan
+        return self.mean_queue_length() / thr
+
+
+@dataclass(frozen=True)
+class MG1:
+    """The M/G/1 queue via Pollaczek–Khinchine.
+
+    Parameters
+    ----------
+    arrival_rate:
+        λ.
+    service_mean:
+        E[S], seconds.
+    service_scv:
+        Squared coefficient of variation of service time
+        (1 = exponential, 0 = deterministic).
+    """
+
+    arrival_rate: float
+    service_mean: float
+    service_scv: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0 or self.service_mean <= 0:
+            raise ValueError("rates must be positive")
+        if self.service_scv < 0:
+            raise ValueError("scv must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ E[S]."""
+        return self.arrival_rate * self.service_mean
+
+    def mean_waiting_time(self) -> float:
+        """W = E[S] + λE[S²]/(2(1−ρ)) — grows linearly in the service
+        SCV: burstier service, longer queues."""
+        rho = self.utilization
+        if rho >= 1.0:
+            raise ValueError(f"unstable queue (rho={rho:.3f})")
+        es2 = self.service_mean**2 * (1 + self.service_scv)
+        return self.service_mean + self.arrival_rate * es2 / (
+            2 * (1 - rho)
+        )
+
+    def mean_queue_length(self) -> float:
+        """L = λW (Little)."""
+        return self.arrival_rate * self.mean_waiting_time()
+
+
+def erlang_b(offered_load: float, n_servers: int) -> float:
+    """Erlang-B blocking for ``n_servers`` and offered load in erlangs.
+
+    Computed with the numerically stable recurrence.
+    """
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if n_servers < 0:
+        raise ValueError("server count must be non-negative")
+    b = 1.0
+    for k in range(1, n_servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b

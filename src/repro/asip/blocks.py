@@ -1,0 +1,130 @@
+"""Predefined-block inclusion/exclusion (§3.1, customization level b).
+
+"Predefined blocks as part of the extensible processor platform may be
+chosen to be included or excluded by the designer.  Examples are
+special function registers, MAC operation blocks, caches, etc."
+
+A :class:`PredefinedBlock` is a coarse-grain accelerator: it speeds up
+every kernel whose inner loops use its function, at a fixed gate cost.
+Where a kernel is also covered by a custom instruction, the stronger of
+the two wins (the instruction datapath subsumes the block for that
+kernel) — blocks pay for the *breadth* instructions lack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.asip.profiler import Profile
+
+__all__ = ["PredefinedBlock", "STANDARD_BLOCKS", "select_blocks"]
+
+
+@dataclass(frozen=True)
+class PredefinedBlock:
+    """One optional hardware block of the platform.
+
+    Parameters
+    ----------
+    name:
+        Block label ("mac", "sfr", ...).
+    gates:
+        Silicon cost when included.
+    kernel_speedups:
+        Kernel name → speedup factor the block gives that kernel.
+    """
+
+    name: str
+    gates: float
+    kernel_speedups: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.gates <= 0:
+            raise ValueError(f"{self.name}: gates must be positive")
+        for kernel, speedup in self.kernel_speedups.items():
+            if speedup < 1.0:
+                raise ValueError(
+                    f"{self.name}: speedup for {kernel} below 1"
+                )
+
+    def speedup_for(self, kernel: str) -> float:
+        """Speedup the block gives ``kernel`` (1.0 if untouched)."""
+        return self.kernel_speedups.get(kernel, 1.0)
+
+
+#: A representative block library for the voice-recognition /
+#: MPEG-class workloads of :mod:`repro.asip.workloads`.
+STANDARD_BLOCKS = (
+    PredefinedBlock(
+        "mac", gates=12_000.0,
+        kernel_speedups={
+            "fft_butterfly": 2.5, "mel_filterbank": 2.2,
+            "dct_mfcc": 2.2, "gaussian_eval": 1.8,
+            "sad_16x16": 1.6, "dct_8x8": 2.0,
+        },
+    ),
+    PredefinedBlock(
+        "sfr", gates=4_000.0,
+        kernel_speedups={
+            "viterbi_update": 1.5, "beam_prune": 1.4,
+            "huffman_enc": 1.3,
+        },
+    ),
+    PredefinedBlock(
+        "saturating_alu", gates=6_000.0,
+        kernel_speedups={
+            "pre_emphasis": 1.6, "hamming_window": 1.5,
+            "quantize": 1.8, "log_energy": 1.4,
+        },
+    ),
+    PredefinedBlock(
+        "barrel_shifter", gates=5_000.0,
+        kernel_speedups={
+            "huff_dec": 1.7, "zigzag_rle": 1.5, "huffman_enc": 1.6,
+        },
+    ),
+)
+
+
+def select_blocks(
+    profile: Profile,
+    blocks,
+    gate_budget: float,
+    existing_speedups: Mapping[str, float] | None = None,
+) -> list[PredefinedBlock]:
+    """Greedy benefit-per-gate block inclusion under a gate budget.
+
+    ``existing_speedups`` (kernel → factor, e.g. from selected custom
+    instructions) discounts a block's benefit where an instruction
+    already covers the kernel better.
+    """
+    if gate_budget < 0:
+        raise ValueError("gate budget must be non-negative")
+    existing = dict(existing_speedups or {})
+
+    def benefit(block: PredefinedBlock) -> float:
+        saved = 0.0
+        for kernel, speedup in block.kernel_speedups.items():
+            try:
+                cycles = profile.cycles_of(kernel)
+            except KeyError:
+                continue
+            already = existing.get(kernel, 1.0)
+            if speedup <= already:
+                continue  # the instruction datapath subsumes it
+            # Cycles after the existing speedup, further divided.
+            saved += cycles / already * (1.0 - already / speedup)
+        return saved
+
+    chosen: list[PredefinedBlock] = []
+    used = 0.0
+    pool = sorted(blocks, key=lambda b: -benefit(b) / b.gates)
+    for block in pool:
+        if benefit(block) <= 0:
+            continue
+        if used + block.gates > gate_budget:
+            continue
+        chosen.append(block)
+        used += block.gates
+    return chosen

@@ -1,0 +1,143 @@
+"""Custom-instruction selection (Fig.2, "Identify ... Define").
+
+Given a profile and the candidate instructions the kernels admit, pick
+the subset that minimizes total cycles subject to the platform
+restrictions: at most N instructions, a total gate budget, and the
+per-instruction pipeline latency limit.  This is a knapsack-like
+problem; exact branch-and-bound is provided (candidate sets are small —
+one per kernel), plus a greedy benefit-density heuristic for contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.asip.isa import CustomInstruction, IsaRestrictions
+from repro.asip.profiler import Profile
+
+__all__ = ["SelectionResult", "select_extensions_greedy",
+           "select_extensions_optimal"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of an instruction-selection pass."""
+
+    selected: list[CustomInstruction]
+    cycles_saved: float
+    gates_used: float
+    baseline_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        """Workload speedup the selection achieves."""
+        remaining = self.baseline_cycles - self.cycles_saved
+        if remaining <= 0:
+            return math.inf
+        return self.baseline_cycles / remaining
+
+
+def _benefit(profile: Profile, candidate: CustomInstruction) -> float:
+    """Cycles the candidate removes from the profiled workload."""
+    kernel_cycles = profile.cycles_of(candidate.kernel)
+    return kernel_cycles * (1.0 - 1.0 / candidate.speedup)
+
+
+def _admissible(candidates: list[CustomInstruction],
+                restrictions: IsaRestrictions
+                ) -> list[CustomInstruction]:
+    return [c for c in candidates if c.admissible(restrictions)]
+
+
+def select_extensions_greedy(
+    profile: Profile,
+    candidates: list[CustomInstruction],
+    restrictions: IsaRestrictions,
+    extension_budget: float | None = None,
+) -> SelectionResult:
+    """Greedy selection by benefit-per-gate density.
+
+    ``extension_budget`` caps the gates available for extensions
+    (defaults to the restriction budget; the caller subtracts the base
+    core).
+    """
+    budget = (extension_budget if extension_budget is not None
+              else restrictions.gate_budget)
+    chosen: list[CustomInstruction] = []
+    gates = 0.0
+    pool = sorted(
+        _admissible(candidates, restrictions),
+        key=lambda c: -_benefit(profile, c) / c.gates,
+    )
+    for candidate in pool:
+        if len(chosen) >= restrictions.max_instructions:
+            break
+        if gates + candidate.gates > budget:
+            continue
+        chosen.append(candidate)
+        gates += candidate.gates
+    saved = sum(_benefit(profile, c) for c in chosen)
+    return SelectionResult(
+        selected=chosen,
+        cycles_saved=saved,
+        gates_used=gates,
+        baseline_cycles=profile.total_cycles,
+    )
+
+
+def select_extensions_optimal(
+    profile: Profile,
+    candidates: list[CustomInstruction],
+    restrictions: IsaRestrictions,
+    extension_budget: float | None = None,
+) -> SelectionResult:
+    """Exact selection by depth-first branch and bound.
+
+    Maximizes cycles saved under the instruction-count and gate-budget
+    constraints.  Candidate sets are one-per-kernel, so the search space
+    stays tiny (≤ 2^n with n ≈ 10).
+    """
+    budget = (extension_budget if extension_budget is not None
+              else restrictions.gate_budget)
+    pool = sorted(
+        _admissible(candidates, restrictions),
+        key=lambda c: -_benefit(profile, c),
+    )
+    benefits = [_benefit(profile, c) for c in pool]
+
+    best = {"saved": -1.0, "set": []}
+
+    # Suffix sums let us bound the remaining attainable benefit.
+    suffix = [0.0] * (len(pool) + 1)
+    for i in range(len(pool) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + benefits[i]
+
+    def recurse(i: int, chosen: list[int], gates: float,
+                saved: float) -> None:
+        if saved > best["saved"]:
+            best["saved"] = saved
+            best["set"] = chosen[:]
+        if i == len(pool):
+            return
+        if saved + suffix[i] <= best["saved"]:
+            return  # cannot beat the incumbent
+        # Take pool[i] if it fits.
+        candidate = pool[i]
+        if (len(chosen) < restrictions.max_instructions
+                and gates + candidate.gates <= budget):
+            chosen.append(i)
+            recurse(i + 1, chosen, gates + candidate.gates,
+                    saved + benefits[i])
+            chosen.pop()
+        # Skip pool[i].
+        recurse(i + 1, chosen, gates, saved)
+
+    recurse(0, [], 0.0, 0.0)
+    selected = [pool[i] for i in best["set"]]
+    return SelectionResult(
+        selected=selected,
+        cycles_saved=max(best["saved"], 0.0),
+        gates_used=sum(c.gates for c in selected),
+        baseline_cycles=profile.total_cycles,
+    )

@@ -1,0 +1,154 @@
+"""The Fig.2 extensible-processor design flow, end to end.
+
+Application → Profiling → Identify (extensible instructions, blocks,
+parameters) → Define → Retargetable tool generation → Generate processor
+→ Verify constraints → iterate.  :class:`ExtensibleProcessorFlow.run`
+drives that loop until the performance target and silicon budget are
+both met (or the candidate space is exhausted), recording one
+:class:`FlowIteration` per trip around the loop — the artifact the F2
+benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asip.extensions import (
+    SelectionResult,
+    select_extensions_optimal,
+)
+from repro.asip.isa import ExtensibleProcessor, IsaRestrictions
+from repro.asip.profiler import IssProfiler, Profile
+from repro.asip.workloads import Workload
+
+__all__ = ["FlowIteration", "FlowReport", "ExtensibleProcessorFlow"]
+
+
+@dataclass
+class FlowIteration:
+    """One pass around the Fig.2 loop."""
+
+    index: int
+    max_instructions_tried: int
+    n_selected: int
+    speedup: float
+    gate_count: float
+    meets_speedup: bool
+    meets_gates: bool
+
+
+@dataclass
+class FlowReport:
+    """Final outcome of the design flow."""
+
+    processor: ExtensibleProcessor
+    baseline_profile: Profile
+    final_profile: Profile
+    selection: SelectionResult
+    iterations: list[FlowIteration] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Achieved workload speedup over the base core."""
+        return (self.baseline_profile.total_cycles
+                / self.final_profile.total_cycles)
+
+    @property
+    def gate_count(self) -> float:
+        """Total gates of the customized processor."""
+        return self.processor.gate_count()
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the last iteration met every constraint."""
+        return bool(self.iterations) and (
+            self.iterations[-1].meets_speedup
+            and self.iterations[-1].meets_gates
+        )
+
+
+class ExtensibleProcessorFlow:
+    """Customize a base core for one workload under constraints.
+
+    Parameters
+    ----------
+    base:
+        The uncustomized processor (its restrictions carry the gate
+        budget and pipeline limits).
+    workload:
+        Target application.
+    target_speedup:
+        Verification threshold ("verify that the various customization
+        levels ... meet the given constraints").
+    """
+
+    def __init__(
+        self,
+        base: ExtensibleProcessor,
+        workload: Workload,
+        target_speedup: float = 5.0,
+    ):
+        if base.extensions:
+            raise ValueError("flow must start from the bare base core")
+        if target_speedup < 1.0:
+            raise ValueError("target speedup must be >= 1")
+        self.base = base
+        self.workload = workload
+        self.target_speedup = target_speedup
+
+    def run(self) -> FlowReport:
+        """Drive the loop, widening the instruction allowance each
+        iteration until the targets are met."""
+        profiler = IssProfiler(self.base)
+        baseline_profile = profiler.run(self.workload)
+        candidates = self.workload.candidates()
+        extension_budget = (
+            self.base.restrictions.gate_budget - self.base.base_gates
+        )
+
+        iterations: list[FlowIteration] = []
+        best_selection: SelectionResult | None = None
+        best_processor = self.base
+
+        cap = self.base.restrictions.max_instructions
+        for allowed in range(1, cap + 1):
+            restrictions = IsaRestrictions(
+                max_instructions=allowed,
+                max_latency_cycles=(
+                    self.base.restrictions.max_latency_cycles
+                ),
+                gate_budget=self.base.restrictions.gate_budget,
+            )
+            selection = select_extensions_optimal(
+                baseline_profile, candidates, restrictions,
+                extension_budget=extension_budget,
+            )
+            processor = self.base.with_extensions(selection.selected)
+            meets_gates = (
+                processor.gate_count()
+                <= self.base.restrictions.gate_budget
+            )
+            meets_speedup = selection.speedup >= self.target_speedup
+            iterations.append(FlowIteration(
+                index=len(iterations),
+                max_instructions_tried=allowed,
+                n_selected=len(selection.selected),
+                speedup=selection.speedup,
+                gate_count=processor.gate_count(),
+                meets_speedup=meets_speedup,
+                meets_gates=meets_gates,
+            ))
+            best_selection = selection
+            best_processor = processor
+            if meets_speedup and meets_gates:
+                break
+
+        assert best_selection is not None
+        final_profile = IssProfiler(best_processor).run(self.workload)
+        return FlowReport(
+            processor=best_processor,
+            baseline_profile=baseline_profile,
+            final_profile=final_profile,
+            selection=best_selection,
+            iterations=iterations,
+        )

@@ -1,0 +1,214 @@
+"""Instruction-set models for extensible processors (§3.1).
+
+An :class:`ExtensibleProcessor` is "a base processor core enhanced with
+... custom instructions": the base ISA executes every kernel at its
+profiled cycle cost; each :class:`CustomInstruction` collapses one
+kernel's inner loop into a datapath, dividing its cycle cost by the
+instruction's speedup factor at the price of gates and (possibly)
+multi-cycle execution.
+
+Platform restrictions from the paper are enforced: an instruction's
+cycle latency is bounded (to fit the base pipeline) and the processor
+caps how many extensible instructions can be defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.asip.blocks import PredefinedBlock
+    from repro.asip.parameters import ProcessorParameters
+
+__all__ = ["IsaRestrictions", "CustomInstruction", "ExtensibleProcessor"]
+
+
+@dataclass(frozen=True)
+class IsaRestrictions:
+    """Platform limits on instruction extension (§3.1a).
+
+    Parameters
+    ----------
+    max_instructions:
+        "the total number of extensible instructions that can be defined
+        and integrated per processor" — hard cap.
+    max_latency_cycles:
+        "the complexity of an instruction (in terms of number of cycles
+        for execution) may be limited in order to integrate the
+        resulting data path into the existing pipeline".
+    gate_budget:
+        Total silicon budget (base core + extensions), in gates.
+    """
+
+    max_instructions: int = 16
+    max_latency_cycles: int = 8
+    gate_budget: float = 200_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_instructions < 0 or self.max_latency_cycles < 1:
+            raise ValueError("invalid restriction values")
+        if self.gate_budget <= 0:
+            raise ValueError("gate budget must be positive")
+
+
+@dataclass(frozen=True)
+class CustomInstruction:
+    """A candidate (or selected) multimedia instruction.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"mac4"`` or ``"fft_butterfly"``.
+    kernel:
+        The workload kernel it accelerates.
+    speedup:
+        Factor by which the kernel's cycle count shrinks.
+    gates:
+        Datapath + decoder cost in gates.
+    latency_cycles:
+        Execution latency of one instruction instance (multi-cycling).
+    """
+
+    name: str
+    kernel: str
+    speedup: float
+    gates: float
+    latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 1.0:
+            raise ValueError(f"{self.name}: speedup must exceed 1")
+        if self.gates <= 0:
+            raise ValueError(f"{self.name}: gates must be positive")
+        if self.latency_cycles < 1:
+            raise ValueError(f"{self.name}: latency must be >= 1 cycle")
+
+    def admissible(self, restrictions: IsaRestrictions) -> bool:
+        """True when the instruction fits the pipeline restrictions."""
+        return self.latency_cycles <= restrictions.max_latency_cycles
+
+
+@dataclass
+class ExtensibleProcessor:
+    """A base core plus a set of selected custom instructions.
+
+    Parameters
+    ----------
+    name:
+        Configuration label.
+    base_gates:
+        Gate count of the unmodified base core.
+    frequency:
+        Clock frequency in hertz.
+    restrictions:
+        Platform limits; selection must respect them.
+    extensions:
+        Chosen custom instructions (at most one per kernel) —
+        customization level (a) of §3.1.
+    blocks:
+        Included predefined blocks (MAC, SFRs, ...) — level (b).
+    parameters:
+        Structural parameterization (caches, registers, endianness) —
+        level (c); ``None`` keeps the base core's implicit memory
+        system (multiplier 1, no extra gates).
+    """
+
+    name: str = "asip0"
+    base_gates: float = 60_000.0
+    frequency: float = 200e6
+    restrictions: IsaRestrictions = field(default_factory=IsaRestrictions)
+    extensions: list[CustomInstruction] = field(default_factory=list)
+    blocks: list["PredefinedBlock"] = field(default_factory=list)
+    parameters: "ProcessorParameters | None" = None
+
+    def __post_init__(self) -> None:
+        if self.base_gates <= 0 or self.frequency <= 0:
+            raise ValueError("base gates and frequency must be positive")
+        self._check_extensions()
+
+    def _check_extensions(self) -> None:
+        if len(self.extensions) > self.restrictions.max_instructions:
+            raise ValueError("too many custom instructions")
+        kernels = [e.kernel for e in self.extensions]
+        if len(set(kernels)) != len(kernels):
+            raise ValueError("two instructions accelerate one kernel")
+        for ext in self.extensions:
+            if not ext.admissible(self.restrictions):
+                raise ValueError(
+                    f"{ext.name} exceeds the pipeline latency limit"
+                )
+        if self.gate_count() > self.restrictions.gate_budget:
+            raise ValueError("gate budget exceeded")
+
+    def gate_count(self) -> float:
+        """Total gates: base core, extension datapaths, included blocks
+        and parameterized structures."""
+        total = self.base_gates + sum(e.gates for e in self.extensions)
+        total += sum(b.gates for b in self.blocks)
+        if self.parameters is not None:
+            total += self.parameters.gates()
+        return total
+
+    def speedup_for(self, kernel: str) -> float:
+        """Cycle-count divisor this processor applies to ``kernel``.
+
+        The strongest applicable accelerator wins: a custom-instruction
+        datapath subsumes a predefined block for the kernel it covers.
+        """
+        best = 1.0
+        for ext in self.extensions:
+            if ext.kernel == kernel:
+                best = max(best, ext.speedup)
+        for block in self.blocks:
+            best = max(best, block.speedup_for(kernel))
+        return best
+
+    def cycle_multiplier(self) -> float:
+        """Global CPI factor from the parameterization (level c).
+
+        Normalized to the default parameterization: the bare base core
+        implicitly carries default caches/registers, so ``None`` and
+        the default :class:`ProcessorParameters` both give 1.0; larger
+        caches give a factor below 1 (speedup), smaller above 1.
+        """
+        if self.parameters is None:
+            return 1.0
+        from repro.asip.parameters import ProcessorParameters
+
+        reference = ProcessorParameters().cycle_multiplier()
+        return self.parameters.cycle_multiplier() / reference
+
+    def with_extensions(
+        self, extensions: list[CustomInstruction]
+    ) -> "ExtensibleProcessor":
+        """A copy of this processor with a different extension set."""
+        return ExtensibleProcessor(
+            name=self.name,
+            base_gates=self.base_gates,
+            frequency=self.frequency,
+            restrictions=self.restrictions,
+            extensions=list(extensions),
+            blocks=list(self.blocks),
+            parameters=self.parameters,
+        )
+
+    def with_customization(
+        self,
+        extensions: list[CustomInstruction] | None = None,
+        blocks: "list[PredefinedBlock] | None" = None,
+        parameters: "ProcessorParameters | None" = None,
+    ) -> "ExtensibleProcessor":
+        """A copy with any of the three customization levels replaced."""
+        return ExtensibleProcessor(
+            name=self.name,
+            base_gates=self.base_gates,
+            frequency=self.frequency,
+            restrictions=self.restrictions,
+            extensions=(list(extensions) if extensions is not None
+                        else list(self.extensions)),
+            blocks=(list(blocks) if blocks is not None
+                    else list(self.blocks)),
+            parameters=(parameters if parameters is not None
+                        else self.parameters),
+        )

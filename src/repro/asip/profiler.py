@@ -1,0 +1,113 @@
+"""Profiling via an instruction-set-simulator stand-in (Fig.2, step 1).
+
+"Profiling by means of an ISS resembling the target processor unveils
+the bottlenecks through cycle-accurate simulation i.e. it shows which
+parts of the application represent the most time consuming ones."
+
+:class:`IssProfiler` plays that role: it executes a workload against an
+(optionally customized) processor model and returns per-kernel cycle
+counts; :class:`Profile` ranks the hotspots the designer would target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asip.isa import ExtensibleProcessor
+from repro.asip.workloads import Workload
+
+__all__ = ["KernelCycles", "Profile", "IssProfiler"]
+
+
+@dataclass(frozen=True)
+class KernelCycles:
+    """Cycles one kernel consumed in a profiling run."""
+
+    kernel: str
+    cycles: float
+    fraction: float
+
+
+@dataclass
+class Profile:
+    """Result of one ISS profiling run."""
+
+    workload: str
+    processor: str
+    total_cycles: float
+    per_kernel: list[KernelCycles]
+
+    def hotspots(self, coverage: float = 0.9) -> list[KernelCycles]:
+        """The smallest hot-kernel set covering ``coverage`` of cycles.
+
+        This is the designer's short list for instruction extension.
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must lie in (0, 1]")
+        ranked = sorted(self.per_kernel, key=lambda k: -k.cycles)
+        chosen: list[KernelCycles] = []
+        accumulated = 0.0
+        for entry in ranked:
+            chosen.append(entry)
+            accumulated += entry.fraction
+            if accumulated >= coverage:
+                break
+        return chosen
+
+    def cycles_of(self, kernel: str) -> float:
+        """Cycles attributed to ``kernel``."""
+        for entry in self.per_kernel:
+            if entry.kernel == kernel:
+                return entry.cycles
+        raise KeyError(kernel)
+
+    def execution_time(self, frequency: float) -> float:
+        """Wall-clock seconds at ``frequency``."""
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        return self.total_cycles / frequency
+
+
+class IssProfiler:
+    """Cycle-accurate execution of a workload on a processor model.
+
+    Custom instructions shrink their kernel's cycle count by the
+    instruction speedup — the same arithmetic a retargeted compiler +
+    ISS pair would expose after "retargetable tool generation".
+    """
+
+    def __init__(self, processor: ExtensibleProcessor):
+        self.processor = processor
+
+    def run(self, workload: Workload) -> Profile:
+        """Execute ``workload`` and return its profile."""
+        multiplier = self.processor.cycle_multiplier()
+        per_kernel_cycles = {
+            k.name: (k.total_cycles * multiplier
+                     / self.processor.speedup_for(k.name))
+            for k in workload.kernels
+        }
+        total = sum(per_kernel_cycles.values())
+        entries = [
+            KernelCycles(
+                kernel=name,
+                cycles=cycles,
+                fraction=cycles / total if total > 0 else 0.0,
+            )
+            for name, cycles in per_kernel_cycles.items()
+        ]
+        return Profile(
+            workload=workload.name,
+            processor=self.processor.name,
+            total_cycles=total,
+            per_kernel=entries,
+        )
+
+    def speedup_over(self, workload: Workload,
+                     baseline: ExtensibleProcessor) -> float:
+        """Overall speedup of this processor vs. ``baseline``."""
+        ours = self.run(workload).total_cycles
+        theirs = IssProfiler(baseline).run(workload).total_cycles
+        if ours <= 0:
+            raise ValueError("degenerate zero-cycle profile")
+        return theirs / ours

@@ -1,0 +1,110 @@
+"""Retargetable tool generation (Fig.2's verification loop).
+
+"retargetable tool generation is a technique that allows to 'retarget'
+compilation/simulation/analysis tools to the customized
+micro-architecture ... retargetable techniques allow then to
+automatically generate a compiler that is aware of the new instructions
+i.e. it can generate code and optimize using the recently defined
+extensible instructions."
+
+A real compiler never matches every opportunity a hand-written intrinsic
+would: the toolchain's *coverage* is the fraction of a kernel's dynamic
+instances the pattern matcher actually rewrites.  Within a kernel the
+achieved speedup then follows Amdahl:
+
+    s_eff = 1 / ((1 − c) + c / s)
+
+so the verify step of Fig.2 must run on the *retargeted* profile, not
+the ideal one — exactly what :class:`RetargetableToolchain` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asip.isa import ExtensibleProcessor
+from repro.asip.profiler import IssProfiler, Profile
+from repro.asip.workloads import Workload
+
+__all__ = ["RetargetableToolchain", "effective_speedup"]
+
+
+def effective_speedup(ideal_speedup: float, coverage: float) -> float:
+    """Kernel speedup after imperfect compiler coverage (Amdahl).
+
+    >>> effective_speedup(10.0, 1.0)
+    10.0
+    >>> round(effective_speedup(10.0, 0.5), 4)
+    1.8182
+    """
+    if ideal_speedup < 1.0:
+        raise ValueError("ideal speedup must be >= 1")
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError("coverage must lie in [0, 1]")
+    return 1.0 / ((1.0 - coverage) + coverage / ideal_speedup)
+
+
+@dataclass
+class RetargetableToolchain:
+    """A generated compiler/ISS pair for a customized processor.
+
+    Parameters
+    ----------
+    processor:
+        The customized core the tools were generated for.
+    compiler_coverage:
+        Fraction of each accelerated kernel's dynamic instances the
+        auto-retargeted compiler rewrites to custom instructions
+        (1.0 = hand-written intrinsics everywhere).
+    """
+
+    processor: ExtensibleProcessor
+    compiler_coverage: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.compiler_coverage <= 1.0:
+            raise ValueError("coverage must lie in [0, 1]")
+
+    def compiled_processor(self) -> ExtensibleProcessor:
+        """The processor as the generated compiler actually exploits it.
+
+        Custom-instruction speedups are degraded by the coverage;
+        blocks and parameters are structural and unaffected.
+        """
+        degraded = [
+            type(ext)(
+                name=ext.name,
+                kernel=ext.kernel,
+                speedup=max(effective_speedup(
+                    ext.speedup, self.compiler_coverage
+                ), 1.0 + 1e-9),
+                gates=ext.gates,
+                latency_cycles=ext.latency_cycles,
+            )
+            for ext in self.processor.extensions
+        ]
+        return self.processor.with_customization(extensions=degraded)
+
+    def profile(self, workload: Workload) -> Profile:
+        """Cycle-accurate profile through the generated ISS — the
+        numbers the Fig.2 verify step actually sees."""
+        return IssProfiler(self.compiled_processor()).run(workload)
+
+    def speedup_over_base(self, workload: Workload,
+                          base: ExtensibleProcessor) -> float:
+        """Compiled-workload speedup over the bare base core."""
+        return IssProfiler(self.compiled_processor()).speedup_over(
+            workload, base
+        )
+
+    def coverage_gap(self, workload: Workload,
+                     base: ExtensibleProcessor) -> float:
+        """Fraction of the ideal speedup lost to the toolchain.
+
+        0 = the generated compiler is as good as hand intrinsics.
+        """
+        ideal = IssProfiler(self.processor).speedup_over(workload, base)
+        achieved = self.speedup_over_base(workload, base)
+        if ideal <= 1.0:
+            return 0.0
+        return 1.0 - (achieved - 1.0) / (ideal - 1.0)

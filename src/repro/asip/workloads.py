@@ -1,0 +1,152 @@
+"""Multimedia workloads for the ASIP experiments.
+
+The §3.1 case study: "a complete voice recognition system has been
+implemented using a base processor core enhanced with less than 10
+low-complexity custom instructions ... speed-up factors between 5x-10x
+... at a total gate count less than 200k".
+
+:func:`voice_recognition_workload` models that system at kernel
+granularity: a speech front-end (pre-emphasis, windowing, FFT, mel
+filterbank, MFCC) feeding an HMM/Viterbi search — with the cycle
+distribution heavily concentrated in a handful of loops, which is what
+makes instruction extension pay.  Each kernel carries the parameters of
+its natural custom instruction (attainable speedup, datapath gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asip.isa import CustomInstruction
+
+__all__ = ["Kernel", "Workload", "voice_recognition_workload",
+           "mpeg2_encoder_workload"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One profiled kernel of an application.
+
+    Parameters
+    ----------
+    name:
+        Kernel label.
+    invocations:
+        How many times the kernel runs per workload execution.
+    cycles_per_invocation:
+        Base-ISA cycles per run.
+    ext_speedup:
+        Speedup the kernel's natural custom instruction achieves
+        (1.0 = not a candidate).
+    ext_gates:
+        Datapath cost of that instruction.
+    ext_latency:
+        Latency in cycles of the custom instruction.
+    """
+
+    name: str
+    invocations: float
+    cycles_per_invocation: float
+    ext_speedup: float = 1.0
+    ext_gates: float = 0.0
+    ext_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.invocations < 0 or self.cycles_per_invocation < 0:
+            raise ValueError(f"{self.name}: negative profile values")
+        if self.ext_speedup < 1.0:
+            raise ValueError(f"{self.name}: speedup below 1")
+
+    @property
+    def total_cycles(self) -> float:
+        """Base-ISA cycles this kernel contributes per execution."""
+        return self.invocations * self.cycles_per_invocation
+
+    def candidate(self) -> CustomInstruction | None:
+        """The kernel's custom-instruction candidate, if any."""
+        if self.ext_speedup <= 1.0:
+            return None
+        return CustomInstruction(
+            name=f"xt_{self.name}",
+            kernel=self.name,
+            speedup=self.ext_speedup,
+            gates=self.ext_gates,
+            latency_cycles=self.ext_latency,
+        )
+
+
+class Workload:
+    """A named bag of kernels ("the application ... available in a
+    C/C++-like specification", Fig.2)."""
+
+    def __init__(self, name: str, kernels: list[Kernel]):
+        if not kernels:
+            raise ValueError("workload needs at least one kernel")
+        names = [k.name for k in kernels]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate kernel names")
+        self.name = name
+        self.kernels = list(kernels)
+
+    def kernel(self, name: str) -> Kernel:
+        """Look up a kernel by name."""
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise KeyError(name)
+
+    def total_cycles(self) -> float:
+        """Base-ISA cycles for one full execution."""
+        return sum(k.total_cycles for k in self.kernels)
+
+    def candidates(self) -> list[CustomInstruction]:
+        """All custom-instruction candidates in the workload."""
+        return [
+            c for c in (k.candidate() for k in self.kernels)
+            if c is not None
+        ]
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, kernels={len(self.kernels)})"
+
+
+def voice_recognition_workload() -> Workload:
+    """The §3.1 voice-recognition system, kernel-granular.
+
+    Cycle budget per utterance (~1 s of speech): front-end DSP loops
+    dominate; bookkeeping code is the Amdahl remainder that no
+    instruction can touch.
+    """
+    kernels = [
+        # name, invocations, cycles/invocation, speedup, gates, latency
+        Kernel("pre_emphasis", 100, 8_000.0, 8.0, 6_000.0, 2),
+        Kernel("hamming_window", 100, 10_000.0, 10.0, 8_000.0, 2),
+        Kernel("fft_butterfly", 100, 90_000.0, 14.0, 24_000.0, 4),
+        Kernel("mel_filterbank", 100, 35_000.0, 12.0, 14_000.0, 3),
+        Kernel("log_energy", 100, 12_000.0, 6.0, 7_000.0, 3),
+        Kernel("dct_mfcc", 100, 30_000.0, 12.0, 16_000.0, 4),
+        Kernel("gaussian_eval", 100, 120_000.0, 11.0, 28_000.0, 4),
+        Kernel("viterbi_update", 100, 80_000.0, 9.0, 20_000.0, 3),
+        Kernel("beam_prune", 100, 9_000.0, 4.0, 9_000.0, 2),
+        # Control / IO remainder: not accelerable.
+        Kernel("control_glue", 1, 1_800_000.0),
+    ]
+    return Workload("voice-recognition", kernels)
+
+
+def mpeg2_encoder_workload() -> Workload:
+    """An MPEG-2 encoder as a second customization target.
+
+    Motion estimation dominates (the classical SAD loop), making this a
+    one-hot-kernel contrast to the flatter voice-recognition profile.
+    """
+    kernels = [
+        Kernel("sad_16x16", 396, 180_000.0, 16.0, 30_000.0, 4),
+        Kernel("dct_8x8", 2376, 4_200.0, 12.0, 22_000.0, 4),
+        Kernel("quantize", 2376, 1_500.0, 8.0, 10_000.0, 2),
+        Kernel("zigzag_rle", 2376, 900.0, 5.0, 7_000.0, 2),
+        Kernel("huffman_enc", 2376, 1_100.0, 3.0, 12_000.0, 2),
+        Kernel("rate_control", 30, 40_000.0),
+        Kernel("control_glue", 1, 5_000_000.0),
+    ]
+    return Workload("mpeg2-encoder", kernels)

@@ -1,0 +1,118 @@
+"""The holistic co-design core: the paper's primary contribution.
+
+Application model + architecture model + mapping + QoS + constraints +
+evaluation (simulation or analysis) + design-space exploration, glued
+together by :class:`~repro.core.methodology.HolisticDesignFlow`.
+"""
+
+from repro.core.application import (
+    ApplicationGraph,
+    ChannelSpec,
+    Dependency,
+    MediaType,
+    ProcessNode,
+    Task,
+    TaskGraph,
+)
+from repro.core.architecture import (
+    BusInterconnect,
+    Interconnect,
+    PEKind,
+    Platform,
+    PointToPointInterconnect,
+    ProcessingElement,
+)
+from repro.core.constraints import ConstraintViolation, DesignConstraints
+from repro.core.dpm import (
+    AlwaysOnPolicy,
+    DpmDevice,
+    DpmResult,
+    OraclePolicy,
+    TimeoutPolicy,
+    generate_workload,
+    simulate_dpm,
+    timeout_sweep,
+)
+from repro.core.evaluation import (
+    AnalyticalEvaluator,
+    EvaluationResult,
+    SimulationEvaluator,
+    Token,
+)
+from repro.core.exploration import (
+    DesignPoint,
+    ExplorationReport,
+    GuidedMappingSearch,
+    MappingExplorer,
+    all_mappings,
+    dominates,
+    pareto_front,
+    random_mappings,
+)
+from repro.core.mapping import Mapping
+from repro.core.methodology import (
+    DesignOutcome,
+    DesignReport,
+    HolisticDesignFlow,
+)
+from repro.core.power import (
+    DvfsModel,
+    OperatingPoint,
+    PowerState,
+    PowerStateMachine,
+    XSCALE_POINTS,
+    xscale_dvfs,
+)
+from repro.core.qos import QoSReport, QoSSpec, QoSViolation, default_spec_for
+
+__all__ = [
+    "ApplicationGraph",
+    "ProcessNode",
+    "ChannelSpec",
+    "MediaType",
+    "Task",
+    "Dependency",
+    "TaskGraph",
+    "Platform",
+    "ProcessingElement",
+    "PEKind",
+    "Interconnect",
+    "BusInterconnect",
+    "PointToPointInterconnect",
+    "Mapping",
+    "QoSSpec",
+    "QoSReport",
+    "QoSViolation",
+    "default_spec_for",
+    "DesignConstraints",
+    "ConstraintViolation",
+    "DpmDevice",
+    "DpmResult",
+    "AlwaysOnPolicy",
+    "TimeoutPolicy",
+    "OraclePolicy",
+    "simulate_dpm",
+    "generate_workload",
+    "timeout_sweep",
+    "DvfsModel",
+    "OperatingPoint",
+    "XSCALE_POINTS",
+    "xscale_dvfs",
+    "PowerState",
+    "PowerStateMachine",
+    "SimulationEvaluator",
+    "AnalyticalEvaluator",
+    "EvaluationResult",
+    "Token",
+    "DesignPoint",
+    "pareto_front",
+    "dominates",
+    "all_mappings",
+    "random_mappings",
+    "MappingExplorer",
+    "ExplorationReport",
+    "GuidedMappingSearch",
+    "HolisticDesignFlow",
+    "DesignReport",
+    "DesignOutcome",
+]

@@ -1,0 +1,431 @@
+"""Application modeling: process graphs and task graphs.
+
+Section 2.1 of the paper: "a natural choice is to use process graphs where
+each node corresponds to a process in the multimedia application, while
+each edge represents a communication channel (link) ... through dedicated
+buffers that behave like finite-length queues."
+
+Two application abstractions are provided:
+
+* :class:`ApplicationGraph` — a streaming process network (sources push
+  tokens through bounded channels into transformers and sinks).  This is
+  the model the simulation evaluator executes and the shape of Fig.1(b).
+* :class:`TaskGraph` — a DAG of tasks with execution demands, data volumes
+  and (soft) deadlines, as used for NoC mapping and scheduling (§3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+import networkx as nx
+
+__all__ = [
+    "MediaType",
+    "ProcessNode",
+    "ChannelSpec",
+    "ApplicationGraph",
+    "Task",
+    "Dependency",
+    "TaskGraph",
+]
+
+
+class MediaType(Enum):
+    """Media classes from §1: 'all forms of communication'."""
+
+    TEXT = "text"
+    GRAPHICS = "graphics"
+    AUDIO = "audio"
+    VIDEO = "video"
+    CONTROL = "control"
+
+
+@dataclass
+class ProcessNode:
+    """A process in a multimedia process network.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the graph.
+    cycles_mean:
+        Mean computation demand per activation, in processor cycles.
+        Multimedia demands show "large statistical variation" (§2), so the
+        evaluator draws per-activation demands from a lognormal with this
+        mean and coefficient of variation ``cycles_cv``.
+    cycles_cv:
+        Coefficient of variation of the per-activation cycle demand;
+        0 gives deterministic demands.
+    media:
+        Media class of the data the process handles (drives QoS defaults).
+    rate_hz:
+        For source processes only: activation rate (tokens per second).
+        ``None`` for non-source processes, which activate on input tokens.
+    """
+
+    name: str
+    cycles_mean: float
+    cycles_cv: float = 0.0
+    media: MediaType = MediaType.VIDEO
+    rate_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycles_mean < 0:
+            raise ValueError(f"{self.name}: negative cycle demand")
+        if self.cycles_cv < 0:
+            raise ValueError(f"{self.name}: negative cycle CV")
+        if self.rate_hz is not None and self.rate_hz <= 0:
+            raise ValueError(f"{self.name}: rate must be positive")
+
+
+@dataclass
+class ChannelSpec:
+    """A bounded FIFO channel between two processes (one graph edge).
+
+    Parameters
+    ----------
+    src, dst:
+        Names of the producer and consumer processes.
+    bits_per_token:
+        Size of one data token on this channel, in bits.
+    buffer_capacity:
+        Maximum number of buffered tokens ("finite-length queues", §2.1).
+    """
+
+    src: str
+    dst: str
+    bits_per_token: float = 8_000.0
+    buffer_capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits_per_token <= 0:
+            raise ValueError("bits_per_token must be positive")
+        if self.buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """(src, dst) pair identifying the channel."""
+        return (self.src, self.dst)
+
+
+class ApplicationGraph:
+    """A multimedia application as a process network.
+
+    Examples
+    --------
+    >>> app = ApplicationGraph("pipeline")
+    >>> _ = app.add_process(ProcessNode("cam", 0.0, rate_hz=30.0))
+    >>> _ = app.add_process(ProcessNode("enc", 50_000.0))
+    >>> _ = app.add_channel(ChannelSpec("cam", "enc"))
+    >>> [p.name for p in app.sources()]
+    ['cam']
+    >>> [p.name for p in app.sinks()]
+    ['enc']
+    """
+
+    def __init__(self, name: str = "app"):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._processes: dict[str, ProcessNode] = {}
+        self._channels: dict[tuple[str, str], ChannelSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_process(self, process: ProcessNode) -> ProcessNode:
+        """Register a process; names must be unique."""
+        if process.name in self._processes:
+            raise ValueError(f"duplicate process {process.name!r}")
+        self._processes[process.name] = process
+        self._graph.add_node(process.name)
+        return process
+
+    def add_channel(self, channel: ChannelSpec) -> ChannelSpec:
+        """Register a channel; both endpoints must exist."""
+        for endpoint in (channel.src, channel.dst):
+            if endpoint not in self._processes:
+                raise ValueError(f"unknown process {endpoint!r}")
+        if channel.key in self._channels:
+            raise ValueError(f"duplicate channel {channel.key}")
+        if channel.src == channel.dst:
+            raise ValueError("self-loop channels are not allowed")
+        self._channels[channel.key] = channel
+        self._graph.add_edge(channel.src, channel.dst)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> list[ProcessNode]:
+        """All processes, in insertion order."""
+        return list(self._processes.values())
+
+    @property
+    def channels(self) -> list[ChannelSpec]:
+        """All channels, in insertion order."""
+        return list(self._channels.values())
+
+    def process(self, name: str) -> ProcessNode:
+        """Look up a process by name."""
+        return self._processes[name]
+
+    def channel(self, src: str, dst: str) -> ChannelSpec:
+        """Look up a channel by its endpoints."""
+        return self._channels[(src, dst)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processes
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    def sources(self) -> list[ProcessNode]:
+        """Processes with no incoming channels."""
+        return [
+            self._processes[n]
+            for n in self._processes
+            if self._graph.in_degree(n) == 0
+        ]
+
+    def sinks(self) -> list[ProcessNode]:
+        """Processes with no outgoing channels."""
+        return [
+            self._processes[n]
+            for n in self._processes
+            if self._graph.out_degree(n) == 0
+        ]
+
+    def predecessors(self, name: str) -> list[str]:
+        """Names of processes feeding ``name``."""
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        """Names of processes fed by ``name``."""
+        return list(self._graph.successors(name))
+
+    def in_channels(self, name: str) -> list[ChannelSpec]:
+        """Channels into process ``name``."""
+        return [self._channels[(p, name)] for p in self.predecessors(name)]
+
+    def out_channels(self, name: str) -> list[ChannelSpec]:
+        """Channels out of process ``name``."""
+        return [self._channels[(name, s)] for s in self.successors(name)]
+
+    def is_acyclic(self) -> bool:
+        """True when the process network has no feedback loops."""
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    # ------------------------------------------------------------------
+    # Aggregate demands
+    # ------------------------------------------------------------------
+    def source_rate(self) -> float:
+        """Aggregate activation rate of all sources (tokens/s)."""
+        return sum(p.rate_hz or 0.0 for p in self.sources())
+
+    def total_compute_demand(self) -> float:
+        """Cycles per second demanded if every token visits every process.
+
+        Upper-bound estimate used by quick feasibility screens: each
+        source token is assumed to trigger one activation of every
+        downstream process on every path.
+        """
+        demand = 0.0
+        for source in self.sources():
+            if source.rate_hz is None:
+                continue
+            reachable = nx.descendants(self._graph, source.name)
+            reachable.add(source.name)
+            demand += source.rate_hz * sum(
+                self._processes[n].cycles_mean for n in reachable
+            )
+        return demand
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structural problems.
+
+        Checks: every source has a rate, the graph is weakly connected
+        (a disconnected fragment is almost always a modeling mistake) and
+        no process is isolated.
+        """
+        if not self._processes:
+            raise ValueError("application has no processes")
+        for source in self.sources():
+            if source.rate_hz is None and self._graph.out_degree(
+                    source.name):
+                raise ValueError(
+                    f"source process {source.name!r} has no rate"
+                )
+        if len(self._processes) > 1 and not nx.is_weakly_connected(
+                self._graph):
+            raise ValueError("application graph is not connected")
+
+    def __repr__(self) -> str:
+        return (
+            f"ApplicationGraph({self.name!r}, processes="
+            f"{len(self._processes)}, channels={len(self._channels)})"
+        )
+
+
+@dataclass
+class Task:
+    """A schedulable unit of computation in a :class:`TaskGraph`.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier.
+    cycles:
+        Execution demand in cycles at the reference frequency.
+    deadline:
+        Absolute soft deadline in seconds from graph start, or ``None``.
+    """
+
+    name: str
+    cycles: float
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"{self.name}: negative cycles")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be positive")
+
+
+@dataclass
+class Dependency:
+    """A data dependency between two tasks carrying ``bits`` of data."""
+
+    src: str
+    dst: str
+    bits: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("negative data volume")
+
+
+class TaskGraph:
+    """A DAG of tasks with data volumes and soft deadlines (§3.3).
+
+    Used by the NoC mapping and scheduling experiments: nodes carry
+    computation demands, edges carry communication volumes, and the graph
+    has a period (it re-executes once per iteration, e.g. per frame).
+    """
+
+    def __init__(self, name: str = "taskgraph", period: float | None = None):
+        self.name = name
+        self.period = period
+        self._graph = nx.DiGraph()
+        self._tasks: dict[str, Task] = {}
+        self._deps: dict[tuple[str, str], Dependency] = {}
+
+    def add_task(self, task: Task) -> Task:
+        """Register a task; names must be unique."""
+        if task.name in self._tasks:
+            raise ValueError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        self._graph.add_node(task.name)
+        return task
+
+    def add_dependency(self, dep: Dependency) -> Dependency:
+        """Register a dependency; must keep the graph acyclic."""
+        for endpoint in (dep.src, dep.dst):
+            if endpoint not in self._tasks:
+                raise ValueError(f"unknown task {endpoint!r}")
+        self._graph.add_edge(dep.src, dep.dst)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(dep.src, dep.dst)
+            raise ValueError(
+                f"dependency {dep.src}->{dep.dst} creates a cycle"
+            )
+        self._deps[(dep.src, dep.dst)] = dep
+        return dep
+
+    @property
+    def tasks(self) -> list[Task]:
+        """All tasks, in insertion order."""
+        return list(self._tasks.values())
+
+    @property
+    def dependencies(self) -> list[Dependency]:
+        """All dependencies, in insertion order."""
+        return list(self._deps.values())
+
+    def task(self, name: str) -> Task:
+        """Look up a task by name."""
+        return self._tasks[name]
+
+    def dependency(self, src: str, dst: str) -> Dependency:
+        """Look up a dependency by endpoints."""
+        return self._deps[(src, dst)]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def predecessors(self, name: str) -> list[str]:
+        """Direct predecessors of task ``name``."""
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        """Direct successors of task ``name``."""
+        return list(self._graph.successors(name))
+
+    def entry_tasks(self) -> list[Task]:
+        """Tasks with no predecessors."""
+        return [
+            self._tasks[n] for n in self._tasks
+            if self._graph.in_degree(n) == 0
+        ]
+
+    def exit_tasks(self) -> list[Task]:
+        """Tasks with no successors."""
+        return [
+            self._tasks[n] for n in self._tasks
+            if self._graph.out_degree(n) == 0
+        ]
+
+    def topological_order(self) -> list[str]:
+        """Task names in a deterministic topological order."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def total_cycles(self) -> float:
+        """Sum of all task demands."""
+        return sum(t.cycles for t in self._tasks.values())
+
+    def total_bits(self) -> float:
+        """Sum of all communication volumes."""
+        return sum(d.bits for d in self._deps.values())
+
+    def critical_path_cycles(self) -> float:
+        """Largest cycle demand along any dependency path.
+
+        A lower bound on makespan (in cycles) on any number of processors
+        when communication is free.
+        """
+        longest: dict[str, float] = {}
+        for name in self.topological_order():
+            incoming = [
+                longest[p] for p in self._graph.predecessors(name)
+            ]
+            longest[name] = self._tasks[name].cycles + (
+                max(incoming) if incoming else 0.0
+            )
+        return max(longest.values()) if longest else 0.0
+
+    def communication_pairs(self) -> Iterable[tuple[str, str, float]]:
+        """Yield ``(src, dst, bits)`` for every dependency with data."""
+        for (src, dst), dep in self._deps.items():
+            if dep.bits > 0:
+                yield src, dst, dep.bits
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self._tasks)}, "
+            f"deps={len(self._deps)}, period={self.period})"
+        )

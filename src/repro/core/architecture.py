@@ -1,0 +1,233 @@
+"""Architecture modeling: processing elements, links and platforms.
+
+Section 1 of the paper: "emerging design platforms consisting of hardware
+and software resources that can be shared across multiple multimedia
+applications ... consist of fixed processing resources (e.g. ASICs) and
+programmable resources (e.g. general-purpose or DSP processors)".
+
+A :class:`Platform` is a set of heterogeneous :class:`ProcessingElement`
+objects connected by an interconnect (:class:`BusInterconnect` for the
+classical shared bus, or the NoC from :mod:`repro.noc` for tile-based
+designs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.power import DvfsModel
+
+__all__ = [
+    "PEKind",
+    "ProcessingElement",
+    "Interconnect",
+    "BusInterconnect",
+    "PointToPointInterconnect",
+    "Platform",
+]
+
+
+class PEKind(Enum):
+    """Micro-architectural options discussed in §3."""
+
+    GPP = "gpp"       # general-purpose processor (MMX-style over-design)
+    DSP = "dsp"
+    ASIP = "asip"     # extensible processor (the paper's favourite)
+    ASIC = "asic"     # fixed-function hardware
+
+
+#: Typical relative performance-per-power of each option (§3): ASICs are
+#: an order of magnitude better than GPPs; ASIPs sit close behind ASICs.
+_DEFAULT_EFFICIENCY = {
+    PEKind.GPP: 1.0,
+    PEKind.DSP: 3.0,
+    PEKind.ASIP: 6.0,
+    PEKind.ASIC: 10.0,
+}
+
+
+@dataclass
+class ProcessingElement:
+    """A computation resource of the platform.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the platform.
+    kind:
+        Micro-architectural class (affects power efficiency).
+    frequency:
+        Clock frequency in hertz (the reference point if DVFS-capable).
+    active_power:
+        Power when computing at ``frequency``, in watts.  If ``None``, a
+        kind-dependent default is derived (GPP baseline 0.5 W scaled by
+        the efficiency table).
+    dvfs:
+        Optional DVFS model; when present the evaluator and schedulers
+        may scale this PE.
+    """
+
+    name: str
+    kind: PEKind = PEKind.GPP
+    frequency: float = 200e6
+    active_power: float | None = None
+    idle_power: float = 0.02
+    dvfs: DvfsModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError(f"{self.name}: frequency must be positive")
+        if self.idle_power < 0:
+            raise ValueError(f"{self.name}: negative idle power")
+        if self.active_power is None:
+            self.active_power = 0.5 / _DEFAULT_EFFICIENCY[self.kind]
+        if self.active_power < 0:
+            raise ValueError(f"{self.name}: negative active power")
+
+    def execution_time(self, cycles: float) -> float:
+        """Seconds to execute ``cycles`` at the nominal frequency."""
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        return cycles / self.frequency
+
+    def active_energy(self, cycles: float) -> float:
+        """Joules consumed executing ``cycles`` at nominal frequency."""
+        return self.active_power * self.execution_time(cycles)
+
+
+class Interconnect:
+    """Base class for platform interconnects."""
+
+    def transfer_time(self, src: str, dst: str, bits: float) -> float:
+        """Seconds to move ``bits`` from PE ``src`` to PE ``dst``."""
+        raise NotImplementedError
+
+    def transfer_energy(self, src: str, dst: str, bits: float) -> float:
+        """Joules to move ``bits`` from PE ``src`` to PE ``dst``."""
+        raise NotImplementedError
+
+    def is_shared(self) -> bool:
+        """True when transfers contend for a single medium (a bus)."""
+        return False
+
+
+@dataclass
+class BusInterconnect(Interconnect):
+    """A single shared bus — the architecture NoCs displace (§3.2).
+
+    Parameters
+    ----------
+    bandwidth:
+        Bus bandwidth in bits/s, shared by every transfer.
+    energy_per_bit:
+        Joules per transported bit.
+    arbitration_latency:
+        Fixed per-transfer arbitration overhead in seconds.
+    """
+
+    bandwidth: float = 1e9
+    energy_per_bit: float = 5e-12
+    arbitration_latency: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_per_bit < 0 or self.arbitration_latency < 0:
+            raise ValueError("energies and latencies must be non-negative")
+
+    def transfer_time(self, src: str, dst: str, bits: float) -> float:
+        if src == dst:
+            return 0.0
+        return self.arbitration_latency + bits / self.bandwidth
+
+    def transfer_energy(self, src: str, dst: str, bits: float) -> float:
+        if src == dst:
+            return 0.0
+        return bits * self.energy_per_bit
+
+    def is_shared(self) -> bool:
+        return True
+
+
+@dataclass
+class PointToPointInterconnect(Interconnect):
+    """Dedicated full-mesh links (an idealized non-shared fabric)."""
+
+    bandwidth: float = 1e9
+    energy_per_bit: float = 2e-12
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_per_bit < 0:
+            raise ValueError("energy must be non-negative")
+
+    def transfer_time(self, src: str, dst: str, bits: float) -> float:
+        if src == dst:
+            return 0.0
+        return bits / self.bandwidth
+
+    def transfer_energy(self, src: str, dst: str, bits: float) -> float:
+        if src == dst:
+            return 0.0
+        return bits * self.energy_per_bit
+
+
+class Platform:
+    """A heterogeneous multiprocessor platform.
+
+    Examples
+    --------
+    >>> platform = Platform("demo")
+    >>> _ = platform.add_pe(ProcessingElement("cpu0", PEKind.GPP))
+    >>> _ = platform.add_pe(ProcessingElement("dsp0", PEKind.DSP))
+    >>> sorted(platform.pe_names())
+    ['cpu0', 'dsp0']
+    """
+
+    def __init__(
+        self,
+        name: str = "platform",
+        interconnect: Interconnect | None = None,
+    ):
+        self.name = name
+        self.interconnect = interconnect or BusInterconnect()
+        self._pes: dict[str, ProcessingElement] = {}
+
+    def add_pe(self, pe: ProcessingElement) -> ProcessingElement:
+        """Register a processing element; names must be unique."""
+        if pe.name in self._pes:
+            raise ValueError(f"duplicate PE {pe.name!r}")
+        self._pes[pe.name] = pe
+        return pe
+
+    @property
+    def pes(self) -> list[ProcessingElement]:
+        """All processing elements, in insertion order."""
+        return list(self._pes.values())
+
+    def pe(self, name: str) -> ProcessingElement:
+        """Look up a PE by name."""
+        return self._pes[name]
+
+    def pe_names(self) -> list[str]:
+        """Names of all PEs."""
+        return list(self._pes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pes
+
+    def __len__(self) -> int:
+        return len(self._pes)
+
+    def total_idle_power(self) -> float:
+        """Sum of PE idle powers — the platform's floor power draw."""
+        return sum(pe.idle_power for pe in self._pes.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform({self.name!r}, pes={len(self._pes)}, "
+            f"interconnect={type(self.interconnect).__name__})"
+        )

@@ -1,0 +1,85 @@
+"""Design constraints: the non-QoS side of "satisfying an imposed set of
+design constraints (e.g. minimum power dissipation, maximum performance)".
+
+Where :class:`~repro.core.qos.QoSSpec` bounds stream-level metrics,
+:class:`DesignConstraints` bounds system-level budget figures: power,
+energy per run, silicon cost and design effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DesignConstraints", "ConstraintViolation"]
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One violated design constraint."""
+
+    name: str
+    measured: float
+    bound: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: measured {self.measured:.6g} exceeds "
+            f"bound {self.bound:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """Budget bounds for a design point; ``None`` means unconstrained.
+
+    Parameters
+    ----------
+    max_average_power:
+        Average power budget in watts (battery-driven designs, §1).
+    max_energy:
+        Energy budget per evaluation horizon in joules.
+    max_gate_count:
+        Silicon budget in gates (the §3.1 voice-recognition system fits
+        in 200k gates).
+    max_cost:
+        Monetary cost budget in arbitrary units (§1: devices "have to be
+        affordable").
+    """
+
+    max_average_power: float | None = None
+    max_energy: float | None = None
+    max_gate_count: float | None = None
+    max_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        for label in ("max_average_power", "max_energy", "max_gate_count",
+                      "max_cost"):
+            value = getattr(self, label)
+            if value is not None and value <= 0:
+                raise ValueError(f"{label} must be positive")
+
+    def check(self, metrics: dict[str, float]) -> list[ConstraintViolation]:
+        """Return violations given measured ``metrics``.
+
+        Recognized metric keys: ``average_power`` (W), ``energy`` (J),
+        ``gate_count`` (gates), ``cost``.  Missing keys are treated as
+        unmeasured and not checked.
+        """
+        bounds = {
+            "average_power": self.max_average_power,
+            "energy": self.max_energy,
+            "gate_count": self.max_gate_count,
+            "cost": self.max_cost,
+        }
+        violations = []
+        for key, bound in bounds.items():
+            if bound is None or key not in metrics:
+                continue
+            measured = metrics[key]
+            if measured > bound:
+                violations.append(ConstraintViolation(key, measured, bound))
+        return violations
+
+    def satisfied_by(self, metrics: dict[str, float]) -> bool:
+        """True when ``metrics`` meets every bound."""
+        return not self.check(metrics)

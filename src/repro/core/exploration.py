@@ -1,0 +1,322 @@
+"""Design-space exploration: enumerating mappings and Pareto fronts.
+
+"The overall goal of successful design is then to find the best mapping of
+the target multimedia application onto the architectural resources, while
+satisfying an imposed set of design constraints" (abstract).  This module
+supplies the search machinery: mapping enumerators, random/greedy/
+exhaustive explorers and multi-objective Pareto utilities.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.application import ApplicationGraph
+from repro.core.architecture import Platform
+from repro.core.evaluation import (
+    AnalyticalEvaluator,
+    EvaluationResult,
+    SimulationEvaluator,
+)
+from repro.core.mapping import Mapping
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "DesignPoint",
+    "pareto_front",
+    "dominates",
+    "all_mappings",
+    "random_mappings",
+    "ExplorationReport",
+    "MappingExplorer",
+    "GuidedMappingSearch",
+]
+
+
+@dataclass
+class DesignPoint:
+    """A candidate design: a mapping plus its evaluated objectives.
+
+    ``objectives`` maps objective name to value; all objectives are
+    minimized (negate throughput-like metrics before storing).
+    """
+
+    mapping: Mapping
+    objectives: dict[str, float]
+    result: EvaluationResult | None = None
+
+    def vector(self, names: Sequence[str]) -> tuple[float, ...]:
+        """Objective values in the order of ``names``."""
+        return tuple(self.objectives[n] for n in names)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (minimization)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors differ in length")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    points: Iterable[DesignPoint], objectives: Sequence[str]
+) -> list[DesignPoint]:
+    """Return the non-dominated subset of ``points``.
+
+    Ties (identical vectors) keep the first occurrence only, so the front
+    has no duplicates.
+    """
+    candidates = list(points)
+    front: list[DesignPoint] = []
+    seen_vectors: set[tuple[float, ...]] = set()
+    for point in candidates:
+        vector = point.vector(objectives)
+        if vector in seen_vectors:
+            continue
+        dominated = any(
+            dominates(other.vector(objectives), vector)
+            for other in candidates
+            if other is not point
+        )
+        if not dominated:
+            front.append(point)
+            seen_vectors.add(vector)
+    return front
+
+
+def all_mappings(
+    app: ApplicationGraph, platform: Platform
+) -> Iterable[Mapping]:
+    """Yield every total mapping (|PEs|^|processes| of them — small apps
+    only; the exhaustive baseline for validating heuristics)."""
+    names = [p.name for p in app.processes]
+    pes = platform.pe_names()
+    for combo in itertools.product(pes, repeat=len(names)):
+        yield Mapping(dict(zip(names, combo)))
+
+
+def random_mappings(
+    app: ApplicationGraph,
+    platform: Platform,
+    count: int,
+    seed: int = 0,
+) -> list[Mapping]:
+    """Sample ``count`` uniform random total mappings (with replacement)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = spawn_rng(seed, "random-mappings")
+    names = [p.name for p in app.processes]
+    pes = platform.pe_names()
+    mappings = []
+    for _ in range(count):
+        picks = rng.integers(0, len(pes), size=len(names))
+        mappings.append(
+            Mapping({n: pes[int(i)] for n, i in zip(names, picks)})
+        )
+    return mappings
+
+
+@dataclass
+class ExplorationReport:
+    """Everything an exploration produced."""
+
+    evaluated: list[DesignPoint] = field(default_factory=list)
+    front: list[DesignPoint] = field(default_factory=list)
+    objectives: tuple[str, ...] = ()
+
+    @property
+    def n_evaluated(self) -> int:
+        """Number of design points evaluated."""
+        return len(self.evaluated)
+
+    def best(self, objective: str) -> DesignPoint:
+        """The evaluated point minimizing a single objective."""
+        if not self.evaluated:
+            raise ValueError("no design points evaluated")
+        return min(self.evaluated, key=lambda p: p.objectives[objective])
+
+
+class MappingExplorer:
+    """Evaluate candidate mappings and keep the Pareto-optimal ones.
+
+    Parameters
+    ----------
+    app, platform:
+        The design problem.
+    objectives:
+        Metric names to minimize.  Metrics are read from
+        ``EvaluationResult.metrics`` first and then from the QoS report;
+        prefix a name with ``-`` to maximize it instead
+        (e.g. ``-throughput``).
+    evaluator_factory:
+        Builds an evaluator for a mapping; defaults to a
+        :class:`SimulationEvaluator` with deterministic sources.
+    horizon:
+        Simulation horizon per candidate, seconds.
+    """
+
+    def __init__(
+        self,
+        app: ApplicationGraph,
+        platform: Platform,
+        objectives: Sequence[str] = ("average_power", "mean_latency"),
+        evaluator_factory: Callable[[Mapping], SimulationEvaluator]
+        | None = None,
+        horizon: float = 10.0,
+        seed: int = 0,
+    ):
+        self.app = app
+        self.platform = platform
+        self.objectives = tuple(objectives)
+        self.horizon = horizon
+        self.seed = seed
+        self._factory = evaluator_factory or (
+            lambda mapping: SimulationEvaluator(
+                app, platform, mapping, seed=seed
+            )
+        )
+
+    def _extract(self, result: EvaluationResult, name: str) -> float:
+        maximize = name.startswith("-")
+        key = name[1:] if maximize else name
+        if key in result.metrics:
+            value = result.metrics[key]
+        else:
+            value = result.qos.as_dict()[key]
+        return -value if maximize else value
+
+    def evaluate(self, mapping: Mapping) -> DesignPoint:
+        """Evaluate one mapping into a :class:`DesignPoint`."""
+        result = self._factory(mapping).evaluate(self.horizon)
+        objectives = {
+            name: self._extract(result, name) for name in self.objectives
+        }
+        return DesignPoint(mapping=mapping, objectives=objectives,
+                           result=result)
+
+    def explore(self, mappings: Iterable[Mapping]) -> ExplorationReport:
+        """Evaluate every mapping in ``mappings`` and build the front."""
+        points = [self.evaluate(m) for m in mappings]
+        return ExplorationReport(
+            evaluated=points,
+            front=pareto_front(points, self.objectives),
+            objectives=self.objectives,
+        )
+
+
+class GuidedMappingSearch:
+    """Analysis-guided mapping search, simulation-confirmed (§2.2).
+
+    The paper's division of labour: "analytical tools that can quickly
+    derive power/performance estimates" steer the search through
+    thousands of candidates; "simulation is the method of choice" for
+    confirming the few finalists.  Concretely: simulated annealing over
+    the mapping space with an *analytical* objective, then a DES
+    evaluation of the best candidates.
+
+    Parameters
+    ----------
+    app, platform:
+        The design problem.
+    objective:
+        ``"average_power"`` or ``"mean_latency"`` — read from the
+        analytical evaluation during the search.
+    n_iterations:
+        Annealing steps (each costs one analytical solve, ~sub-ms).
+    confirm_top:
+        How many of the best distinct candidates get the full
+        simulation at the end.
+    """
+
+    def __init__(
+        self,
+        app: ApplicationGraph,
+        platform: Platform,
+        objective: str = "average_power",
+        n_iterations: int = 2_000,
+        confirm_top: int = 3,
+        horizon: float = 10.0,
+        seed: int = 0,
+        cooling: float = 0.995,
+    ):
+        if objective not in ("average_power", "mean_latency"):
+            raise ValueError(
+                "objective must be average_power or mean_latency"
+            )
+        if n_iterations < 1 or confirm_top < 1:
+            raise ValueError("iterations and confirm_top must be >= 1")
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must lie in (0, 1)")
+        app.validate()
+        self.app = app
+        self.platform = platform
+        self.objective = objective
+        self.n_iterations = n_iterations
+        self.confirm_top = confirm_top
+        self.horizon = horizon
+        self.seed = seed
+        self.cooling = cooling
+
+    def _analytical_cost(self, mapping: Mapping) -> float:
+        evaluator = AnalyticalEvaluator(self.app, self.platform,
+                                        mapping)
+        utils = evaluator.pe_utilizations()
+        if any(u >= 1.0 for u in utils.values()):
+            return math.inf  # overloaded: infeasible region
+        result = evaluator.evaluate()
+        if self.objective == "average_power":
+            return result.metrics["average_power"]
+        return result.qos.mean_latency
+
+    def search(self) -> ExplorationReport:
+        """Run the guided search; the report's ``evaluated`` points are
+        the simulation-confirmed finalists."""
+        rng = spawn_rng(self.seed, "guided-search")
+        names = [p.name for p in self.app.processes]
+        pes = self.platform.pe_names()
+
+        assignment = {
+            name: pes[int(rng.integers(0, len(pes)))] for name in names
+        }
+        current_cost = self._analytical_cost(Mapping(assignment))
+        best_candidates: dict[Mapping, float] = {}
+        temperature = max(abs(current_cost), 1.0) * 0.1 \
+            if math.isfinite(current_cost) else 1.0
+
+        for _ in range(self.n_iterations):
+            name = names[int(rng.integers(0, len(names)))]
+            new_pe = pes[int(rng.integers(0, len(pes)))]
+            if assignment[name] == new_pe:
+                continue
+            old_pe = assignment[name]
+            assignment[name] = new_pe
+            candidate = Mapping(assignment)
+            cost = self._analytical_cost(candidate)
+            delta = cost - current_cost
+            accept = (
+                delta <= 0
+                or (math.isfinite(delta) and rng.random()
+                    < math.exp(-delta / max(temperature, 1e-30)))
+            )
+            if accept:
+                current_cost = cost
+                if math.isfinite(cost):
+                    incumbent = best_candidates.get(candidate)
+                    if incumbent is None or cost < incumbent:
+                        best_candidates[candidate] = cost
+            else:
+                assignment[name] = old_pe
+            temperature *= self.cooling
+
+        finalists = sorted(best_candidates,
+                           key=best_candidates.get)[:self.confirm_top]
+        explorer = MappingExplorer(
+            self.app, self.platform,
+            objectives=("average_power", "mean_latency"),
+            horizon=self.horizon, seed=self.seed,
+        )
+        return explorer.explore(finalists)

@@ -1,0 +1,145 @@
+"""Mapping an application onto an architecture.
+
+"Simply speaking, designing a multimedia system consists of mapping the
+target application onto a given implementation architecture" (§2).  A
+:class:`Mapping` binds every process of an :class:`ApplicationGraph` (or
+every task of a :class:`TaskGraph`) to a processing element, and knows how
+to price the communication that the binding induces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping as TMapping
+
+from repro.core.application import ApplicationGraph, TaskGraph
+from repro.core.architecture import Platform
+
+__all__ = ["Mapping"]
+
+
+class Mapping:
+    """An assignment of application processes/tasks to platform PEs.
+
+    Parameters
+    ----------
+    assignment:
+        Dict from process/task name to PE name.
+
+    Examples
+    --------
+    >>> from repro.core.architecture import Platform, ProcessingElement
+    >>> platform = Platform()
+    >>> _ = platform.add_pe(ProcessingElement("cpu0"))
+    >>> m = Mapping({"enc": "cpu0", "dec": "cpu0"})
+    >>> m.pe_of("enc")
+    'cpu0'
+    """
+
+    def __init__(self, assignment: TMapping[str, str]):
+        self._assignment = dict(assignment)
+
+    @property
+    def assignment(self) -> dict[str, str]:
+        """Copy of the process-to-PE assignment."""
+        return dict(self._assignment)
+
+    def pe_of(self, process: str) -> str:
+        """PE a process is mapped to."""
+        return self._assignment[process]
+
+    def processes_on(self, pe: str) -> list[str]:
+        """Processes mapped to PE ``pe``, in insertion order."""
+        return [p for p, target in self._assignment.items() if target == pe]
+
+    def used_pes(self) -> set[str]:
+        """PEs that host at least one process."""
+        return set(self._assignment.values())
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, process: str) -> bool:
+        return process in self._assignment
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignment.items()))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        app: ApplicationGraph | TaskGraph,
+        platform: Platform,
+    ) -> None:
+        """Raise ``ValueError`` unless the mapping is total and well-formed.
+
+        Every process of ``app`` must be mapped, every target PE must
+        exist on ``platform`` and no unknown process may appear.
+        """
+        if isinstance(app, ApplicationGraph):
+            expected = {p.name for p in app.processes}
+        else:
+            expected = {t.name for t in app.tasks}
+        mapped = set(self._assignment)
+        missing = expected - mapped
+        if missing:
+            raise ValueError(f"unmapped processes: {sorted(missing)}")
+        unknown = mapped - expected
+        if unknown:
+            raise ValueError(f"unknown processes in mapping: "
+                             f"{sorted(unknown)}")
+        bad_pes = {
+            pe for pe in self._assignment.values() if pe not in platform
+        }
+        if bad_pes:
+            raise ValueError(f"unknown PEs in mapping: {sorted(bad_pes)}")
+
+    # ------------------------------------------------------------------
+    # Induced communication
+    # ------------------------------------------------------------------
+    def remote_edges(
+        self, app: ApplicationGraph | TaskGraph
+    ) -> Iterable[tuple[str, str, float]]:
+        """Yield ``(src_pe, dst_pe, bits)`` for every cross-PE edge.
+
+        Edges between processes on the same PE are free (local memory)
+        and skipped; this is the §3.3 guidance to "provide as many local
+        memories as possible".
+        """
+        if isinstance(app, ApplicationGraph):
+            edges = [
+                (c.src, c.dst, c.bits_per_token) for c in app.channels
+            ]
+        else:
+            edges = [(d.src, d.dst, d.bits) for d in app.dependencies]
+        for src, dst, bits in edges:
+            src_pe = self._assignment[src]
+            dst_pe = self._assignment[dst]
+            if src_pe != dst_pe and bits > 0:
+                yield src_pe, dst_pe, bits
+
+    def communication_energy(
+        self,
+        app: ApplicationGraph | TaskGraph,
+        platform: Platform,
+    ) -> float:
+        """Joules per graph iteration spent on cross-PE communication."""
+        return sum(
+            platform.interconnect.transfer_energy(src_pe, dst_pe, bits)
+            for src_pe, dst_pe, bits in self.remote_edges(app)
+        )
+
+    def communication_bits(
+        self, app: ApplicationGraph | TaskGraph
+    ) -> float:
+        """Bits per graph iteration crossing PE boundaries."""
+        return sum(bits for _, _, bits in self.remote_edges(app))
+
+    def __repr__(self) -> str:
+        return f"Mapping({self._assignment!r})"

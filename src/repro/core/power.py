@@ -1,0 +1,248 @@
+"""Power and energy models: DVFS operating points and power-state machines.
+
+Section 4 of the paper: "The computation energy is usually a strong
+function of the CPU clock frequency of the multimedia system, which may be
+varied by using methods such as dynamic voltage and frequency scaling
+(DVFS)."  The models here are shared by the streaming client (§4.1), the
+scheduling experiments (§3.3) and the core evaluator.
+
+Dynamic power follows the classical CMOS model ``P = C_eff · V² · f``;
+energy for a computation of ``n`` cycles at operating point ``(V, f)`` is
+``P · n / f``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "OperatingPoint",
+    "DvfsModel",
+    "XSCALE_POINTS",
+    "xscale_dvfs",
+    "PowerState",
+    "PowerStateMachine",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (voltage, frequency) pair a processor can run at.
+
+    Parameters
+    ----------
+    voltage:
+        Supply voltage in volts.
+    frequency:
+        Clock frequency in hertz.
+    """
+
+    voltage: float
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0 or self.frequency <= 0:
+            raise ValueError("voltage and frequency must be positive")
+
+
+#: Operating points modeled on the Intel XScale PXA255-class processors
+#: used by the testbed in [28] (V, Hz).
+XSCALE_POINTS = (
+    OperatingPoint(0.85, 100e6),
+    OperatingPoint(1.0, 200e6),
+    OperatingPoint(1.1, 300e6),
+    OperatingPoint(1.3, 400e6),
+    OperatingPoint(1.5, 500e6),
+)
+
+
+class DvfsModel:
+    """Dynamic voltage and frequency scaling power/energy model.
+
+    Parameters
+    ----------
+    points:
+        Available operating points (sorted internally by frequency).
+    ceff:
+        Effective switched capacitance in farads.
+    idle_power:
+        Power drawn when the processor is idle at any point, in watts
+        (leakage plus clock tree; assumed point-independent for
+        simplicity).
+
+    Examples
+    --------
+    >>> model = xscale_dvfs()
+    >>> fast = model.fastest()
+    >>> slow = model.slowest()
+    >>> model.energy(1e6, slow) < model.energy(1e6, fast)
+    True
+    """
+
+    def __init__(
+        self,
+        points: tuple[OperatingPoint, ...] = XSCALE_POINTS,
+        ceff: float = 1.0e-9,
+        idle_power: float = 0.02,
+    ):
+        if not points:
+            raise ValueError("at least one operating point required")
+        if ceff <= 0:
+            raise ValueError("ceff must be positive")
+        if idle_power < 0:
+            raise ValueError("idle_power must be non-negative")
+        self.points = tuple(sorted(points, key=lambda p: p.frequency))
+        self.ceff = ceff
+        self.idle_power = idle_power
+
+    def fastest(self) -> OperatingPoint:
+        """Highest-frequency operating point."""
+        return self.points[-1]
+
+    def slowest(self) -> OperatingPoint:
+        """Lowest-frequency operating point."""
+        return self.points[0]
+
+    def power(self, point: OperatingPoint) -> float:
+        """Active dynamic power at ``point``, in watts."""
+        return self.ceff * point.voltage**2 * point.frequency
+
+    def energy(self, cycles: float, point: OperatingPoint) -> float:
+        """Energy to execute ``cycles`` at ``point``, in joules."""
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        return self.power(point) * cycles / point.frequency
+
+    def execution_time(self, cycles: float, point: OperatingPoint) -> float:
+        """Wall time to execute ``cycles`` at ``point``, in seconds."""
+        if cycles < 0:
+            raise ValueError("negative cycle count")
+        return cycles / point.frequency
+
+    def idle_energy(self, duration: float) -> float:
+        """Energy drawn while idle for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError("negative duration")
+        return self.idle_power * duration
+
+    def slowest_point_meeting(
+        self, cycles: float, deadline: float
+    ) -> OperatingPoint | None:
+        """Lowest-energy point that finishes ``cycles`` within ``deadline``.
+
+        Returns ``None`` when even the fastest point misses the deadline.
+        This is the primitive behind slack reclamation (§3.3) and the
+        client DVFS policy (§4.1): because energy scales with V², the
+        slowest sufficient point is also the cheapest.
+        """
+        if deadline <= 0:
+            return None
+        for point in self.points:  # ascending frequency
+            if cycles / point.frequency <= deadline:
+                return point
+        return None
+
+    def utilization_point(self, load: float) -> OperatingPoint:
+        """Point whose frequency is the smallest with ``f >= load·f_max``.
+
+        ``load`` is a fraction of the maximum frequency demand (the
+        "normalized decoding load" of §4.1, clamped to [0, 1]).
+        """
+        load = min(max(load, 0.0), 1.0)
+        target = load * self.fastest().frequency
+        for point in self.points:
+            if point.frequency >= target - 1e-9:
+                return point
+        return self.fastest()
+
+
+def xscale_dvfs() -> DvfsModel:
+    """A ready-made XScale-like DVFS model (testbed of [28])."""
+    return DvfsModel(points=XSCALE_POINTS, ceff=1.2e-9, idle_power=0.04)
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """One state of a dynamic power manager (active/idle/sleep).
+
+    Parameters
+    ----------
+    name:
+        State label.
+    power:
+        Power drawn while in the state, in watts.
+    wakeup_latency:
+        Seconds needed to return to the active state.
+    wakeup_energy:
+        Energy cost of the transition back to active, in joules.
+    """
+
+    name: str
+    power: float
+    wakeup_latency: float = 0.0
+    wakeup_energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.power < 0 or self.wakeup_latency < 0 or self.wakeup_energy < 0:
+            raise ValueError("power-state parameters must be non-negative")
+
+
+class PowerStateMachine:
+    """Energy accounting across power states (a simple DPM substrate).
+
+    The machine starts in its first state; :meth:`enter` switches states,
+    charging wake-up energy when moving to a higher-power state, and
+    :meth:`energy` integrates consumption over the visited timeline.
+    """
+
+    def __init__(self, states: list[PowerState]):
+        if not states:
+            raise ValueError("at least one power state required")
+        names = [s.name for s in states]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate power-state names")
+        self.states = {s.name: s for s in states}
+        self._current = states[0]
+        self._last_switch = 0.0
+        self._energy = 0.0
+
+    @property
+    def current(self) -> PowerState:
+        """State the machine is currently in."""
+        return self._current
+
+    def enter(self, name: str, time: float) -> None:
+        """Switch to state ``name`` at ``time``."""
+        if name not in self.states:
+            raise KeyError(f"unknown power state {name!r}")
+        if time < self._last_switch:
+            raise ValueError("time went backwards")
+        target = self.states[name]
+        self._energy += self._current.power * (time - self._last_switch)
+        if target.power > self._current.power:
+            # Waking into a higher-power state costs transition energy.
+            self._energy += self._current.wakeup_energy
+        self._current = target
+        self._last_switch = time
+
+    def energy(self, at_time: float) -> float:
+        """Total energy consumed up to ``at_time``, in joules."""
+        if at_time < self._last_switch:
+            raise ValueError("time went backwards")
+        return self._energy + self._current.power * (
+            at_time - self._last_switch
+        )
+
+    def break_even_time(self, sleep_state: str) -> float:
+        """Idle time above which entering ``sleep_state`` saves energy.
+
+        The classical DPM break-even: sleeping for ``t`` saves
+        ``(P_active_idle − P_sleep)·t`` but costs the wake-up energy.
+        """
+        sleep = self.states[sleep_state]
+        active = self._current
+        saved_per_second = active.power - sleep.power
+        if saved_per_second <= 0:
+            return math.inf
+        return sleep.wakeup_energy / saved_per_second

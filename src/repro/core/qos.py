@@ -1,0 +1,152 @@
+"""Quality-of-Service specification and measurement.
+
+Section 2: "Quality of Service (QoS) ... embraces all the non-functional
+properties of a system" and "QoS requirements vary considerably from one
+media type to another": video wants throughput and tolerates jitter/loss;
+audio wants low jitter and low loss at modest bandwidth.
+
+:class:`QoSSpec` states requirements, :class:`QoSReport` holds measured
+values, and :meth:`QoSSpec.check` produces the list of violations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.application import MediaType
+
+__all__ = ["QoSSpec", "QoSReport", "QoSViolation", "default_spec_for"]
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """Required quality of service for a stream or application.
+
+    All bounds are optional; ``None`` means "don't care".  Latency and
+    jitter in seconds, loss rate as a fraction, throughput in tokens per
+    second, deadline-miss rate as a fraction (multimedia deadlines are
+    soft — §2.1 allows "a small percentage of missed deadlines").
+    """
+
+    max_latency: float | None = None
+    max_jitter: float | None = None
+    max_loss_rate: float | None = None
+    min_throughput: float | None = None
+    max_deadline_miss_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        for label in ("max_latency", "max_jitter", "max_loss_rate",
+                      "min_throughput", "max_deadline_miss_rate"):
+            value = getattr(self, label)
+            if value is not None and value < 0:
+                raise ValueError(f"{label} must be non-negative")
+
+    def check(self, report: "QoSReport") -> list["QoSViolation"]:
+        """Return the violations of this spec in ``report`` (empty = OK)."""
+        violations = []
+
+        def exceeded(label: str, measured: float, bound: float) -> None:
+            violations.append(QoSViolation(label, measured, bound))
+
+        if self.max_latency is not None and (
+                report.mean_latency > self.max_latency):
+            exceeded("latency", report.mean_latency, self.max_latency)
+        if self.max_jitter is not None and report.jitter > self.max_jitter:
+            exceeded("jitter", report.jitter, self.max_jitter)
+        if self.max_loss_rate is not None and (
+                report.loss_rate > self.max_loss_rate):
+            exceeded("loss_rate", report.loss_rate, self.max_loss_rate)
+        if self.min_throughput is not None and (
+                report.throughput < self.min_throughput):
+            exceeded("throughput", report.throughput, self.min_throughput)
+        if self.max_deadline_miss_rate is not None and (
+                report.deadline_miss_rate > self.max_deadline_miss_rate):
+            exceeded(
+                "deadline_miss_rate",
+                report.deadline_miss_rate,
+                self.max_deadline_miss_rate,
+            )
+        return violations
+
+    def satisfied_by(self, report: "QoSReport") -> bool:
+        """True when ``report`` meets every bound of this spec."""
+        return not self.check(report)
+
+
+@dataclass(frozen=True)
+class QoSViolation:
+    """One violated QoS bound: which metric, measured vs. required."""
+
+    metric: str
+    measured: float
+    bound: float
+
+    def __str__(self) -> str:
+        direction = ">" if self.metric != "throughput" else "<"
+        return (
+            f"{self.metric}: measured {self.measured:.6g} "
+            f"{direction} bound {self.bound:.6g}"
+        )
+
+
+@dataclass
+class QoSReport:
+    """Measured end-to-end QoS of one evaluation run.
+
+    Attributes
+    ----------
+    mean_latency, p99_latency:
+        End-to-end token latency statistics, seconds.
+    jitter:
+        Standard deviation of end-to-end latency, seconds.
+    loss_rate:
+        Fraction of source tokens that never reached a sink.
+    throughput:
+        Tokens delivered to sinks per second.
+    deadline_miss_rate:
+        Fraction of delivered tokens late against their deadline
+        (NaN when no deadline was tracked).
+    """
+
+    mean_latency: float = math.nan
+    p99_latency: float = math.nan
+    jitter: float = math.nan
+    loss_rate: float = 0.0
+    throughput: float = 0.0
+    deadline_miss_rate: float = math.nan
+
+    def as_dict(self) -> dict[str, float]:
+        """Report as a plain metric dict (for tables/serialization)."""
+        return {
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.p99_latency,
+            "jitter": self.jitter,
+            "loss_rate": self.loss_rate,
+            "throughput": self.throughput,
+            "deadline_miss_rate": self.deadline_miss_rate,
+        }
+
+
+def default_spec_for(media: MediaType, rate_hz: float = 30.0) -> QoSSpec:
+    """A sensible default QoS spec for each media class (§2).
+
+    Video: throughput-driven, tolerant of jitter and loss.
+    Audio: tight jitter and loss bounds at modest throughput.
+    Control/text/graphics: latency-bound only.
+    """
+    if media is MediaType.VIDEO:
+        return QoSSpec(
+            max_latency=0.5,
+            max_jitter=0.050,
+            max_loss_rate=0.02,
+            min_throughput=0.95 * rate_hz,
+        )
+    if media is MediaType.AUDIO:
+        return QoSSpec(
+            max_latency=0.2,
+            max_jitter=0.005,
+            max_loss_rate=0.001,
+            min_throughput=0.99 * rate_hz,
+        )
+    return QoSSpec(max_latency=0.1)

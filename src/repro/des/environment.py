@@ -1,0 +1,157 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count
+from typing import Any, Iterable
+
+from repro.des.events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+__all__ = ["Environment", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised when ``run(until=event)`` drains the queue before the event."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in model units (the models in this repository use
+    seconds unless stated otherwise).  Events scheduled at equal times are
+    ordered by priority, then insertion order, which makes every run with
+    the same seed exactly reproducible.
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def pinger(env, log):
+    ...     while env.now < 3:
+    ...         yield env.timeout(1)
+    ...         log.append(env.now)
+    >>> log = []
+    >>> _ = env.process(pinger(env, log))
+    >>> env.run(until=10)
+    >>> log
+    [1.0, 2.0, 3.0]
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event creation
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and stepping
+    # ------------------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` for processing ``delay`` units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._seq), event),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else math.inf
+
+    def step(self) -> None:
+        """Process exactly one event (the earliest scheduled one)."""
+        if not self._queue:
+            raise EmptySchedule("no more events")
+        event_time, _, _, event = heapq.heappop(self._queue)
+        self._now = event_time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue is exhausted.
+            * a number — process every event scheduled at or before that
+              time, then set the clock to it.
+            * an :class:`~repro.des.events.Event` — run until that event
+              has been processed and return its value.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            if until.processed:
+                return until.value
+            while self._queue:
+                self.step()
+                if until.processed:
+                    return until.value
+            raise EmptySchedule(
+                "event queue drained before the target event triggered"
+            )
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run until {horizon}, clock already at {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:
+        return f"Environment(now={self._now}, pending={len(self._queue)})"

@@ -1,0 +1,114 @@
+"""Measurement probes for simulation models.
+
+:class:`Monitor` extends the plain observation accumulator with optional
+trace recording stamped with simulation time; :class:`LevelMonitor` tracks
+a piecewise-constant level (queue length, power state) against the
+environment clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.utils.stats import SummaryStats, TimeWeightedStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+__all__ = ["Monitor", "LevelMonitor"]
+
+
+class Monitor(SummaryStats):
+    """Observation accumulator bound to a simulation clock.
+
+    Parameters
+    ----------
+    env:
+        Environment whose clock stamps traced observations.
+    name:
+        Label used in reports.
+    trace:
+        When true, every ``(time, value)`` pair is retained in
+        :attr:`series` — handy for plots and debugging, expensive for
+        long runs.
+    """
+
+    def __init__(self, env: "Environment", name: str = "",
+                 trace: bool = False):
+        super().__init__(name=name)
+        self.env = env
+        self.trace = trace
+        self.series: list[tuple[float, float]] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation at the current simulation time."""
+        self.add(value)
+        if self.trace:
+            self.series.append((self.env.now, float(value)))
+
+
+class LevelMonitor:
+    """Tracks a level signal against the environment clock.
+
+    Examples
+    --------
+    >>> from repro.des import Environment
+    >>> env = Environment()
+    >>> lvl = LevelMonitor(env, initial=0)
+    >>> def proc(env, lvl):
+    ...     yield env.timeout(2)
+    ...     lvl.set(10)
+    ...     yield env.timeout(2)
+    ...     lvl.set(0)
+    >>> _ = env.process(proc(env, lvl))
+    >>> env.run()
+    >>> lvl.mean()
+    5.0
+    """
+
+    def __init__(self, env: "Environment", initial: float = 0.0,
+                 name: str = ""):
+        self.env = env
+        self.name = name
+        self._stats = TimeWeightedStats(
+            start_time=env.now, initial=initial, name=name
+        )
+
+    @property
+    def current(self) -> float:
+        """Current level."""
+        return self._stats.current
+
+    def set(self, value: float) -> None:
+        """Level changes to ``value`` now."""
+        self._stats.record(self.env.now, value)
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Level rises by ``amount`` now."""
+        self.set(self._stats.current + amount)
+
+    def decrement(self, amount: float = 1.0) -> None:
+        """Level falls by ``amount`` now."""
+        self.set(self._stats.current - amount)
+
+    def mean(self, at_time: float | None = None) -> float:
+        """Time-average of the level (defaults to the current clock)."""
+        if at_time is None:
+            at_time = self.env.now
+        return self._stats.mean(at_time)
+
+    def variance(self, at_time: float | None = None) -> float:
+        """Time-weighted variance of the level."""
+        if at_time is None:
+            at_time = self.env.now
+        return self._stats.variance(at_time)
+
+    @property
+    def maximum(self) -> float:
+        """Largest level seen so far."""
+        return self._stats.maximum
+
+    @property
+    def minimum(self) -> float:
+        """Smallest level seen so far."""
+        return self._stats.minimum

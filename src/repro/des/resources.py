@@ -1,0 +1,159 @@
+"""Shared, limited-capacity resources (servers, CPUs, links).
+
+A :class:`Resource` is what a scheduler process contends for: requests are
+granted in FIFO (or priority) order up to the resource capacity, and the
+request object doubles as a context manager so model code reads:
+
+>>> from repro.des import Environment, Resource
+>>> env = Environment()
+>>> cpu = Resource(env, capacity=1)
+>>> def job(env, cpu, log, name):
+...     with cpu.request() as req:
+...         yield req
+...         yield env.timeout(2)
+...         log.append((name, env.now))
+>>> log = []
+>>> _ = env.process(job(env, cpu, log, 'a'))
+>>> _ = env.process(job(env, cpu, log, 'b'))
+>>> env.run()
+>>> log
+[('a', 2.0), ('b', 4.0)]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+__all__ = ["Request", "Resource", "PriorityRequest", "PriorityResource"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.resource.release(self)
+        return False
+
+
+class Resource:
+    """A FIFO resource with integer capacity.
+
+    Attributes
+    ----------
+    users:
+        Requests currently holding the resource.
+    queue:
+        Requests waiting to be granted.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Return a request event; yield it to wait for the grant."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Give the resource back (or cancel a waiting request)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        elif request in self.queue:
+            self.queue.remove(request)
+        # Releasing an already-released request is a no-op so that the
+        # with-statement exit stays safe after interrupts.
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.pop(0)
+            self.users.append(request)
+            request.succeed()
+
+
+class PriorityRequest(Request):
+    """A request with a priority (lower value = more urgent)."""
+
+    def __init__(self, resource: "PriorityResource", priority: float = 0.0):
+        self.priority = float(priority)
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """A resource whose waiting queue is ordered by request priority.
+
+    Ties are broken by arrival order.  No preemption: a grant is never
+    revoked.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list[tuple[float, int, PriorityRequest]] = []
+        self._order = count()
+
+    def request(self, priority: float = 0.0) -> PriorityRequest:
+        """Return a prioritized request event."""
+        return PriorityRequest(self, priority)
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            # Lazy removal from the heap: mark by filtering on grant.
+            self._heap = [
+                entry for entry in self._heap if entry[2] is not request
+            ]
+            heapq.heapify(self._heap)
+
+    def _enqueue(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        heapq.heappush(
+            self._heap, (request.priority, next(self._order), request)
+        )
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _, _, request = heapq.heappop(self._heap)
+            self.users.append(request)
+            request.succeed()
+
+    @property
+    def queue(self) -> list[Request]:  # type: ignore[override]
+        """Waiting requests in grant order."""
+        return [entry[2] for entry in sorted(self._heap)]
+
+    @queue.setter
+    def queue(self, value) -> None:
+        # Base-class __init__ assigns an empty list; accept and ignore it.
+        if value:
+            raise TypeError("queue of a PriorityResource is derived")

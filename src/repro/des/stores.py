@@ -1,0 +1,168 @@
+"""Buffers and queues: the communication substrate of stream models.
+
+The paper's Fig.1 models every inter-process link as a finite-length queue
+("dedicated buffers that behave like finite-length queues").  Two flavours
+are provided:
+
+* :class:`Store` — blocking put/get with optional capacity; producers that
+  ``yield store.put(item)`` stall when the buffer is full (back-pressure).
+* :class:`FiniteQueue` — a :class:`Store` with a non-blocking ``offer``
+  that *drops* when full (loss systems such as Rx buffers behind a lossy
+  channel) and built-in occupancy/drop accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any
+
+from repro.des.events import Event
+from repro.utils.stats import TimeWeightedStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+__all__ = ["StorePut", "StoreGet", "Store", "FiniteQueue"]
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._register_put(self)
+
+
+class StoreGet(Event):
+    """Pending retrieval of an item from a store."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._register_get(self)
+
+
+class Store:
+    """FIFO item buffer with blocking put/get semantics.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Maximum number of buffered items; ``math.inf`` for unbounded.
+
+    Examples
+    --------
+    >>> from repro.des import Environment, Store
+    >>> env = Environment()
+    >>> buf = Store(env, capacity=1)
+    >>> def producer(env, buf):
+    ...     for i in range(3):
+    ...         yield buf.put(i)
+    >>> def consumer(env, buf, out):
+    ...     for _ in range(3):
+    ...         item = yield buf.get()
+    ...         out.append(item)
+    >>> out = []
+    >>> _ = env.process(producer(env, buf))
+    >>> _ = env.process(consumer(env, buf, out))
+    >>> env.run()
+    >>> out
+    [0, 1, 2]
+    """
+
+    def __init__(self, env: "Environment", capacity: float = math.inf):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_waiters: list[StorePut] = []
+        self._get_waiters: list[StoreGet] = []
+        #: Time-weighted occupancy, usable after the run for the average
+        #: buffer length the paper calls "very important ... utilization
+        #: over time".
+        self.occupancy = TimeWeightedStats(start_time=env.now, initial=0.0)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Event that succeeds once ``item`` has been buffered."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Event that succeeds with the oldest buffered item."""
+        return StoreGet(self)
+
+    # ------------------------------------------------------------------
+    # Internal matching of puts and gets
+    # ------------------------------------------------------------------
+    def _register_put(self, event: StorePut) -> None:
+        self._put_waiters.append(event)
+        self._dispatch()
+
+    def _register_get(self, event: StoreGet) -> None:
+        self._get_waiters.append(event)
+        self._dispatch()
+
+    def _record_level(self) -> None:
+        self.occupancy.record(self.env.now, len(self.items))
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters and len(self.items) < self.capacity:
+                put_event = self._put_waiters.pop(0)
+                self.items.append(put_event.item)
+                put_event.succeed()
+                progressed = True
+            while self._get_waiters and self.items:
+                get_event = self._get_waiters.pop(0)
+                get_event.succeed(self.items.pop(0))
+                progressed = True
+        self._record_level()
+
+
+class FiniteQueue(Store):
+    """A finite buffer that can also drop on overflow (loss system).
+
+    ``offer`` models the arrival of a packet at a full buffer: it either
+    enqueues immediately or drops, never blocks.  Blocking ``put``/``get``
+    remain available for back-pressured producers and consumers.
+
+    Attributes
+    ----------
+    n_offered, n_accepted, n_dropped:
+        Arrival accounting for the non-blocking path.
+    """
+
+    def __init__(self, env: "Environment", capacity: float):
+        if not math.isfinite(capacity):
+            raise ValueError("FiniteQueue requires a finite capacity")
+        super().__init__(env, capacity)
+        self.n_offered = 0
+        self.n_accepted = 0
+        self.n_dropped = 0
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue ``item`` if space allows; return False if dropped."""
+        self.n_offered += 1
+        if len(self.items) >= self.capacity and not self._get_waiters:
+            self.n_dropped += 1
+            return False
+        self.n_accepted += 1
+        self.items.append(item)
+        self._dispatch()
+        return True
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered items dropped (NaN before any offer)."""
+        if self.n_offered == 0:
+            return math.nan
+        return self.n_dropped / self.n_offered

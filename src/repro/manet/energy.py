@@ -1,0 +1,60 @@
+"""First-order radio energy model for ad-hoc nodes (§4.2).
+
+The classical sensor/MANET abstraction: transmitting k bits over
+distance d costs electronics energy plus amplifier energy growing as a
+power of distance; receiving costs electronics only.  Minimum-power
+routing protocols "traditionally ignore the power dissipated on the
+receiver side", so the model exposes TX and RX separately and lets the
+routing experiments choose what to count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RadioModel"]
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Energy figures of a short-range radio.
+
+    Parameters
+    ----------
+    elec_energy_per_bit:
+        TX/RX electronics, joules per bit.
+    amp_energy_per_bit_m2:
+        Amplifier coefficient ε, joules per bit per meter^exponent.
+    path_loss_exponent:
+        Distance exponent n (2 free-space, up to 4 indoors).
+    """
+
+    elec_energy_per_bit: float = 50e-9
+    amp_energy_per_bit_m2: float = 100e-12
+    path_loss_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.elec_energy_per_bit < 0 or self.amp_energy_per_bit_m2 < 0:
+            raise ValueError("energies must be non-negative")
+        if self.path_loss_exponent < 1.0:
+            raise ValueError("exponent must be >= 1")
+
+    def tx_energy(self, bits: float, distance: float) -> float:
+        """Transmit energy for ``bits`` over ``distance`` meters."""
+        if bits < 0 or distance < 0:
+            raise ValueError("bits and distance must be non-negative")
+        return bits * (
+            self.elec_energy_per_bit
+            + self.amp_energy_per_bit_m2
+            * distance**self.path_loss_exponent
+        )
+
+    def rx_energy(self, bits: float) -> float:
+        """Receive energy for ``bits``."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.elec_energy_per_bit
+
+    def hop_energy(self, bits: float, distance: float) -> float:
+        """TX plus RX for one hop — the true per-hop network cost."""
+        return self.tx_energy(bits, distance) + self.rx_energy(bits)

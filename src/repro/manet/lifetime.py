@@ -1,0 +1,162 @@
+"""Network-lifetime simulation (E9).
+
+"network lifetime ... may be defined as the duration of time after
+which a fixed percentage of multimedia hosts in the network 'die' as a
+result of energy exhaustion."  Sessions between random pairs are routed
+by the protocol under test and their energy drained along the route;
+the simulation tracks when nodes die, when the death-fraction threshold
+is crossed, and how many sessions were ever delivered.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.manet.network import ManetNetwork, random_network
+from repro.manet.routing import RoutingProtocol
+from repro.utils.rng import spawn_rng
+
+__all__ = ["LifetimeResult", "simulate_lifetime", "compare_protocols"]
+
+
+@dataclass
+class LifetimeResult:
+    """Outcome of one lifetime simulation."""
+
+    protocol: str
+    lifetime_sessions: int          # sessions until death threshold
+    first_death_session: int | None
+    delivered: int
+    failed: int
+    total_energy: float
+    alive_fraction_end: float
+    deaths_timeline: list[int] = field(default_factory=list)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered sessions over attempted."""
+        attempted = self.delivered + self.failed
+        return self.delivered / attempted if attempted else math.nan
+
+
+def simulate_lifetime(
+    protocol: RoutingProtocol,
+    network: ManetNetwork,
+    n_sessions: int = 20_000,
+    bits_per_session: float = 80_000.0,
+    death_fraction: float = 0.2,
+    seed: int = 0,
+    reroute_every: int = 1,
+) -> LifetimeResult:
+    """Drive random sessions until the death threshold or session cap.
+
+    Parameters
+    ----------
+    protocol:
+        Routing protocol under test.
+    network:
+        The (mutable) network; batteries drain in place.
+    n_sessions:
+        Upper bound on attempted sessions.
+    bits_per_session:
+        Data volume per session.
+    death_fraction:
+        Network is "dead" when this fraction of nodes has died.
+    reroute_every:
+        Sessions between route recomputations for a pair (1 = every
+        session, modeling perfectly fresh routing state).
+    """
+    if not 0.0 < death_fraction <= 1.0:
+        raise ValueError("death_fraction must lie in (0, 1]")
+    if n_sessions < 1 or bits_per_session <= 0:
+        raise ValueError("invalid session parameters")
+    rng = spawn_rng(seed, "manet-sessions")
+    node_ids = list(network.nodes)
+    n_nodes = len(node_ids)
+    threshold = math.ceil(death_fraction * n_nodes)
+
+    delivered = 0
+    failed = 0
+    total_energy = 0.0
+    deaths: list[int] = []
+    first_death: int | None = None
+    lifetime = n_sessions
+    route_cache: dict[tuple[int, int], tuple[list[int], int]] = {}
+
+    for session in range(1, n_sessions + 1):
+        alive_before = {
+            n.node_id for n in network.alive_nodes()
+        }
+        if len(node_ids) - len(alive_before) >= threshold:
+            lifetime = session - 1
+            break
+        src, dst = rng.choice(node_ids, size=2, replace=False)
+        src, dst = int(src), int(dst)
+        if src not in alive_before or dst not in alive_before:
+            failed += 1
+            continue
+
+        cached = route_cache.get((src, dst))
+        if cached is not None and session - cached[1] < reroute_every \
+                and all(network.node(n).alive for n in cached[0]):
+            route = cached[0]
+        else:
+            route = protocol.find_route(network, src, dst)
+            if route is not None:
+                route_cache[(src, dst)] = (route, session)
+        if route is None:
+            failed += 1
+            continue
+
+        energy = network.forward(route, bits_per_session)
+        if protocol.control_overhead > 0:
+            overhead = energy * protocol.control_overhead
+            per_node = overhead / len(route)
+            for node_id in route:
+                network.node(node_id).consume(per_node)
+            energy += overhead
+        total_energy += energy
+        delivered += 1
+
+        for node in network.alive_nodes():
+            node.end_window()
+
+        newly_dead = [
+            node_id for node_id in alive_before
+            if not network.node(node_id).alive
+        ]
+        if newly_dead:
+            deaths.extend([session] * len(newly_dead))
+            if first_death is None:
+                first_death = session
+    else:
+        lifetime = n_sessions
+
+    return LifetimeResult(
+        protocol=protocol.name,
+        lifetime_sessions=lifetime,
+        first_death_session=first_death,
+        delivered=delivered,
+        failed=failed,
+        total_energy=total_energy,
+        alive_fraction_end=network.alive_fraction(),
+        deaths_timeline=deaths,
+    )
+
+
+def compare_protocols(
+    protocols,
+    n_nodes: int = 40,
+    seed: int = 0,
+    **sim_kwargs,
+) -> dict[str, LifetimeResult]:
+    """Run each protocol on an identical fresh network copy."""
+    results: dict[str, LifetimeResult] = {}
+    for protocol_cls in protocols:
+        network = random_network(n_nodes=n_nodes, seed=seed)
+        protocol = protocol_cls()
+        results[protocol.name] = simulate_lifetime(
+            protocol, network, seed=seed + 1, **sim_kwargs
+        )
+    return results

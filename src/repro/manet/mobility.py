@@ -1,0 +1,45 @@
+"""Lightweight node mobility for MANET studies.
+
+Session-granular random-walk mobility: between sessions every alive
+node takes a bounded random step inside the deployment area.  Enough to
+exercise route re-discovery under churn without a full waypoint model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manet.network import ManetNetwork
+
+__all__ = ["RandomWalkMobility"]
+
+
+class RandomWalkMobility:
+    """Bounded random-walk mobility inside a square area.
+
+    Parameters
+    ----------
+    area:
+        Side length of the deployment square, meters.
+    max_step:
+        Maximum per-axis displacement per step, meters.
+    """
+
+    def __init__(self, area: float = 1_000.0, max_step: float = 20.0):
+        if area <= 0 or max_step < 0:
+            raise ValueError("area must be positive, step non-negative")
+        self.area = area
+        self.max_step = max_step
+
+    def step(self, network: ManetNetwork,
+             rng: np.random.Generator) -> None:
+        """Move every alive node one step, clamped to the area."""
+        for node in network.alive_nodes():
+            node.x = float(np.clip(
+                node.x + rng.uniform(-self.max_step, self.max_step),
+                0.0, self.area,
+            ))
+            node.y = float(np.clip(
+                node.y + rng.uniform(-self.max_step, self.max_step),
+                0.0, self.area,
+            ))

@@ -1,0 +1,123 @@
+"""The ad-hoc network: nodes, connectivity and session forwarding."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.manet.energy import RadioModel
+from repro.manet.node import ManetNode
+from repro.utils.rng import spawn_rng
+
+__all__ = ["ManetNetwork", "random_network"]
+
+
+class ManetNetwork:
+    """A set of nodes within radio range of each other.
+
+    Parameters
+    ----------
+    nodes:
+        The hosts.
+    radio:
+        Shared radio energy model.
+    tx_range:
+        Maximum link distance in meters.
+    """
+
+    def __init__(self, nodes: list[ManetNode],
+                 radio: RadioModel | None = None,
+                 tx_range: float = 250.0):
+        if not nodes:
+            raise ValueError("network needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids")
+        if tx_range <= 0:
+            raise ValueError("tx_range must be positive")
+        self.nodes = {n.node_id: n for n in nodes}
+        self.radio = radio or RadioModel()
+        self.tx_range = tx_range
+
+    def node(self, node_id: int) -> ManetNode:
+        """Look up a node."""
+        return self.nodes[node_id]
+
+    def alive_nodes(self) -> list[ManetNode]:
+        """Nodes with remaining battery."""
+        return [n for n in self.nodes.values() if n.alive]
+
+    def alive_fraction(self) -> float:
+        """Fraction of nodes still alive."""
+        return len(self.alive_nodes()) / len(self.nodes)
+
+    def connectivity_graph(self) -> nx.Graph:
+        """Undirected graph of links between alive nodes in range."""
+        graph = nx.Graph()
+        alive = self.alive_nodes()
+        graph.add_nodes_from(n.node_id for n in alive)
+        for i, a in enumerate(alive):
+            for b in alive[i + 1:]:
+                distance = a.distance_to(b)
+                if distance <= self.tx_range:
+                    graph.add_edge(a.node_id, b.node_id,
+                                   distance=distance)
+        return graph
+
+    def is_connected(self) -> bool:
+        """True when alive nodes form one component."""
+        graph = self.connectivity_graph()
+        if graph.number_of_nodes() <= 1:
+            return False
+        return nx.is_connected(graph)
+
+    def forward(self, route: list[int], bits: float,
+                count_rx: bool = True) -> float:
+        """Push ``bits`` along ``route``, draining batteries.
+
+        Returns the total energy spent.  Every hop charges the sender
+        the TX energy and (optionally) the receiver the RX energy.
+        """
+        if len(route) < 2:
+            raise ValueError("route needs at least two nodes")
+        total = 0.0
+        for src_id, dst_id in zip(route, route[1:]):
+            src = self.nodes[src_id]
+            dst = self.nodes[dst_id]
+            distance = src.distance_to(dst)
+            tx = self.radio.tx_energy(bits, distance)
+            src.consume(tx)
+            total += tx
+            if count_rx:
+                rx = self.radio.rx_energy(bits)
+                dst.consume(rx)
+                total += rx
+        return total
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def random_network(
+    n_nodes: int = 40,
+    area: float = 1_000.0,
+    battery: float = 2.0,
+    tx_range: float = 250.0,
+    radio: RadioModel | None = None,
+    seed: int = 0,
+) -> ManetNetwork:
+    """Uniformly scattered nodes over an ``area`` × ``area`` square."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    rng = spawn_rng(seed, "manet-topology")
+    nodes = [
+        ManetNode(
+            node_id=i,
+            x=float(rng.random() * area),
+            y=float(rng.random() * area),
+            battery=battery,
+        )
+        for i in range(n_nodes)
+    ]
+    return ManetNetwork(nodes, radio=radio, tx_range=tx_range)

@@ -1,0 +1,87 @@
+"""MANET nodes: position, battery and drain-rate bookkeeping.
+
+"In MANETs, every multimedia host has to perform the functions of a
+router.  So if some hosts die early due to lack of energy ... it may
+not be possible for other hosts in the network to communicate" (§4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["ManetNode"]
+
+
+@dataclass
+class ManetNode:
+    """A multimedia host acting as a router.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier.
+    x, y:
+        Position in meters.
+    battery:
+        Remaining energy in joules.
+    """
+
+    node_id: int
+    x: float
+    y: float
+    battery: float
+    initial_battery: float = field(default=0.0)
+    #: Exponentially-weighted drain-rate estimate (J per session
+    #: window), the quantity Lifetime Prediction Routing tracks.
+    drain_rate: float = field(default=0.0)
+    #: Energy consumed in the current session window (reset by
+    #: :meth:`end_window`).
+    window_energy: float = field(default=0.0)
+    _ewma_alpha: float = field(default=0.3, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.battery <= 0:
+            raise ValueError("battery must start positive")
+        if self.initial_battery <= 0:
+            self.initial_battery = self.battery
+
+    @property
+    def alive(self) -> bool:
+        """True while the battery holds charge."""
+        return self.battery > 0.0
+
+    @property
+    def residual_fraction(self) -> float:
+        """Remaining battery as a fraction of the initial charge."""
+        return max(self.battery, 0.0) / self.initial_battery
+
+    def distance_to(self, other: "ManetNode") -> float:
+        """Euclidean distance in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def consume(self, energy: float) -> None:
+        """Drain ``energy`` joules within the current window."""
+        if energy < 0:
+            raise ValueError("energy must be non-negative")
+        self.battery -= energy
+        self.window_energy += energy
+
+    def end_window(self) -> None:
+        """Close a session window: fold its energy into the EWMA drain
+        rate.  Idle windows decay the estimate, so a node that stopped
+        forwarding regains an optimistic prediction over time."""
+        self.drain_rate = (
+            self._ewma_alpha * self.window_energy
+            + (1 - self._ewma_alpha) * self.drain_rate
+        )
+        self.window_energy = 0.0
+
+    def predicted_lifetime(self) -> float:
+        """Sessions until death at the current drain rate (LPR's
+        prediction); infinite when the node has seen no traffic."""
+        if not self.alive:
+            return 0.0
+        if self.drain_rate <= 0:
+            return math.inf
+        return self.battery / self.drain_rate

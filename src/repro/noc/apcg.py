@@ -1,0 +1,172 @@
+"""Application characterization graphs (APCGs) for NoC experiments.
+
+The mapping/scheduling papers the text summarizes ([20], [23]) evaluate
+on multimedia task graphs annotated with communication volumes.  Those
+exact benchmark files are not redistributable, so this module provides
+faithful stand-ins:
+
+* :func:`video_surveillance_apcg` — the §3.2 motivating example ("motion
+  detection, filtering, rendering, object matching, ...") as a pipeline
+  with a dominant data path and light control traffic.
+* :func:`mms_apcg` — an MMS-style combined audio/video encoder–decoder
+  graph in the spirit of [20]'s benchmark (16 tasks, heavily asymmetric
+  volumes).
+* :func:`random_multimedia_apcg` — a TGFF-flavoured random generator for
+  parameter sweeps.
+
+Edge ``bits`` are per graph iteration; the :class:`TaskGraph` period
+turns them into bandwidths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.application import Dependency, Task, TaskGraph
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "video_surveillance_apcg",
+    "mms_apcg",
+    "random_multimedia_apcg",
+]
+
+_KB = 8.0 * 1024.0  # bits in a kilobyte
+
+
+def video_surveillance_apcg() -> TaskGraph:
+    """The video-surveillance system of §3.2.
+
+    "the data flow passes from the node performing motion detection to
+    the one performing filtering, so on so forth. Along this path, the
+    network should provide the highest bandwidth, whereas other
+    computational nodes (for example, reading and interpreting user
+    input) require less bandwidth."
+    """
+    tg = TaskGraph("video-surveillance", period=1.0 / 25.0)
+    tasks = [
+        ("camera_in", 0.05e6),
+        ("motion_detect", 2.0e6),
+        ("filtering", 1.5e6),
+        ("rendering", 1.25e6),
+        ("object_match", 2.5e6),
+        ("tracking", 0.75e6),
+        ("encode_out", 1.0e6),
+        ("user_input", 0.025e6),
+        ("ui_overlay", 0.15e6),
+        ("storage", 0.1e6),
+    ]
+    for name, cycles in tasks:
+        tg.add_task(Task(name, cycles))
+    heavy = 64 * _KB        # the dominant video path
+    light = 0.5 * _KB       # control traffic
+    edges = [
+        ("camera_in", "motion_detect", heavy),
+        ("motion_detect", "filtering", heavy),
+        ("filtering", "rendering", heavy * 0.75),
+        ("filtering", "object_match", heavy * 0.75),
+        ("object_match", "tracking", 8 * _KB),
+        ("rendering", "encode_out", heavy * 0.5),
+        ("tracking", "encode_out", 4 * _KB),
+        ("user_input", "ui_overlay", light),
+        ("ui_overlay", "encode_out", 2 * _KB),
+        ("encode_out", "storage", heavy * 0.25),
+    ]
+    for src, dst, bits in edges:
+        tg.add_dependency(Dependency(src, dst, bits=bits))
+    return tg
+
+
+def mms_apcg() -> TaskGraph:
+    """An MMS-style audio/video codec graph (after [20]'s benchmark).
+
+    Sixteen tasks: an MP3-style audio path and an H.26x/MPEG-style video
+    path sharing input demux and output mux stages, with the classic
+    wildly asymmetric communication volumes that make smart mapping pay.
+    """
+    tg = TaskGraph("mms", period=1.0 / 25.0)
+    tasks = [
+        ("demux", 0.1e6),
+        # audio decode path
+        ("huff_dec", 0.4e6),
+        ("dequant_a", 0.25e6),
+        ("stereo", 0.2e6),
+        ("imdct", 0.75e6),
+        ("filter_bank", 0.6e6),
+        ("audio_out", 0.05e6),
+        # video decode path
+        ("vld", 1.25e6),
+        ("dequant_v", 0.45e6),
+        ("idct", 1.75e6),
+        ("motion_comp", 1.4e6),
+        ("frame_store", 0.15e6),
+        ("video_out", 0.1e6),
+        # upstream encode path feeding the network
+        ("audio_enc", 0.9e6),
+        ("video_enc", 2.25e6),
+        ("mux", 0.1e6),
+    ]
+    for name, cycles in tasks:
+        tg.add_task(Task(name, cycles))
+    edges = [
+        ("demux", "huff_dec", 12 * _KB),
+        ("huff_dec", "dequant_a", 12 * _KB),
+        ("dequant_a", "stereo", 16 * _KB),
+        ("stereo", "imdct", 16 * _KB),
+        ("imdct", "filter_bank", 32 * _KB),
+        ("filter_bank", "audio_out", 16 * _KB),
+        ("demux", "vld", 96 * _KB),
+        ("vld", "dequant_v", 96 * _KB),
+        ("dequant_v", "idct", 128 * _KB),
+        ("idct", "motion_comp", 128 * _KB),
+        ("motion_comp", "frame_store", 192 * _KB),
+        ("frame_store", "video_out", 128 * _KB),
+        ("frame_store", "motion_comp", 0.0),  # ordering only
+        ("audio_enc", "mux", 16 * _KB),
+        ("video_enc", "mux", 96 * _KB),
+        ("mux", "demux", 0.0),  # ordering only (loopback control)
+    ]
+    for src, dst, bits in edges:
+        try:
+            tg.add_dependency(Dependency(src, dst, bits=bits))
+        except ValueError:
+            # Drop edges that would create cycles (control loopbacks);
+            # the APCG proper is acyclic.
+            pass
+    return tg
+
+
+def random_multimedia_apcg(
+    n_tasks: int,
+    seed: int = 0,
+    fanout: int = 2,
+    mean_bits: float = 32 * _KB,
+    period: float = 1.0 / 25.0,
+) -> TaskGraph:
+    """A random layered DAG with lognormal communication volumes.
+
+    Mimics TGFF-style generated multimedia graphs: mostly pipeline-ish
+    with occasional fan-out, volumes spread over two orders of
+    magnitude.
+    """
+    if n_tasks < 2:
+        raise ValueError("need at least two tasks")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    rng = spawn_rng(seed, "random-apcg")
+    tg = TaskGraph(f"random-{n_tasks}", period=period)
+    for i in range(n_tasks):
+        cycles = float(rng.lognormal(np.log(1.5e6), 0.8))
+        tg.add_task(Task(f"t{i}", cycles))
+    for i in range(1, n_tasks):
+        # Each task gets 1..fanout parents among earlier tasks, keeping
+        # the graph connected and acyclic.
+        n_parents = int(rng.integers(1, fanout + 1))
+        lo = max(0, i - 6)
+        parents = rng.choice(np.arange(lo, i),
+                             size=min(n_parents, i - lo), replace=False)
+        for p in np.atleast_1d(parents):
+            bits = float(rng.lognormal(np.log(mean_bits), 1.0))
+            tg.add_dependency(Dependency(f"t{int(p)}", f"t{i}",
+                                         bits=bits))
+    return tg

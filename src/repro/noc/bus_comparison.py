@@ -1,0 +1,168 @@
+"""Bus vs. NoC scaling study (§3.2).
+
+"communication becomes a major concern as traditional bus-based
+architectures fail because of their limited bandwidth in conjunction
+with their inability to scale" and "as opposed to a bus-based system,
+transactions can potentially be performed in parallel".
+
+The study pushes identical all-to-all tile traffic through (a) a single
+shared bus and (b) a 2D-mesh NoC of the same link bandwidth, sweeping
+the number of tiles.  The bus saturates at a fixed aggregate bandwidth;
+the mesh's bisection grows with the die, so delivered throughput keeps
+scaling — the crossover the paper uses to motivate NoCs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.des import Environment, Resource
+from repro.noc.network import NocNetwork
+from repro.noc.topology import Mesh2D
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import SummaryStats
+
+__all__ = ["FabricResult", "simulate_bus_fabric", "simulate_noc_fabric",
+           "bus_vs_noc_sweep"]
+
+
+@dataclass
+class FabricResult:
+    """Delivered performance of one interconnect at one system size."""
+
+    fabric: str
+    n_tiles: int
+    offered_bps: float
+    delivered_bps: float
+    mean_latency: float
+    p_latency_max: float
+
+    @property
+    def saturation(self) -> float:
+        """Delivered over offered (1.0 = keeping up)."""
+        if self.offered_bps <= 0:
+            return math.nan
+        return self.delivered_bps / self.offered_bps
+
+
+def _traffic_schedule(n_tiles: int, packet_bits: float,
+                      rate_per_tile: float, horizon: float, seed: int):
+    """Per-tile Poisson packet processes to uniform random targets.
+
+    Returns a list of (time, src_index, dst_index) tuples, shared by
+    both fabrics so the comparison sees identical load.
+    """
+    rng = spawn_rng(seed, "fabric-traffic")
+    events = []
+    for src in range(n_tiles):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_tile))
+            if t >= horizon:
+                break
+            dst = int(rng.integers(0, n_tiles - 1))
+            if dst >= src:
+                dst += 1
+            events.append((t, src, dst))
+    events.sort()
+    return events
+
+
+def simulate_bus_fabric(
+    n_tiles: int,
+    packet_bits: float = 8_192.0,
+    rate_per_tile: float = 10_000.0,
+    bus_bandwidth: float = 2e9,
+    horizon: float = 0.02,
+    seed: int = 0,
+) -> FabricResult:
+    """All packets arbitrate for one shared bus."""
+    if n_tiles < 2:
+        raise ValueError("need at least two tiles")
+    env = Environment()
+    bus = Resource(env, capacity=1)
+    latency = SummaryStats("bus-latency")
+    delivered_bits = [0.0]
+    events = _traffic_schedule(n_tiles, packet_bits, rate_per_tile,
+                               horizon, seed)
+
+    def sender(at, _src, _dst):
+        yield env.timeout(at)
+        created = env.now
+        with bus.request() as claim:
+            yield claim
+            yield env.timeout(packet_bits / bus_bandwidth)
+        latency.add(env.now - created)
+        delivered_bits[0] += packet_bits
+
+    for at, src, dst in events:
+        env.process(sender(at, src, dst))
+    env.run(until=horizon)
+
+    offered = len(events) * packet_bits / horizon
+    return FabricResult(
+        fabric="bus",
+        n_tiles=n_tiles,
+        offered_bps=offered,
+        delivered_bps=delivered_bits[0] / horizon,
+        mean_latency=latency.mean,
+        p_latency_max=latency.maximum,
+    )
+
+
+def simulate_noc_fabric(
+    n_tiles: int,
+    packet_bits: float = 8_192.0,
+    rate_per_tile: float = 10_000.0,
+    link_bandwidth: float = 2e9,
+    horizon: float = 0.02,
+    seed: int = 0,
+) -> FabricResult:
+    """The same traffic over a (near-)square mesh of the same link
+    speed; transactions on disjoint routes proceed in parallel."""
+    if n_tiles < 2:
+        raise ValueError("need at least two tiles")
+    width = int(math.ceil(math.sqrt(n_tiles)))
+    height = int(math.ceil(n_tiles / width))
+    mesh = Mesh2D(width, height)
+    tiles = list(mesh.tiles())[:n_tiles]
+
+    env = Environment()
+    network = NocNetwork(env, mesh, link_bandwidth=link_bandwidth,
+                         router_latency=10e-9)
+    events = _traffic_schedule(n_tiles, packet_bits, rate_per_tile,
+                               horizon, seed)
+
+    def sender(at, src, dst):
+        yield env.timeout(at)
+        packet = network.new_packet(tiles[src], tiles[dst],
+                                    payload_bits=packet_bits)
+        network.send(packet)
+
+    for at, src, dst in events:
+        env.process(sender(at, src, dst))
+    env.run(until=horizon)
+
+    stats = network.stats
+    offered = len(events) * packet_bits / horizon
+    return FabricResult(
+        fabric="noc",
+        n_tiles=n_tiles,
+        offered_bps=offered,
+        delivered_bps=stats.total_bits / horizon,
+        mean_latency=stats.latency.mean,
+        p_latency_max=stats.latency.maximum,
+    )
+
+
+def bus_vs_noc_sweep(
+    tile_counts=(4, 8, 16, 32),
+    **kwargs,
+) -> list[tuple[FabricResult, FabricResult]]:
+    """Run both fabrics at each system size; returns (bus, noc) pairs."""
+    return [
+        (simulate_bus_fabric(n, **kwargs),
+         simulate_noc_fabric(n, **kwargs))
+        for n in tile_counts
+    ]

@@ -1,0 +1,55 @@
+"""NoC bit-energy model (the model of [20], Hu & Marculescu).
+
+The energy of sending one bit from tile i to tile j over an XY route is
+
+    E_bit(i, j) = (hops + 1) · E_Sbit + hops · E_Lbit
+
+where ``E_Sbit`` is the energy a bit burns in each router it traverses
+(source and destination included) and ``E_Lbit`` the energy on each
+inter-tile link.  This is the objective the mapping algorithms of E3
+minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.topology import Mesh2D, Tile
+
+__all__ = ["NocEnergyModel"]
+
+
+@dataclass(frozen=True)
+class NocEnergyModel:
+    """Per-bit energy figures of a tile-based NoC.
+
+    Parameters
+    ----------
+    switch_energy_per_bit:
+        E_Sbit — joules per bit per traversed router (0.18 µm-era
+        figures are sub-pJ; values here are all relative anyway).
+    link_energy_per_bit:
+        E_Lbit — joules per bit per traversed link.
+    """
+
+    switch_energy_per_bit: float = 0.98e-12
+    link_energy_per_bit: float = 1.2e-12
+
+    def __post_init__(self) -> None:
+        if self.switch_energy_per_bit < 0 or self.link_energy_per_bit < 0:
+            raise ValueError("energies must be non-negative")
+
+    def bit_energy(self, hops: int) -> float:
+        """E_bit for a route of ``hops`` links."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        return ((hops + 1) * self.switch_energy_per_bit
+                + hops * self.link_energy_per_bit)
+
+    def transfer_energy(self, mesh: Mesh2D, src: Tile, dst: Tile,
+                        bits: float) -> float:
+        """Energy to move ``bits`` from ``src`` to ``dst`` (minimal
+        route)."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.bit_energy(mesh.hops(src, dst))

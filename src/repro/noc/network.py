@@ -1,0 +1,172 @@
+"""Packet-switched NoC simulation on the DES kernel (§3.2).
+
+"Instead of routing design specific global on-chip wires, the inter-tile
+communication can be achieved by routing packets."  Each directed mesh
+link is a unit-capacity resource; packets traverse their XY route
+link-by-link (store-and-forward), paying a per-hop router latency plus
+serialization, and contending with other packets for links — the
+mechanism behind both NoC advantages (parallel transactions) and the
+packet-size trade-off of E5 (long packets block links).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.des import Environment, Resource
+from repro.noc.energy import NocEnergyModel
+from repro.noc.routing import route_links, xy_route
+from repro.noc.topology import Mesh2D, Tile
+from repro.utils.stats import SummaryStats
+
+__all__ = ["NocPacket", "NocNetworkStats", "NocNetwork"]
+
+
+@dataclass
+class NocPacket:
+    """One NoC packet: payload plus header flits.
+
+    The destination address lives in the header ("the destination
+    address of a packet is encoded as part of the packet header"), so
+    every packet pays ``header_bits`` of overhead regardless of payload.
+    """
+
+    uid: int
+    src: Tile
+    dst: Tile
+    payload_bits: float
+    header_bits: float = 32.0
+    created: float = 0.0
+    message_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 0 or self.header_bits <= 0:
+            raise ValueError("invalid packet sizes")
+
+    @property
+    def size_bits(self) -> float:
+        """Total on-wire size."""
+        return self.payload_bits + self.header_bits
+
+
+@dataclass
+class NocNetworkStats:
+    """Aggregate measurements of one network run."""
+
+    delivered: int = 0
+    payload_bits: float = 0.0
+    total_bits: float = 0.0
+    energy: float = 0.0
+    latency: SummaryStats = field(
+        default_factory=lambda: SummaryStats("noc-latency")
+    )
+    hop_count: SummaryStats = field(
+        default_factory=lambda: SummaryStats("noc-hops")
+    )
+
+    @property
+    def header_overhead(self) -> float:
+        """Fraction of transported bits that were header."""
+        if self.total_bits == 0:
+            return math.nan
+        return 1.0 - self.payload_bits / self.total_bits
+
+    def goodput(self, horizon: float) -> float:
+        """Delivered payload bits per second."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.payload_bits / horizon
+
+
+class NocNetwork:
+    """A 2D-mesh packet network bound to a DES environment.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    mesh:
+        Topology.
+    link_bandwidth:
+        Per-link bandwidth in bits/s.
+    router_latency:
+        Fixed per-hop routing/arbitration delay in seconds.
+    energy_model:
+        Bit-energy figures for the energy account.
+    route:
+        Routing function ``(mesh, src, dst) -> [tiles]``; XY default.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        mesh: Mesh2D,
+        link_bandwidth: float = 2e9,
+        router_latency: float = 10e-9,
+        energy_model: NocEnergyModel | None = None,
+        route=xy_route,
+    ):
+        if link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if router_latency < 0:
+            raise ValueError("router_latency must be non-negative")
+        self.env = env
+        self.mesh = mesh
+        self.link_bandwidth = link_bandwidth
+        self.router_latency = router_latency
+        self.energy_model = energy_model or NocEnergyModel()
+        self.route = route
+        self._links = {
+            link: Resource(env, capacity=1) for link in mesh.links()
+        }
+        self._uid = itertools.count()
+        self.stats = NocNetworkStats()
+
+    def new_packet(self, src: Tile, dst: Tile, payload_bits: float,
+                   header_bits: float = 32.0,
+                   message_id: int | None = None) -> NocPacket:
+        """Create a packet stamped with the current time."""
+        return NocPacket(
+            uid=next(self._uid), src=src, dst=dst,
+            payload_bits=payload_bits, header_bits=header_bits,
+            created=self.env.now, message_id=message_id,
+        )
+
+    def send(self, packet: NocPacket):
+        """Start the transfer process for ``packet``; returns it.
+
+        Yield the returned process to wait for delivery (its value is
+        the packet).
+        """
+
+        def transfer():
+            path = self.route(self.mesh, packet.src, packet.dst)
+            hops = len(path) - 1
+            for link in route_links(path):
+                with self._links[link].request() as claim:
+                    yield claim
+                    yield self.env.timeout(
+                        self.router_latency
+                        + packet.size_bits / self.link_bandwidth
+                    )
+            self._account(packet, hops)
+            return packet
+
+        return self.env.process(transfer())
+
+    def _account(self, packet: NocPacket, hops: int) -> None:
+        self.stats.delivered += 1
+        self.stats.payload_bits += packet.payload_bits
+        self.stats.total_bits += packet.size_bits
+        self.stats.energy += packet.size_bits * (
+            self.energy_model.bit_energy(hops)
+        )
+        self.stats.latency.add(self.env.now - packet.created)
+        self.stats.hop_count.add(hops)
+
+    def link_utilization(self) -> float:
+        """Fraction of links currently held (an instantaneous gauge)."""
+        held = sum(1 for r in self._links.values() if r.count)
+        return held / len(self._links) if self._links else math.nan

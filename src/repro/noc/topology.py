@@ -1,0 +1,101 @@
+"""Regular NoC topologies (§3.2): "a chip consists of regular tiles,
+where each tile can be a general-purpose processor, a DSP, a memory
+subsystem, etc. A router is embedded within each tile."
+
+:class:`Mesh2D` is the canonical 2D mesh: tiles addressed by (x, y),
+links between 4-neighbours, Manhattan hop distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Tile", "Mesh2D"]
+
+
+@dataclass(frozen=True, order=True)
+class Tile:
+    """A tile coordinate on the mesh."""
+
+    x: int
+    y: int
+
+    def __repr__(self) -> str:
+        return f"({self.x},{self.y})"
+
+
+class Mesh2D:
+    """A width × height 2D mesh.
+
+    Examples
+    --------
+    >>> mesh = Mesh2D(3, 3)
+    >>> len(list(mesh.tiles()))
+    9
+    >>> mesh.hops(Tile(0, 0), Tile(2, 1))
+    3
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        self.width = width
+        self.height = height
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles."""
+        return self.width * self.height
+
+    def tiles(self) -> Iterator[Tile]:
+        """All tiles in row-major order."""
+        for y in range(self.height):
+            for x in range(self.width):
+                yield Tile(x, y)
+
+    def contains(self, tile: Tile) -> bool:
+        """True when ``tile`` lies on the mesh."""
+        return 0 <= tile.x < self.width and 0 <= tile.y < self.height
+
+    def index(self, tile: Tile) -> int:
+        """Row-major index of ``tile``."""
+        if not self.contains(tile):
+            raise ValueError(f"{tile} outside {self}")
+        return tile.y * self.width + tile.x
+
+    def tile_at(self, index: int) -> Tile:
+        """Tile at row-major ``index``."""
+        if not 0 <= index < self.n_tiles:
+            raise ValueError("index out of range")
+        return Tile(index % self.width, index // self.width)
+
+    def neighbors(self, tile: Tile) -> list[Tile]:
+        """4-neighbourhood of ``tile`` (on-mesh only)."""
+        if not self.contains(tile):
+            raise ValueError(f"{tile} outside {self}")
+        candidates = [
+            Tile(tile.x + 1, tile.y),
+            Tile(tile.x - 1, tile.y),
+            Tile(tile.x, tile.y + 1),
+            Tile(tile.x, tile.y - 1),
+        ]
+        return [c for c in candidates if self.contains(c)]
+
+    def links(self) -> list[tuple[Tile, Tile]]:
+        """All directed links (both directions of every mesh edge)."""
+        result = []
+        for tile in self.tiles():
+            for neighbor in self.neighbors(tile):
+                result.append((tile, neighbor))
+        return result
+
+    def hops(self, src: Tile, dst: Tile) -> int:
+        """Manhattan (minimal) hop count between two tiles."""
+        for tile in (src, dst):
+            if not self.contains(tile):
+                raise ValueError(f"{tile} outside {self}")
+        return abs(src.x - dst.x) + abs(src.y - dst.y)
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.width}x{self.height})"

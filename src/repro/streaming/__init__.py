@@ -1,0 +1,32 @@
+"""Energy-aware MPEG-4 FGS video streaming (§4.1, E8): the FGS source,
+the DVFS decoder client with aptitude feedback, server rate policies and
+the full-rate vs. feedback comparison harness."""
+
+from repro.streaming.client import (
+    DecoderModel,
+    DvfsVideoClient,
+    SlotOutcome,
+)
+from repro.streaming.fgs import FgsFrame, FgsSource, fgs_psnr
+from repro.streaming.server import FeedbackServer, FullRateServer
+from repro.streaming.simulation import (
+    SessionReport,
+    StreamingComparison,
+    compare_streaming_policies,
+    run_session,
+)
+
+__all__ = [
+    "FgsFrame",
+    "FgsSource",
+    "fgs_psnr",
+    "DecoderModel",
+    "DvfsVideoClient",
+    "SlotOutcome",
+    "FullRateServer",
+    "FeedbackServer",
+    "SessionReport",
+    "run_session",
+    "StreamingComparison",
+    "compare_streaming_policies",
+]

@@ -1,0 +1,219 @@
+"""The video client: DVFS-scaled decoder with feedback (E8, [28]).
+
+"The encoding (decoding) aptitude of the video server (client) is
+defined as the amount of data that can be processed by a deadline ...
+When the server (or/and the client) changes its operating frequency and
+voltage to extend its lifetime, the encoding (decoding) aptitude is
+also affected, so is the quality of the streaming video."
+
+The client decodes what arrives within each frame deadline, scales its
+voltage/frequency to the slowest point that still delivers the minimum
+acceptable quality, and reports its remaining *decoding aptitude*
+upstream.  ``normalized decoding load`` is the [28] efficiency metric:
+received work over available cycles; unity = no waste.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.power import DvfsModel, OperatingPoint, xscale_dvfs
+from repro.streaming.fgs import FgsFrame, fgs_psnr
+
+__all__ = ["DecoderModel", "SlotOutcome", "DvfsVideoClient"]
+
+
+@dataclass(frozen=True)
+class DecoderModel:
+    """Cycle cost of FGS decoding.
+
+    Parameters
+    ----------
+    cycles_per_base_bit:
+        Decode cost of base-layer data (motion comp + texture).
+    cycles_per_enh_bit:
+        Decode cost of enhancement bit-planes.
+    rx_energy_per_bit:
+        Client communication (reception) energy per received bit —
+        the quantity the 15% claim is about.
+    """
+
+    cycles_per_base_bit: float = 200.0
+    cycles_per_enh_bit: float = 150.0
+    rx_energy_per_bit: float = 100e-9
+
+    def __post_init__(self) -> None:
+        if (self.cycles_per_base_bit <= 0
+                or self.cycles_per_enh_bit <= 0
+                or self.rx_energy_per_bit < 0):
+            raise ValueError("invalid decoder parameters")
+
+    def cycles(self, base_bits: float, enh_bits: float) -> float:
+        """Decode cycles for one frame's received layers."""
+        if base_bits < 0 or enh_bits < 0:
+            raise ValueError("negative bits")
+        return (base_bits * self.cycles_per_base_bit
+                + enh_bits * self.cycles_per_enh_bit)
+
+
+@dataclass
+class SlotOutcome:
+    """Per-frame accounting of the client."""
+
+    frame_index: int
+    received_bits: float
+    decoded_enh_bits: float
+    wasted_bits: float
+    psnr: float
+    point: OperatingPoint
+    compute_energy: float
+    rx_energy: float
+    normalized_load: float
+
+
+class DvfsVideoClient:
+    """An FGS decoder with DVFS and aptitude feedback.
+
+    Parameters
+    ----------
+    dvfs:
+        Operating points (XScale-like default — the [28] testbed).
+    decoder:
+        Cycle/energy cost model.
+    min_psnr:
+        Minimum acceptable quality; the DVFS governor never drops below
+        the point needed to decode the base layer plus the enhancement
+        share that reaches this PSNR.
+    fps:
+        Display rate; one frame period is the decode deadline.
+    dvfs_enabled:
+        When false, the client pins the fastest operating point — the
+        §4.1 ablation baseline ("the client changes its operating
+        frequency and voltage to extend its lifetime" is the feature
+        under test).
+    """
+
+    def __init__(
+        self,
+        dvfs: DvfsModel | None = None,
+        decoder: DecoderModel | None = None,
+        min_psnr: float = 33.0,
+        fps: float = 25.0,
+        base_psnr: float = 30.0,
+        max_gain_db: float = 8.0,
+        dvfs_enabled: bool = True,
+    ):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.dvfs = dvfs or xscale_dvfs()
+        self.decoder = decoder or DecoderModel()
+        self.min_psnr = min_psnr
+        self.fps = fps
+        self.base_psnr = base_psnr
+        self.max_gain_db = max_gain_db
+        self.dvfs_enabled = dvfs_enabled
+        self.outcomes: list[SlotOutcome] = []
+
+    # ------------------------------------------------------------------
+    def _required_enh_fraction(self) -> float:
+        """Enhancement fraction needed for the minimum PSNR."""
+        if self.min_psnr <= self.base_psnr:
+            return 0.0
+        needed = (self.min_psnr - self.base_psnr) / self.max_gain_db
+        if needed > 1.0:
+            raise ValueError("min_psnr unreachable even at full "
+                             "enhancement")
+        return needed
+
+    def choose_point(self, frame: FgsFrame) -> OperatingPoint:
+        """Slowest point decoding base + the quality-floor enhancement
+        within the frame deadline (fastest point when DVFS is off)."""
+        if not self.dvfs_enabled:
+            return self.dvfs.fastest()
+        period = 1.0 / self.fps
+        must_decode = self.decoder.cycles(
+            frame.base_bits,
+            self._required_enh_fraction() * frame.enhancement_bits,
+        )
+        point = self.dvfs.slowest_point_meeting(must_decode, period)
+        return point if point is not None else self.dvfs.fastest()
+
+    def aptitude_bits(self, point: OperatingPoint,
+                      frame: FgsFrame) -> float:
+        """Enhancement bits decodable this period at ``point`` after the
+        base layer — the feedback value sent to the server."""
+        period = 1.0 / self.fps
+        budget = point.frequency * period
+        budget -= frame.base_bits * self.decoder.cycles_per_base_bit
+        if budget <= 0:
+            return 0.0
+        return budget / self.decoder.cycles_per_enh_bit
+
+    def receive(self, frame: FgsFrame, enhancement_sent: float
+                ) -> SlotOutcome:
+        """Process one frame: decode what fits, account energy."""
+        period = 1.0 / self.fps
+        point = self.choose_point(frame)
+        received = frame.truncated(enhancement_sent)
+        enh_received = received - frame.base_bits
+
+        decodable = self.aptitude_bits(point, frame)
+        decoded_enh = min(enh_received, decodable)
+        wasted = enh_received - decoded_enh
+
+        used_cycles = self.decoder.cycles(frame.base_bits, decoded_enh)
+        received_cycles = self.decoder.cycles(frame.base_bits,
+                                              enh_received)
+        available_cycles = point.frequency * period
+
+        compute = self.dvfs.energy(used_cycles, point)
+        busy_time = self.dvfs.execution_time(used_cycles, point)
+        compute += self.dvfs.idle_energy(max(period - busy_time, 0.0))
+        rx_energy = received * self.decoder.rx_energy_per_bit
+
+        outcome = SlotOutcome(
+            frame_index=frame.index,
+            received_bits=received,
+            decoded_enh_bits=decoded_enh,
+            wasted_bits=wasted,
+            psnr=fgs_psnr(frame, decoded_enh, self.base_psnr,
+                          self.max_gain_db),
+            point=point,
+            compute_energy=compute,
+            rx_energy=rx_energy,
+            normalized_load=received_cycles / available_cycles,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_rx_energy(self) -> float:
+        """Communication energy over the session, joules."""
+        return sum(o.rx_energy for o in self.outcomes)
+
+    def total_compute_energy(self) -> float:
+        """Decode energy over the session, joules."""
+        return sum(o.compute_energy for o in self.outcomes)
+
+    def mean_psnr(self) -> float:
+        """Average delivered quality, dB."""
+        if not self.outcomes:
+            return math.nan
+        return sum(o.psnr for o in self.outcomes) / len(self.outcomes)
+
+    def mean_normalized_load(self) -> float:
+        """Average normalized decoding load (1.0 = no waste)."""
+        if not self.outcomes:
+            return math.nan
+        return sum(o.normalized_load for o in self.outcomes) / len(
+            self.outcomes
+        )
+
+    def waste_fraction(self) -> float:
+        """Received-but-undecoded bits over received bits."""
+        received = sum(o.received_bits for o in self.outcomes)
+        wasted = sum(o.wasted_bits for o in self.outcomes)
+        return wasted / received if received else math.nan

@@ -1,0 +1,70 @@
+"""Server-side rate policies for FGS streaming (E8, [28]).
+
+Two servers over the same FGS source:
+
+* :class:`FullRateServer` — ships the complete enhancement layer every
+  frame (quality-maximal, feedback-free); whatever the client cannot
+  decode is received in vain.
+* :class:`FeedbackServer` — "the client decoding aptitude in each
+  timeslot is communicated to the server, and the server subsequently
+  determines the additional amount of data": enhancement is truncated
+  to the last aptitude report (one-slot feedback delay).
+"""
+
+from __future__ import annotations
+
+from repro.streaming.fgs import FgsFrame
+
+__all__ = ["FullRateServer", "FeedbackServer"]
+
+
+class FullRateServer:
+    """Sends every enhancement bit, ignoring the client."""
+
+    def enhancement_to_send(self, frame: FgsFrame) -> float:
+        """Full enhancement layer."""
+        return frame.enhancement_bits
+
+    def observe_feedback(self, aptitude_bits: float) -> None:
+        """Feedback is discarded."""
+
+    @property
+    def name(self) -> str:
+        return "full-rate"
+
+
+class FeedbackServer:
+    """Truncates the enhancement to the client's reported aptitude.
+
+    Parameters
+    ----------
+    initial_aptitude:
+        Assumed aptitude before the first report arrives.
+    safety_margin:
+        Fraction of the reported aptitude actually used (guards the
+        one-slot staleness of the report against rising complexity).
+    """
+
+    def __init__(self, initial_aptitude: float = 0.0,
+                 safety_margin: float = 1.0):
+        if initial_aptitude < 0:
+            raise ValueError("initial aptitude must be non-negative")
+        if not 0.0 < safety_margin <= 1.0:
+            raise ValueError("safety margin must lie in (0, 1]")
+        self._aptitude = initial_aptitude
+        self.safety_margin = safety_margin
+
+    def enhancement_to_send(self, frame: FgsFrame) -> float:
+        """min(full enhancement, margin · last reported aptitude)."""
+        return min(frame.enhancement_bits,
+                   self._aptitude * self.safety_margin)
+
+    def observe_feedback(self, aptitude_bits: float) -> None:
+        """Store the client's newest aptitude report."""
+        if aptitude_bits < 0:
+            raise ValueError("aptitude must be non-negative")
+        self._aptitude = aptitude_bits
+
+    @property
+    def name(self) -> str:
+        return "feedback"

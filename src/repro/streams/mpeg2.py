@@ -1,0 +1,172 @@
+"""The Fig.1(b) MPEG-2 decoder as a process network.
+
+"For the generic MPEG-2 video decoder in Fig.1(b), applying the
+Producer-Consumer paradigm locally implies explicit modeling of the data
+exchange between the Producer (VLD) and Consumer processes (IDCT/MV)
+which happens through the buffers B3 and B4.  The average length of these
+buffers is very important as it reflects their utilization over time."
+
+This module builds that decoder as an :class:`ApplicationGraph` and runs
+it through the core simulation evaluator, exposing exactly the metrics
+the paper highlights: B3/B4 average occupancy, throughput and latency.
+Mapping the whole network onto one CPU also materializes the implicit
+"scheduler" process of Fig.1(b) — it is the FIFO arbitration of the
+shared processing element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.application import ApplicationGraph, ChannelSpec, \
+    MediaType, ProcessNode
+from repro.core.architecture import PEKind, Platform, \
+    PointToPointInterconnect, ProcessingElement
+from repro.core.evaluation import EvaluationResult, SimulationEvaluator
+from repro.core.mapping import Mapping
+
+__all__ = [
+    "Mpeg2Workload",
+    "build_mpeg2_application",
+    "single_cpu_platform",
+    "Mpeg2DecoderReport",
+    "simulate_mpeg2_decoder",
+]
+
+
+@dataclass(frozen=True)
+class Mpeg2Workload:
+    """Cycle demands of the decoder stages, per frame.
+
+    Defaults approximate a CIF-resolution software decoder: VLD and IDCT
+    dominate; receive/display are thin I/O stages.  Coefficients of
+    variation reflect the "large statistical variation" (§2) of
+    frame-level demands.
+    """
+
+    fps: float = 25.0
+    receive_cycles: float = 20_000.0
+    vld_cycles: float = 900_000.0
+    idct_cycles: float = 1_200_000.0
+    mv_cycles: float = 600_000.0
+    display_cycles: float = 100_000.0
+    cycles_cv: float = 0.4
+    coeff_bits: float = 200_000.0   # VLD -> IDCT tokens (B3)
+    vector_bits: float = 50_000.0   # VLD -> MV tokens (B4)
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+
+def build_mpeg2_application(
+    workload: Mpeg2Workload | None = None,
+    b3_capacity: int = 4,
+    b4_capacity: int = 4,
+) -> ApplicationGraph:
+    """The Fig.1(b) process network.
+
+    receive → VLD → {B3 → IDCT, B4 → MV} → display (join).
+    """
+    w = workload or Mpeg2Workload()
+    app = ApplicationGraph("mpeg2-decoder")
+    app.add_process(ProcessNode(
+        "receive", w.receive_cycles, media=MediaType.VIDEO,
+        rate_hz=w.fps,
+    ))
+    app.add_process(ProcessNode(
+        "vld", w.vld_cycles, cycles_cv=w.cycles_cv,
+    ))
+    app.add_process(ProcessNode(
+        "idct", w.idct_cycles, cycles_cv=w.cycles_cv,
+    ))
+    app.add_process(ProcessNode(
+        "mv", w.mv_cycles, cycles_cv=w.cycles_cv,
+    ))
+    app.add_process(ProcessNode("display", w.display_cycles))
+    app.add_channel(ChannelSpec(
+        "receive", "vld", bits_per_token=w.coeff_bits,
+        buffer_capacity=max(b3_capacity, 2),
+    ))
+    app.add_channel(ChannelSpec(
+        "vld", "idct", bits_per_token=w.coeff_bits,
+        buffer_capacity=b3_capacity,
+    ))
+    app.add_channel(ChannelSpec(
+        "vld", "mv", bits_per_token=w.vector_bits,
+        buffer_capacity=b4_capacity,
+    ))
+    app.add_channel(ChannelSpec(
+        "idct", "display", bits_per_token=w.coeff_bits,
+        buffer_capacity=b3_capacity,
+    ))
+    app.add_channel(ChannelSpec(
+        "mv", "display", bits_per_token=w.vector_bits,
+        buffer_capacity=b4_capacity,
+    ))
+    return app
+
+
+def single_cpu_platform(frequency: float = 200e6,
+                        active_power: float = 0.4) -> Platform:
+    """One shared CPU: Fig.1(b)'s "platform with a single CPU" whose
+    scheduler process arbitrates VLD/IDCT/MV."""
+    platform = Platform(
+        "single-cpu", interconnect=PointToPointInterconnect()
+    )
+    platform.add_pe(ProcessingElement(
+        "cpu0", PEKind.GPP, frequency=frequency,
+        active_power=active_power,
+    ))
+    return platform
+
+
+@dataclass
+class Mpeg2DecoderReport:
+    """What the Fig.1(b) study measures."""
+
+    throughput_fps: float
+    mean_latency: float
+    b3_mean_occupancy: float
+    b4_mean_occupancy: float
+    loss_rate: float
+    cpu_utilization: float
+    result: EvaluationResult
+
+    @property
+    def realtime(self) -> bool:
+        """True when the decoder keeps up with the source frame rate."""
+        return self.loss_rate < 0.01
+
+
+def simulate_mpeg2_decoder(
+    workload: Mpeg2Workload | None = None,
+    cpu_frequency: float = 200e6,
+    b3_capacity: int = 4,
+    b4_capacity: int = 4,
+    horizon: float = 20.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+) -> Mpeg2DecoderReport:
+    """Run the single-CPU MPEG-2 decoder study of Fig.1(b).
+
+    Returns the buffer utilizations (B3 = VLD→IDCT, B4 = VLD→MV),
+    throughput and latency for the chosen CPU speed and buffer sizes.
+    """
+    w = workload or Mpeg2Workload()
+    app = build_mpeg2_application(w, b3_capacity, b4_capacity)
+    platform = single_cpu_platform(frequency=cpu_frequency)
+    mapping = Mapping({p.name: "cpu0" for p in app.processes})
+    evaluator = SimulationEvaluator(
+        app, platform, mapping, seed=seed, deterministic_sources=True
+    )
+    result = evaluator.evaluate(horizon=horizon, warmup=warmup)
+    return Mpeg2DecoderReport(
+        throughput_fps=result.qos.throughput,
+        mean_latency=result.qos.mean_latency,
+        b3_mean_occupancy=result.buffer_occupancy["vld->idct"],
+        b4_mean_occupancy=result.buffer_occupancy["vld->mv"],
+        loss_rate=result.qos.loss_rate,
+        cpu_utilization=result.utilization("cpu0"),
+        result=result,
+    )

@@ -1,0 +1,66 @@
+"""Packet and frame types flowing through stream models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["FrameType", "Packet"]
+
+
+class FrameType(Enum):
+    """MPEG frame classes (drives size statistics and importance)."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+    AUDIO = "A"
+    DATA = "D"
+
+    @property
+    def droppable(self) -> bool:
+        """B frames may be dropped without breaking the GoP prediction
+        chain; everything else is load-bearing."""
+        return self is FrameType.B
+
+
+@dataclass
+class Packet:
+    """One transmission unit.
+
+    Attributes
+    ----------
+    uid:
+        Globally unique id (assigned by the source).
+    created:
+        Simulation time the packet was generated.
+    size_bits:
+        Payload size in bits.
+    frame_type:
+        MPEG class of the carried data.
+    stream_id:
+        Which stream the packet belongs to (for multi-stream sync).
+    seqno:
+        Per-stream sequence number.
+    corrupted:
+        Set by the channel when delivered with residual bit errors.
+    retransmissions:
+        How many times the channel had to resend this packet.
+    """
+
+    uid: int
+    created: float
+    size_bits: float
+    frame_type: FrameType = FrameType.DATA
+    stream_id: str = "stream0"
+    seqno: int = 0
+    corrupted: bool = False
+    retransmissions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError("packet size must be positive")
+
+    def age(self, now: float) -> float:
+        """Seconds since creation."""
+        return now - self.created

@@ -1,0 +1,85 @@
+"""Playout-buffer sizing: turning jitter statistics into startup delay.
+
+The Fig.1(a) sink absorbs network jitter with a playout buffer paid for
+in startup latency.  Given the arrival trace of a stream, the classical
+sizing question is: *how long must playout wait so that at most a
+target fraction of frames miss their display instant?*
+
+:func:`required_startup_delay` answers it from an arrival trace;
+:func:`size_playout` runs a pipeline once to collect the trace and
+returns the sized delay, ready to plug back into a
+:class:`~repro.streams.sink.Sink`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.streams.pipeline import StreamPipeline
+
+__all__ = ["required_startup_delay", "size_playout"]
+
+
+def required_startup_delay(
+    arrivals: Sequence[tuple[int, float]],
+    fps: float,
+    target_late_fraction: float = 0.01,
+) -> float:
+    """Minimum startup delay for the target on-time fraction.
+
+    Frame ``k`` (by sequence number) must be displayed at
+    ``T0 + k / fps``; it is on time iff it has arrived by then.  The
+    smallest admissible ``T0`` keeping the late fraction at or below
+    the target is the ``(1 − target)``-quantile of the per-frame
+    slack requirement ``arrival_k − k/fps`` (measured from the first
+    emission).
+
+    Parameters
+    ----------
+    arrivals:
+        ``(seqno, arrival_time)`` pairs (missing frames are simply not
+        listed — they are late no matter the delay and excluded here).
+    fps:
+        Display rate.
+    target_late_fraction:
+        Acceptable fraction of *arrived* frames displayed late.
+    """
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    if not 0.0 <= target_late_fraction < 1.0:
+        raise ValueError("target fraction must lie in [0, 1)")
+    if not arrivals:
+        raise ValueError("no arrivals to size from")
+    requirements = np.array([
+        time - seqno / fps for seqno, time in arrivals
+    ])
+    delay = float(np.quantile(requirements,
+                              1.0 - target_late_fraction))
+    return max(delay, 0.0)
+
+
+def size_playout(
+    pipeline_factory,
+    fps: float,
+    target_late_fraction: float = 0.01,
+    horizon: float = 30.0,
+) -> float:
+    """Measure a pipeline once and return the sized startup delay.
+
+    ``pipeline_factory()`` must build a fresh
+    :class:`~repro.streams.pipeline.StreamPipeline` whose channel was
+    created with ``trace_arrivals=True``.
+    """
+    pipeline: StreamPipeline = pipeline_factory()
+    if not pipeline.channel.trace_arrivals:
+        raise ValueError(
+            "channel must be created with trace_arrivals=True"
+        )
+    pipeline.run(horizon=horizon)
+    return required_startup_delay(
+        pipeline.channel.stats.arrival_trace, fps,
+        target_late_fraction,
+    )

@@ -1,0 +1,116 @@
+"""The stream sink: "the Sink (decoder) ... displays it at a certain rate"
+(§2.1).
+
+:class:`Sink` drains the Rx buffer on a strict display clock (one frame
+per tick), recording end-to-end latency, jitter, playout underruns and
+corrupted deliveries — the raw material for the QoS metrics of §2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.streams.packets import Packet
+from repro.utils.stats import SummaryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des import Environment, FiniteQueue
+
+__all__ = ["Sink"]
+
+
+class Sink:
+    """Rate-driven consumer with playout accounting.
+
+    Parameters
+    ----------
+    display_rate_hz:
+        Ticks per second at which the sink attempts to consume one
+        packet.
+    startup_delay:
+        Initial buffering time before the display clock starts (a
+        playout buffer absorbs jitter at the cost of latency).
+
+    Attributes
+    ----------
+    latency:
+        Summary statistics of end-to-end packet latency.
+    n_displayed, n_corrupted, n_underruns:
+        Playout counters.
+    """
+
+    def __init__(self, display_rate_hz: float, startup_delay: float = 0.0,
+                 name: str = "sink"):
+        if display_rate_hz <= 0:
+            raise ValueError("display rate must be positive")
+        if startup_delay < 0:
+            raise ValueError("startup delay must be non-negative")
+        self.display_rate_hz = display_rate_hz
+        self.startup_delay = startup_delay
+        self.name = name
+        self.latency = SummaryStats(name=f"{name}.latency")
+        self.n_displayed = 0
+        self.n_corrupted = 0
+        self.n_underruns = 0
+        self._latencies: list[float] = []
+        self._display_times: list[float] = []
+
+    def start(self, env: "Environment", rx_buffer: "FiniteQueue"):
+        """Start the display process."""
+
+        def run():
+            yield env.timeout(self.startup_delay)
+            period = 1.0 / self.display_rate_hz
+            while True:
+                yield env.timeout(period)
+                if rx_buffer.level == 0:
+                    # Nothing to show at this tick: playout underrun.
+                    self.n_underruns += 1
+                    continue
+                packet: Packet = yield rx_buffer.get()
+                self.n_displayed += 1
+                if packet.corrupted:
+                    self.n_corrupted += 1
+                latency = packet.age(env.now)
+                self.latency.add(latency)
+                self._latencies.append(latency)
+                self._display_times.append(env.now)
+
+        return env.process(run())
+
+    # ------------------------------------------------------------------
+    # Derived QoS metrics
+    # ------------------------------------------------------------------
+    @property
+    def jitter(self) -> float:
+        """Std-dev of end-to-end latency, seconds (NaN if < 2 frames)."""
+        return self.latency.std
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile end-to-end latency."""
+        if not self._latencies:
+            return math.nan
+        return float(np.percentile(self._latencies, 99))
+
+    @property
+    def underrun_rate(self) -> float:
+        """Fraction of display ticks that found the buffer empty."""
+        ticks = self.n_displayed + self.n_underruns
+        return self.n_underruns / ticks if ticks else math.nan
+
+    @property
+    def corruption_rate(self) -> float:
+        """Fraction of displayed frames carrying residual errors."""
+        if self.n_displayed == 0:
+            return math.nan
+        return self.n_corrupted / self.n_displayed
+
+    def throughput(self, horizon: float) -> float:
+        """Frames displayed per second over ``horizon``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.n_displayed / horizon

@@ -1,0 +1,141 @@
+"""Inter-stream synchronization: the lip-sync constraint of §2.1.
+
+"In order to enforce lip-synchronization, the audio and video streams
+need to be synchronized at precise time instances."  The classical
+tolerance (Steinmetz) is that audio may lead video by at most ~80 ms and
+lag by at most ~80 ms before humans notice; we expose the skew
+measurement and a resynchronization policy that drops/waits to pull the
+streams back into tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SyncTolerance", "SkewReport", "SyncMonitor",
+           "resync_schedule"]
+
+
+@dataclass(frozen=True)
+class SyncTolerance:
+    """Acceptable skew window between two streams, in seconds.
+
+    Skew is signed: positive = the monitored stream lags (is presented
+    late), negative = it leads.  ``max_lag`` bounds positive skew,
+    ``max_lead`` bounds negative skew.  Defaults are the classical
+    lip-sync detectability thresholds (±80 ms).
+    """
+
+    max_lead: float = 0.080
+    max_lag: float = 0.080
+
+    def __post_init__(self) -> None:
+        if self.max_lead < 0 or self.max_lag < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def in_sync(self, skew: float) -> bool:
+        """True when ``skew`` (positive = lagging) is tolerable."""
+        return -self.max_lead <= skew <= self.max_lag
+
+
+@dataclass
+class SkewReport:
+    """Skew statistics over a presentation timeline."""
+
+    mean_skew: float
+    max_abs_skew: float
+    fraction_out_of_sync: float
+    n_samples: int
+
+    @property
+    def acceptable(self) -> bool:
+        """True when under 1% of samples were out of sync."""
+        return self.fraction_out_of_sync < 0.01
+
+
+class SyncMonitor:
+    """Records presentation instants of two streams and measures skew.
+
+    Media units are matched by sequence number: unit ``k`` of stream A
+    should be presented at the same media time as unit ``k`` of stream B
+    (after rate normalization via ``units_per_second``).
+
+    Examples
+    --------
+    >>> mon = SyncMonitor(rate_a=25.0, rate_b=25.0)
+    >>> for k in range(5):
+    ...     mon.record_a(k, k / 25.0)
+    ...     mon.record_b(k, k / 25.0 + 0.01)
+    >>> report = mon.report()
+    >>> round(report.mean_skew, 3)
+    -0.01
+    >>> report.acceptable
+    True
+    """
+
+    def __init__(self, rate_a: float, rate_b: float,
+                 tolerance: SyncTolerance | None = None):
+        if rate_a <= 0 or rate_b <= 0:
+            raise ValueError("rates must be positive")
+        self.rate_a = rate_a
+        self.rate_b = rate_b
+        self.tolerance = tolerance or SyncTolerance()
+        self._a: dict[int, float] = {}
+        self._b: dict[int, float] = {}
+
+    def record_a(self, seqno: int, time: float) -> None:
+        """Stream-A unit ``seqno`` was presented at ``time``."""
+        self._a[seqno] = time
+
+    def record_b(self, seqno: int, time: float) -> None:
+        """Stream-B unit ``seqno`` was presented at ``time``."""
+        self._b[seqno] = time
+
+    def skews(self) -> list[float]:
+        """Per-matched-unit skew: A's lateness minus B's lateness.
+
+        Positive skew = stream A lags stream B (A's unit was presented
+        later relative to its media clock); negative = A leads.
+        """
+        values = []
+        for seqno in sorted(set(self._a) & set(self._b)):
+            media_a = seqno / self.rate_a
+            media_b = seqno / self.rate_b
+            late_a = self._a[seqno] - media_a
+            late_b = self._b[seqno] - media_b
+            values.append(late_a - late_b)
+        return values
+
+    def report(self) -> SkewReport:
+        """Summarize skew against the tolerance window."""
+        skews = self.skews()
+        if not skews:
+            return SkewReport(math.nan, math.nan, math.nan, 0)
+        arr = np.asarray(skews)
+        out = sum(1 for s in skews if not self.tolerance.in_sync(s))
+        return SkewReport(
+            mean_skew=float(arr.mean()),
+            max_abs_skew=float(np.abs(arr).max()),
+            fraction_out_of_sync=out / len(skews),
+            n_samples=len(skews),
+        )
+
+
+def resync_schedule(
+    skew: float, tolerance: SyncTolerance, frame_period: float
+) -> int:
+    """How many frames to drop (>0) or repeat (<0) to null out ``skew``.
+
+    A lagging stream (positive skew beyond ``max_lag``) drops frames to
+    catch up; a leading stream (negative skew beyond ``max_lead``)
+    repeats frames to wait.  Returns 0 when already within tolerance.
+    """
+    if frame_period <= 0:
+        raise ValueError("frame period must be positive")
+    if tolerance.in_sync(skew):
+        return 0
+    frames = math.ceil(abs(skew) / frame_period)
+    return frames if skew > 0 else -frames

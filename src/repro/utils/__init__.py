@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG streams, statistics, and table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.utils.rng import RandomStreams, spawn_rng
+from repro.utils.stats import (
+    SummaryStats,
+    TimeWeightedStats,
+    confidence_interval,
+    batch_means,
+)
+from repro.utils.tables import Table, format_ratio, format_si
+
+__all__ = [
+    "RandomStreams",
+    "spawn_rng",
+    "SummaryStats",
+    "TimeWeightedStats",
+    "confidence_interval",
+    "batch_means",
+    "Table",
+    "format_ratio",
+    "format_si",
+]

@@ -1,0 +1,103 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark in ``benchmarks/`` prints the rows it reproduces from the
+paper through :class:`Table`, so the reproduction output has one consistent
+look that is easy to diff against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["Table", "format_ratio", "format_si"]
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Format a multiplicative factor, e.g. ``7.31x``."""
+    return f"{value:.{digits}f}x"
+
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.1e-3, 'J')``.
+
+    >>> format_si(2.1e-3, 'J')
+    '2.10 mJ'
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            return f"{value / factor:.{digits - 1}f} {prefix}{unit}".strip()
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{digits - 1}f} {prefix}{unit}".strip()
+
+
+class Table:
+    """Minimal monospace table with a title, used by the bench harness.
+
+    Examples
+    --------
+    >>> t = Table(["scheme", "energy"], title="demo")
+    >>> t.add_row(["EDF", 1.0])
+    >>> t.add_row(["EAS", 0.55])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    === demo ===
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append one row; floats are formatted to 4 significant digits."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        formatted = []
+        for value in values:
+            if isinstance(value, float):
+                formatted.append(f"{value:.4g}")
+            else:
+                formatted.append(str(value))
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Return the table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(f"=== {self.title} ===")
+        parts.append(line(self.columns))
+        parts.append(line(["-" * w for w in widths]))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def show(self) -> None:
+        """Print the rendered table (benchmarks call this)."""
+        print()
+        print(self.render())

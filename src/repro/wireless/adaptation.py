@@ -1,0 +1,172 @@
+"""Dynamic transceiver adaptation (E6, after [26]).
+
+"a low energy wireless communication system can be envisioned, where the
+modulation level and transmit power of the transmitter and the
+complexity of the channel decoder of the receiver are dynamically
+changed to match the characteristics of the communication channel ...
+Experimental results show an average of 12% reduction in the overall
+energy consumption of the transceivers without any appreciable
+performance penalty." (§4)
+
+Both policies meet the same BER target in every channel state (transmit
+power is always controlled); the *static* baseline is locked to one
+(modulation, code) pair — the expected-energy-optimal single choice —
+while the *dynamic* policy re-picks the pair per state (the best
+response of the [26] game).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.wireless.channel import ChannelState, FiniteStateChannel
+from repro.wireless.coding import CODE_LADDER, ConvolutionalCode
+from repro.wireless.energy import (
+    LinkConfig,
+    TransceiverParams,
+    link_energy,
+)
+from repro.wireless.modulation import MODULATIONS, Modulation
+
+__all__ = ["AdaptationResult", "config_space", "best_config_for_state",
+           "static_policy_energy", "dynamic_policy_energy",
+           "evaluate_adaptation"]
+
+
+def config_space(
+    modulations: tuple[Modulation, ...] = MODULATIONS,
+    codes: tuple[ConvolutionalCode, ...] = CODE_LADDER,
+) -> list[LinkConfig]:
+    """Every (modulation, code) pair the adaptation may pick."""
+    return [
+        LinkConfig(m, c) for m, c in itertools.product(modulations, codes)
+    ]
+
+
+def best_config_for_state(
+    configs: list[LinkConfig],
+    state: ChannelState,
+    channel: FiniteStateChannel,
+    params: TransceiverParams,
+    info_bits: float,
+    target_ber: float,
+) -> tuple[LinkConfig, float]:
+    """The per-state best response: minimum-energy configuration."""
+    best: tuple[LinkConfig, float] | None = None
+    for config in configs:
+        energy = link_energy(
+            config, info_bits, channel, state, params, target_ber
+        )
+        if best is None or energy < best[1]:
+            best = (config, energy)
+    assert best is not None
+    return best
+
+
+def static_policy_energy(
+    configs: list[LinkConfig],
+    channel: FiniteStateChannel,
+    params: TransceiverParams,
+    info_bits: float,
+    target_ber: float,
+) -> tuple[LinkConfig, float]:
+    """Expected energy of the best *single* configuration.
+
+    Power control still tracks the channel (industry baseline), but
+    modulation and decoder complexity are frozen.
+    """
+    best: tuple[LinkConfig, float] | None = None
+    for config in configs:
+        expected = sum(
+            state.probability * link_energy(
+                config, info_bits, channel, state, params, target_ber
+            )
+            for state in channel.states
+        )
+        if best is None or expected < best[1]:
+            best = (config, expected)
+    assert best is not None
+    return best
+
+
+def dynamic_policy_energy(
+    configs: list[LinkConfig],
+    channel: FiniteStateChannel,
+    params: TransceiverParams,
+    info_bits: float,
+    target_ber: float,
+) -> tuple[dict[str, LinkConfig], float]:
+    """Expected energy when the configuration adapts per state."""
+    per_state: dict[str, LinkConfig] = {}
+    expected = 0.0
+    for state in channel.states:
+        config, energy = best_config_for_state(
+            configs, state, channel, params, info_bits, target_ber
+        )
+        per_state[state.name] = config
+        expected += state.probability * energy
+    return per_state, expected
+
+
+@dataclass
+class AdaptationResult:
+    """Outcome of the E6 study."""
+
+    static_config: LinkConfig
+    static_energy: float
+    dynamic_configs: dict[str, LinkConfig]
+    dynamic_energy: float
+    per_state_static: dict[str, float] = field(default_factory=dict)
+    per_state_dynamic: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_reduction(self) -> float:
+        """Fractional average energy saving of dynamic over static."""
+        if self.static_energy <= 0:
+            return math.nan
+        return 1.0 - self.dynamic_energy / self.static_energy
+
+    @property
+    def adapts(self) -> bool:
+        """True when the dynamic policy actually switches configs."""
+        return len({str(c) for c in self.dynamic_configs.values()}) > 1
+
+
+def evaluate_adaptation(
+    channel: FiniteStateChannel | None = None,
+    params: TransceiverParams | None = None,
+    info_bits: float = 1e6,
+    target_ber: float = 1e-5,
+    configs: list[LinkConfig] | None = None,
+) -> AdaptationResult:
+    """Run the complete static-vs-dynamic comparison of E6."""
+    channel = channel or FiniteStateChannel.indoor_default()
+    params = params or TransceiverParams()
+    configs = configs or config_space()
+
+    static_config, static_energy = static_policy_energy(
+        configs, channel, params, info_bits, target_ber
+    )
+    dynamic_configs, dynamic_energy = dynamic_policy_energy(
+        configs, channel, params, info_bits, target_ber
+    )
+    per_state_static = {
+        s.name: link_energy(static_config, info_bits, channel, s,
+                            params, target_ber)
+        for s in channel.states
+    }
+    per_state_dynamic = {
+        s.name: link_energy(dynamic_configs[s.name], info_bits, channel,
+                            s, params, target_ber)
+        for s in channel.states
+    }
+    return AdaptationResult(
+        static_config=static_config,
+        static_energy=static_energy,
+        dynamic_configs=dynamic_configs,
+        dynamic_energy=dynamic_energy,
+        per_state_static=per_state_static,
+        per_state_dynamic=per_state_dynamic,
+    )

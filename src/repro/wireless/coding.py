@@ -1,0 +1,100 @@
+"""Channel coding: the coding-gain vs. decoder-complexity trade-off.
+
+"The second category of techniques, which focus on the base-band
+transceiver, studies the interaction between code performance and
+encoder/decoder design complexity.  The key trade-off is between the
+complexity of the encoding/decoding algorithms and the BER." (§4)
+
+Convolutional codes with Viterbi decoding: coding gain grows roughly
+logarithmically with constraint length K while decoder work grows as
+2^(K-1) states — the exact tension the E6 adaptation policy exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.wireless.modulation import db_to_linear
+
+__all__ = ["ConvolutionalCode", "UNCODED", "CODE_LADDER"]
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """A rate-1/2-family convolutional code with Viterbi decoding.
+
+    Parameters
+    ----------
+    constraint_length:
+        K; 1 denotes "uncoded".
+    rate:
+        Code rate (information bits per channel bit).
+    coding_gain_db:
+        Eb/N0 reduction at the target BER relative to uncoded.
+    """
+
+    constraint_length: int
+    rate: float
+    coding_gain_db: float
+
+    def __post_init__(self) -> None:
+        if self.constraint_length < 1:
+            raise ValueError("constraint length must be >= 1")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must lie in (0, 1]")
+        if self.coding_gain_db < 0:
+            raise ValueError("coding gain must be non-negative")
+
+    @property
+    def coding_gain(self) -> float:
+        """Linear coding gain."""
+        return db_to_linear(self.coding_gain_db)
+
+    @property
+    def is_uncoded(self) -> bool:
+        """True for the trivial K=1 'code'."""
+        return self.constraint_length == 1
+
+    def decoder_ops_per_bit(self) -> float:
+        """Viterbi add-compare-select operations per decoded bit.
+
+        2^(K-1) trellis states, ~4 ops per state per bit; uncoded
+        decoding is free.
+        """
+        if self.is_uncoded:
+            return 0.0
+        return 4.0 * 2.0 ** (self.constraint_length - 1)
+
+    def decoder_energy_per_bit(self, energy_per_op: float = 5e-12
+                               ) -> float:
+        """Joules of decoder work per information bit."""
+        if energy_per_op < 0:
+            raise ValueError("energy per op must be non-negative")
+        return self.decoder_ops_per_bit() * energy_per_op
+
+    def channel_bits(self, info_bits: float) -> float:
+        """Channel bits needed to carry ``info_bits``."""
+        if info_bits < 0:
+            raise ValueError("info bits must be non-negative")
+        return info_bits / self.rate
+
+    def __str__(self) -> str:
+        if self.is_uncoded:
+            return "uncoded"
+        return f"K={self.constraint_length} r={self.rate:g}"
+
+
+#: No coding at all.
+UNCODED = ConvolutionalCode(constraint_length=1, rate=1.0,
+                            coding_gain_db=0.0)
+
+#: The decoder-complexity ladder of the E6 adaptation policy: textbook
+#: soft-decision coding gains at BER 1e-5 for rate-1/2 codes.
+CODE_LADDER = (
+    UNCODED,
+    ConvolutionalCode(constraint_length=3, rate=0.5, coding_gain_db=3.3),
+    ConvolutionalCode(constraint_length=5, rate=0.5, coding_gain_db=4.5),
+    ConvolutionalCode(constraint_length=7, rate=0.5, coding_gain_db=5.7),
+    ConvolutionalCode(constraint_length=9, rate=0.5, coding_gain_db=6.5),
+)

@@ -1,0 +1,110 @@
+"""First-order transceiver energy model.
+
+Energy to move bits over the air splits into power-amplifier energy
+(scales with required transmit power, hence with channel state and the
+modulation's SNR demand) and electronics energy (scales with airtime,
+hence inversely with spectral efficiency), plus baseband decoder work
+(scales with code complexity).  This is the cost function both E6
+policies optimize.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.wireless.channel import ChannelState, FiniteStateChannel
+from repro.wireless.coding import ConvolutionalCode
+from repro.wireless.modulation import Modulation
+
+__all__ = ["TransceiverParams", "LinkConfig", "link_energy"]
+
+
+@dataclass(frozen=True)
+class TransceiverParams:
+    """Hardware constants of the radio.
+
+    Parameters
+    ----------
+    symbol_rate:
+        Symbols per second (bandwidth-fixed).
+    amplifier_efficiency:
+        PA drain efficiency η — radiated/drawn power.
+    tx_electronics_power, rx_electronics_power:
+        Watts drawn by the TX/RX chains while active.
+    decoder_energy_per_op:
+        Joules per Viterbi add-compare-select operation.
+    """
+
+    symbol_rate: float = 1e6
+    amplifier_efficiency: float = 0.35
+    tx_electronics_power: float = 0.10
+    rx_electronics_power: float = 0.08
+    decoder_energy_per_op: float = 5e-12
+
+    def __post_init__(self) -> None:
+        if self.symbol_rate <= 0:
+            raise ValueError("symbol rate must be positive")
+        if not 0.0 < self.amplifier_efficiency <= 1.0:
+            raise ValueError("amplifier efficiency must lie in (0, 1]")
+        if (self.tx_electronics_power < 0
+                or self.rx_electronics_power < 0
+                or self.decoder_energy_per_op < 0):
+            raise ValueError("powers must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """One operating point of the link: modulation plus channel code."""
+
+    modulation: Modulation
+    code: ConvolutionalCode
+
+    def airtime(self, info_bits: float, params: TransceiverParams
+                ) -> float:
+        """Seconds on air to carry ``info_bits``."""
+        if info_bits < 0:
+            raise ValueError("info bits must be non-negative")
+        channel_bits = self.code.channel_bits(info_bits)
+        return channel_bits / (
+            self.modulation.bits_per_symbol * params.symbol_rate
+        )
+
+    def required_snr(self, target_ber: float) -> float:
+        """Received Es/N0 needed for ``target_ber`` after decoding."""
+        per_bit = self.modulation.required_snr_per_bit(target_ber)
+        per_bit /= self.code.coding_gain
+        return per_bit * self.modulation.bits_per_symbol
+
+    def __str__(self) -> str:
+        return f"{self.modulation}/{self.code}"
+
+
+def link_energy(
+    config: LinkConfig,
+    info_bits: float,
+    channel: FiniteStateChannel,
+    state: ChannelState,
+    params: TransceiverParams,
+    target_ber: float = 1e-5,
+) -> float:
+    """Total transceiver energy (J) to deliver ``info_bits`` in
+    ``state`` at ``target_ber``.
+
+    TX side: PA energy (required radiated power / η) plus electronics;
+    RX side: electronics plus Viterbi decoding work.
+    """
+    airtime = config.airtime(info_bits, params)
+    snr = config.required_snr(target_ber)
+    tx_power = channel.required_tx_power(snr, state)
+    pa_energy = tx_power / params.amplifier_efficiency * airtime
+    tx_energy = pa_energy + params.tx_electronics_power * airtime
+    decode_energy = (
+        config.code.decoder_energy_per_bit(params.decoder_energy_per_op)
+        * info_bits
+    )
+    rx_energy = params.rx_electronics_power * airtime + decode_energy
+    total = tx_energy + rx_energy
+    if not math.isfinite(total):
+        raise ValueError("non-finite link energy (check parameters)")
+    return total

@@ -1,0 +1,90 @@
+"""Bridge from bit-level link models to packet-level stream channels.
+
+The Fig.1(a) stream pipeline consumes an
+:class:`~repro.streams.channel.ErrorModel`; the §4 wireless stack
+produces BER-vs-SNR curves.  This module connects them: a link
+configuration plus a channel state yields the per-packet loss/error
+probabilities the stream simulation needs, so end-to-end studies
+(e.g. video over an adaptive radio) compose from both layers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.streams.channel import ErrorModel, PacketFate
+from repro.streams.packets import Packet
+from repro.wireless.channel import ChannelState, FiniteStateChannel
+from repro.wireless.energy import LinkConfig
+
+__all__ = ["packet_error_rate", "LinkErrorModel", "link_error_model"]
+
+
+def packet_error_rate(ber: float, packet_bits: float) -> float:
+    """Probability a packet of ``packet_bits`` carries >= 1 bit error.
+
+    1 − (1 − BER)^bits, computed in log space for stability.
+
+    >>> round(packet_error_rate(1e-5, 10_000.0), 4)
+    0.0952
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise ValueError("ber must be a probability")
+    if packet_bits < 0:
+        raise ValueError("packet_bits must be non-negative")
+    if ber == 0.0:
+        return 0.0
+    if ber == 1.0:
+        return 1.0
+    return -math.expm1(packet_bits * math.log1p(-ber))
+
+
+class LinkErrorModel(ErrorModel):
+    """Packet fates driven by a modulation/coding BER curve.
+
+    Parameters
+    ----------
+    ber:
+        Post-decoding bit error rate of the link.
+    loss_threshold_bits:
+        Errors in the header/sync portion kill the packet outright;
+        errors elsewhere corrupt it.  Modeled by exposing this many
+        bits of each packet as fatal.
+    """
+
+    def __init__(self, ber: float, loss_threshold_bits: float = 64.0):
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError("ber must be a probability")
+        if loss_threshold_bits < 0:
+            raise ValueError("threshold must be non-negative")
+        self.ber = ber
+        self.loss_threshold_bits = loss_threshold_bits
+
+    def classify(self, packet: Packet, rng: np.random.Generator
+                 ) -> PacketFate:
+        p_fatal = packet_error_rate(self.ber, self.loss_threshold_bits)
+        if rng.random() < p_fatal:
+            return PacketFate.LOST
+        payload_bits = max(packet.size_bits
+                           - self.loss_threshold_bits, 0.0)
+        if rng.random() < packet_error_rate(self.ber, payload_bits):
+            return PacketFate.ERROR
+        return PacketFate.OK
+
+
+def link_error_model(
+    config: LinkConfig,
+    channel: FiniteStateChannel,
+    state: ChannelState,
+    tx_power: float,
+) -> LinkErrorModel:
+    """Error model of ``config`` transmitting at ``tx_power`` in
+    ``state`` — the composition point between §4 radios and Fig.1(a)
+    streams."""
+    snr = channel.snr(tx_power, state)
+    snr_per_bit = (snr / config.modulation.bits_per_symbol
+                   * config.code.coding_gain)
+    ber = config.modulation.ber(snr_per_bit)
+    return LinkErrorModel(ber=ber)

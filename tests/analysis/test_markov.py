@@ -1,0 +1,172 @@
+"""Tests for DTMC and CTMC solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CTMC, DTMC, birth_death_rates
+from repro.utils.rng import spawn_rng
+
+
+class TestDTMCConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DTMC([[0.5, 0.5]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DTMC([[1.5, -0.5], [0.5, 0.5]])
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ValueError):
+            DTMC([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_labels(self):
+        chain = DTMC([[0.5, 0.5], [0.5, 0.5]], labels=["good", "bad"])
+        assert chain.index("bad") == 1
+        with pytest.raises(ValueError):
+            DTMC([[1.0]], labels=["a", "b"])
+
+
+class TestDTMCSteadyState:
+    def test_two_state_closed_form(self):
+        # pi = (b, a)/(a+b) for flip rates a=0.1, b=0.5
+        chain = DTMC([[0.9, 0.1], [0.5, 0.5]])
+        pi = chain.steady_state()
+        assert pi == pytest.approx([5 / 6, 1 / 6])
+
+    def test_identity_preserved(self):
+        chain = DTMC([[0.2, 0.8], [0.6, 0.4]])
+        pi = chain.steady_state()
+        assert pi @ chain.P == pytest.approx(pi)
+
+    def test_sums_to_one(self):
+        chain = DTMC(np.full((5, 5), 0.2))
+        assert chain.steady_state().sum() == pytest.approx(1.0)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=1000))
+    def test_random_chain_invariants(self, n, seed):
+        rng = np.random.default_rng(seed)
+        P = rng.random((n, n)) + 0.01
+        P /= P.sum(axis=1, keepdims=True)
+        chain = DTMC(P)
+        pi = chain.steady_state()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+        assert pi @ P == pytest.approx(pi, abs=1e-8)
+
+    def test_agrees_with_simulation(self):
+        chain = DTMC([[0.7, 0.3], [0.2, 0.8]])
+        pi = chain.steady_state()
+        trajectory = chain.simulate(
+            200_000, spawn_rng(0, "dtmc-test"), start=0
+        )
+        empirical = np.bincount(trajectory, minlength=2) / len(trajectory)
+        assert empirical == pytest.approx(pi, abs=0.01)
+
+
+class TestDTMCStructure:
+    def test_irreducible(self):
+        assert DTMC([[0.5, 0.5], [0.5, 0.5]]).is_irreducible()
+
+    def test_reducible(self):
+        assert not DTMC([[1.0, 0.0], [0.5, 0.5]]).is_irreducible()
+
+    def test_step_evolution(self):
+        chain = DTMC([[0.0, 1.0], [1.0, 0.0]])
+        pi = chain.step([1.0, 0.0], n_steps=3)
+        assert pi == pytest.approx([0.0, 1.0])
+
+    def test_step_validation(self):
+        chain = DTMC([[1.0]])
+        with pytest.raises(ValueError):
+            chain.step([0.5, 0.5])
+        with pytest.raises(ValueError):
+            chain.step([0.9])
+        with pytest.raises(ValueError):
+            chain.step([1.0], n_steps=-1)
+
+    def test_hitting_times_simple(self):
+        # symmetric random walk on 3 states, hitting state 2
+        chain = DTMC([
+            [0.5, 0.5, 0.0],
+            [0.25, 0.5, 0.25],
+            [0.0, 0.0, 1.0],
+        ])
+        h = chain.expected_hitting_times(2)
+        assert h[2] == 0.0
+        # balance equations:
+        # h0 = 1 + .5 h0 + .5 h1 ; h1 = 1 + .25 h0 + .5 h1
+        # -> h0 = 8, h1 = 6
+        assert h[0] == pytest.approx(8.0)
+        assert h[1] == pytest.approx(6.0)
+
+    def test_hitting_target_validated(self):
+        with pytest.raises(ValueError):
+            DTMC([[1.0]]).expected_hitting_times(3)
+
+
+class TestCTMC:
+    def test_row_sum_enforced(self):
+        with pytest.raises(ValueError):
+            CTMC([[-1.0, 0.5], [1.0, -1.0]])
+
+    def test_negative_off_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC([[1.0, -1.0], [2.0, -2.0]])
+
+    def test_two_state_steady_state(self):
+        # rates: 0->1 at 1, 1->0 at 3  =>  pi = (0.75, 0.25)
+        chain = CTMC([[-1.0, 1.0], [3.0, -3.0]])
+        assert chain.steady_state() == pytest.approx([0.75, 0.25])
+
+    def test_from_rates_builds_generator(self):
+        chain = CTMC.from_rates({(0, 1): 2.0, (1, 0): 4.0}, n_states=2)
+        assert chain.Q[0, 0] == pytest.approx(-2.0)
+        assert chain.Q[1, 1] == pytest.approx(-4.0)
+
+    def test_from_rates_validation(self):
+        with pytest.raises(ValueError):
+            CTMC.from_rates({(0, 0): 1.0}, n_states=1)
+        with pytest.raises(ValueError):
+            CTMC.from_rates({(0, 1): -1.0}, n_states=2)
+
+    def test_mm1_2_steady_state_matches_formula(self):
+        lam, mu, k = 1.0, 2.0, 2
+        chain = CTMC.from_rates(
+            birth_death_rates([lam] * k, [mu] * k), n_states=k + 1
+        )
+        pi = chain.steady_state()
+        rho = lam / mu
+        expected = np.array([rho**n for n in range(k + 1)])
+        expected /= expected.sum()
+        assert pi == pytest.approx(expected)
+
+    def test_transient_converges_to_steady_state(self):
+        chain = CTMC([[-1.0, 1.0], [3.0, -3.0]])
+        pi_t = chain.transient([1.0, 0.0], t=50.0)
+        assert pi_t == pytest.approx(chain.steady_state(), abs=1e-6)
+
+    def test_transient_at_zero_is_initial(self):
+        chain = CTMC([[-1.0, 1.0], [3.0, -3.0]])
+        assert chain.transient([1.0, 0.0], t=0.0) == pytest.approx(
+            [1.0, 0.0]
+        )
+
+    def test_transient_validation(self):
+        chain = CTMC([[-1.0, 1.0], [3.0, -3.0]])
+        with pytest.raises(ValueError):
+            chain.transient([1.0, 0.0], t=-1.0)
+        with pytest.raises(ValueError):
+            chain.transient([1.0], t=1.0)
+
+    def test_expected_value(self):
+        chain = CTMC([[-1.0, 1.0], [3.0, -3.0]])
+        assert chain.expected_value([0.0, 4.0]) == pytest.approx(1.0)
+
+    def test_birth_death_length_mismatch(self):
+        with pytest.raises(ValueError):
+            birth_death_rates([1.0], [1.0, 2.0])

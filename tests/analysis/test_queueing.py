@@ -1,0 +1,203 @@
+"""Tests for queueing formulas and the sim-vs-analysis harness."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    MG1,
+    MM1,
+    MM1K,
+    AnalyticalStreamModel,
+    compare_mm1k,
+    erlang_b,
+    simulate_mm1k,
+)
+
+
+class TestMM1:
+    def test_textbook_values(self):
+        q = MM1(arrival_rate=2.0, service_rate=4.0)
+        assert q.utilization == 0.5
+        assert q.mean_queue_length() == pytest.approx(1.0)
+        assert q.mean_waiting_time() == pytest.approx(0.5)
+        assert q.mean_queueing_delay() == pytest.approx(0.25)
+
+    def test_littles_law(self):
+        q = MM1(arrival_rate=3.0, service_rate=5.0)
+        assert q.mean_queue_length() == pytest.approx(
+            q.arrival_rate * q.mean_waiting_time()
+        )
+
+    def test_unstable_raises(self):
+        q = MM1(arrival_rate=5.0, service_rate=4.0)
+        with pytest.raises(ValueError, match="unstable"):
+            q.mean_queue_length()
+
+    def test_state_probabilities_geometric(self):
+        q = MM1(arrival_rate=1.0, service_rate=2.0)
+        assert q.prob_n(0) == pytest.approx(0.5)
+        assert q.prob_n(1) == pytest.approx(0.25)
+        assert q.prob_exceeds(1) == pytest.approx(0.25)
+
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    def test_probabilities_sum_to_one(self, rho):
+        q = MM1(arrival_rate=rho, service_rate=1.0)
+        total = sum(q.prob_n(n) for n in range(200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestMM1K:
+    def test_probabilities_sum_to_one(self):
+        q = MM1K(arrival_rate=3.0, service_rate=2.0, capacity=5)
+        assert q.state_probabilities().sum() == pytest.approx(1.0)
+
+    def test_rho_equal_one_uniform(self):
+        q = MM1K(arrival_rate=2.0, service_rate=2.0, capacity=4)
+        assert q.state_probabilities() == pytest.approx([0.2] * 5)
+
+    def test_blocking_grows_with_load(self):
+        low = MM1K(1.0, 2.0, capacity=4).blocking_probability()
+        high = MM1K(3.0, 2.0, capacity=4).blocking_probability()
+        assert high > low
+
+    def test_blocking_shrinks_with_capacity(self):
+        small = MM1K(1.5, 2.0, capacity=2).blocking_probability()
+        large = MM1K(1.5, 2.0, capacity=10).blocking_probability()
+        assert large < small
+
+    def test_converges_to_mm1_for_large_k(self):
+        q = MM1K(1.0, 2.0, capacity=200)
+        reference = MM1(1.0, 2.0)
+        assert q.mean_queue_length() == pytest.approx(
+            reference.mean_queue_length(), rel=1e-6
+        )
+        assert q.blocking_probability() < 1e-30
+
+    def test_throughput_never_exceeds_service(self):
+        q = MM1K(100.0, 2.0, capacity=3)
+        assert q.throughput() <= q.service_rate + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MM1K(1.0, 0.0, capacity=2)
+        with pytest.raises(ValueError):
+            MM1K(1.0, 1.0, capacity=0)
+
+
+class TestMG1:
+    def test_exponential_matches_mm1(self):
+        mg1 = MG1(arrival_rate=1.0, service_mean=0.25, service_scv=1.0)
+        mm1 = MM1(arrival_rate=1.0, service_rate=4.0)
+        assert mg1.mean_waiting_time() == pytest.approx(
+            mm1.mean_waiting_time()
+        )
+
+    def test_deterministic_halves_queueing(self):
+        exp = MG1(1.0, 0.5, service_scv=1.0)
+        det = MG1(1.0, 0.5, service_scv=0.0)
+        exp_queueing = exp.mean_waiting_time() - 0.5
+        det_queueing = det.mean_waiting_time() - 0.5
+        assert det_queueing == pytest.approx(exp_queueing / 2)
+
+    def test_waiting_grows_with_scv(self):
+        low = MG1(1.0, 0.5, service_scv=0.5).mean_waiting_time()
+        high = MG1(1.0, 0.5, service_scv=4.0).mean_waiting_time()
+        assert high > low
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            MG1(3.0, 0.5).mean_waiting_time()
+
+
+class TestErlangB:
+    def test_single_server(self):
+        # B(1, a) = a / (1 + a)
+        assert erlang_b(1.0, 1) == pytest.approx(0.5)
+
+    def test_zero_load(self):
+        assert erlang_b(0.0, 5) == 0.0
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(2.0, 0) == 1.0
+
+    def test_monotone_in_servers(self):
+        values = [erlang_b(5.0, n) for n in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestSimVsAnalysis:
+    def test_simulation_matches_formula(self):
+        rows, sim_s, ana_s = compare_mm1k(
+            arrival_rate=8.0, service_rate=10.0, capacity=5,
+            horizon=3_000.0, warmup=200.0, seed=1,
+        )
+        by_name = {r.metric: r for r in rows}
+        assert by_name["blocking_probability"].relative_error < 0.15
+        assert by_name["throughput"].relative_error < 0.05
+        assert by_name["mean_queue_length"].relative_error < 0.10
+        assert by_name["mean_waiting_time"].relative_error < 0.10
+
+    def test_analysis_much_faster(self):
+        rows, sim_s, ana_s = compare_mm1k(
+            8.0, 10.0, 5, horizon=500.0, warmup=50.0
+        )
+        assert ana_s < sim_s
+
+    def test_simulate_validation(self):
+        with pytest.raises(ValueError):
+            simulate_mm1k(0.0, 1.0, 1, horizon=10.0)
+        with pytest.raises(ValueError):
+            simulate_mm1k(1.0, 1.0, 0, horizon=10.0)
+        with pytest.raises(ValueError):
+            simulate_mm1k(1.0, 1.0, 1, horizon=1.0, warmup=2.0)
+
+
+class TestAnalyticalStreamModel:
+    def test_lossless_fast_sink_no_loss(self):
+        model = AnalyticalStreamModel(
+            source_rate=10.0, channel_loss=0.0,
+            service_rate=1000.0, rx_capacity=16,
+        )
+        result = model.solve()
+        assert result.throughput == pytest.approx(10.0, rel=1e-3)
+        assert result.loss_rate < 1e-6
+
+    def test_channel_loss_floors_total_loss(self):
+        model = AnalyticalStreamModel(
+            source_rate=10.0, channel_loss=0.2,
+            service_rate=1000.0, rx_capacity=16,
+        )
+        result = model.solve()
+        assert result.loss_rate == pytest.approx(0.2, abs=1e-6)
+
+    def test_slow_sink_adds_blocking(self):
+        model = AnalyticalStreamModel(
+            source_rate=50.0, channel_loss=0.1,
+            service_rate=30.0, rx_capacity=4,
+        )
+        result = model.solve()
+        assert result.loss_rate > 0.1
+        assert result.throughput < 30.0
+        assert result.mean_rx_occupancy > 1.0
+
+    def test_power_accounting(self):
+        model = AnalyticalStreamModel(
+            source_rate=10.0, channel_loss=0.0,
+            service_rate=100.0, rx_capacity=8,
+            packet_bits=1000.0, tx_energy_per_bit=1e-9,
+            rx_energy_per_bit=1e-9,
+        )
+        result = model.solve()
+        # tx: 10*1000*1e-9 = 1e-5 W; rx nearly the same
+        assert result.power == pytest.approx(2e-5, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalyticalStreamModel(0.0, 0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            AnalyticalStreamModel(1.0, 1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            AnalyticalStreamModel(1.0, 0.0, 1.0, 0)

@@ -1,0 +1,268 @@
+"""Tests for the ASIP substrate: ISA, profiler, selection, design flow."""
+
+import math
+
+import pytest
+
+from repro.asip import (
+    CustomInstruction,
+    ExtensibleProcessor,
+    ExtensibleProcessorFlow,
+    IsaRestrictions,
+    IssProfiler,
+    Kernel,
+    Workload,
+    mpeg2_encoder_workload,
+    select_extensions_greedy,
+    select_extensions_optimal,
+    voice_recognition_workload,
+)
+
+
+def tiny_workload():
+    return Workload("tiny", [
+        Kernel("hot", 10, 10_000.0, ext_speedup=10.0, ext_gates=20_000.0),
+        Kernel("warm", 10, 3_000.0, ext_speedup=5.0, ext_gates=15_000.0),
+        Kernel("glue", 1, 20_000.0),
+    ])
+
+
+class TestIsa:
+    def test_custom_instruction_validation(self):
+        with pytest.raises(ValueError):
+            CustomInstruction("x", "k", speedup=1.0, gates=100.0)
+        with pytest.raises(ValueError):
+            CustomInstruction("x", "k", speedup=2.0, gates=0.0)
+        with pytest.raises(ValueError):
+            CustomInstruction("x", "k", speedup=2.0, gates=10.0,
+                              latency_cycles=0)
+
+    def test_admissibility(self):
+        restrictions = IsaRestrictions(max_latency_cycles=3)
+        ok = CustomInstruction("a", "k", 2.0, 100.0, latency_cycles=3)
+        bad = CustomInstruction("b", "k", 2.0, 100.0, latency_cycles=4)
+        assert ok.admissible(restrictions)
+        assert not bad.admissible(restrictions)
+
+    def test_processor_gate_count(self):
+        proc = ExtensibleProcessor(base_gates=50_000.0, extensions=[
+            CustomInstruction("a", "k1", 2.0, 10_000.0),
+            CustomInstruction("b", "k2", 2.0, 5_000.0),
+        ])
+        assert proc.gate_count() == pytest.approx(65_000.0)
+
+    def test_processor_rejects_duplicate_kernel(self):
+        with pytest.raises(ValueError):
+            ExtensibleProcessor(extensions=[
+                CustomInstruction("a", "k", 2.0, 100.0),
+                CustomInstruction("b", "k", 3.0, 100.0),
+            ])
+
+    def test_processor_rejects_over_budget(self):
+        restrictions = IsaRestrictions(gate_budget=60_000.0)
+        with pytest.raises(ValueError):
+            ExtensibleProcessor(
+                base_gates=55_000.0, restrictions=restrictions,
+                extensions=[CustomInstruction("a", "k", 2.0, 10_000.0)],
+            )
+
+    def test_processor_rejects_too_many_instructions(self):
+        restrictions = IsaRestrictions(max_instructions=1)
+        with pytest.raises(ValueError):
+            ExtensibleProcessor(restrictions=restrictions, extensions=[
+                CustomInstruction("a", "k1", 2.0, 100.0),
+                CustomInstruction("b", "k2", 2.0, 100.0),
+            ])
+
+    def test_speedup_for(self):
+        proc = ExtensibleProcessor(extensions=[
+            CustomInstruction("a", "fft", 8.0, 1_000.0),
+        ])
+        assert proc.speedup_for("fft") == 8.0
+        assert proc.speedup_for("other") == 1.0
+
+
+class TestWorkloads:
+    def test_voice_recognition_profile_shape(self):
+        workload = voice_recognition_workload()
+        total = workload.total_cycles()
+        glue = workload.kernel("control_glue").total_cycles
+        # accelerable fraction must dominate for 5-10x to be possible
+        assert glue / total < 0.1
+        assert len(workload.candidates()) == 9
+
+    def test_duplicate_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            Workload("bad", [Kernel("k", 1, 1.0), Kernel("k", 1, 1.0)])
+
+    def test_kernel_candidate_none_when_no_speedup(self):
+        assert Kernel("glue", 1, 100.0).candidate() is None
+
+    def test_kernel_lookup(self):
+        workload = tiny_workload()
+        assert workload.kernel("hot").invocations == 10
+        with pytest.raises(KeyError):
+            workload.kernel("ghost")
+
+
+class TestProfiler:
+    def test_base_profile_matches_workload(self):
+        workload = tiny_workload()
+        profile = IssProfiler(ExtensibleProcessor()).run(workload)
+        assert profile.total_cycles == pytest.approx(
+            workload.total_cycles()
+        )
+        assert sum(k.fraction for k in profile.per_kernel) == \
+            pytest.approx(1.0)
+
+    def test_custom_instruction_shrinks_kernel(self):
+        workload = tiny_workload()
+        custom = ExtensibleProcessor(extensions=[
+            CustomInstruction("xt_hot", "hot", 10.0, 20_000.0),
+        ])
+        profile = IssProfiler(custom).run(workload)
+        assert profile.cycles_of("hot") == pytest.approx(10_000.0)
+        assert profile.cycles_of("glue") == pytest.approx(20_000.0)
+
+    def test_hotspots_cover_requested_fraction(self):
+        profile = IssProfiler(ExtensibleProcessor()).run(
+            voice_recognition_workload()
+        )
+        hot = profile.hotspots(coverage=0.8)
+        assert sum(k.fraction for k in hot) >= 0.8
+        assert len(hot) < len(profile.per_kernel)
+
+    def test_hotspots_sorted_descending(self):
+        profile = IssProfiler(ExtensibleProcessor()).run(tiny_workload())
+        hot = profile.hotspots(coverage=1.0)
+        cycles = [k.cycles for k in hot]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_speedup_over(self):
+        workload = tiny_workload()
+        base = ExtensibleProcessor()
+        custom = base.with_extensions([
+            CustomInstruction("xt_hot", "hot", 10.0, 20_000.0),
+        ])
+        speedup = IssProfiler(custom).speedup_over(workload, base)
+        # 150k -> 10k + 30k + 20k = 60k  => 2.5x
+        assert speedup == pytest.approx(2.5)
+
+    def test_execution_time(self):
+        profile = IssProfiler(ExtensibleProcessor()).run(tiny_workload())
+        assert profile.execution_time(1e6) == pytest.approx(
+            profile.total_cycles / 1e6
+        )
+        with pytest.raises(ValueError):
+            profile.execution_time(0.0)
+
+
+class TestSelection:
+    def test_optimal_beats_or_matches_greedy(self):
+        workload = voice_recognition_workload()
+        profile = IssProfiler(ExtensibleProcessor()).run(workload)
+        restrictions = IsaRestrictions(max_instructions=4,
+                                       gate_budget=200_000.0)
+        greedy = select_extensions_greedy(
+            profile, workload.candidates(), restrictions,
+            extension_budget=60_000.0,
+        )
+        optimal = select_extensions_optimal(
+            profile, workload.candidates(), restrictions,
+            extension_budget=60_000.0,
+        )
+        assert optimal.cycles_saved >= greedy.cycles_saved - 1e-9
+
+    def test_instruction_count_respected(self):
+        workload = voice_recognition_workload()
+        profile = IssProfiler(ExtensibleProcessor()).run(workload)
+        restrictions = IsaRestrictions(max_instructions=3)
+        result = select_extensions_optimal(
+            profile, workload.candidates(), restrictions
+        )
+        assert len(result.selected) <= 3
+
+    def test_gate_budget_respected(self):
+        workload = voice_recognition_workload()
+        profile = IssProfiler(ExtensibleProcessor()).run(workload)
+        restrictions = IsaRestrictions(max_instructions=10)
+        result = select_extensions_optimal(
+            profile, workload.candidates(), restrictions,
+            extension_budget=40_000.0,
+        )
+        assert result.gates_used <= 40_000.0
+
+    def test_latency_restriction_filters(self):
+        workload = voice_recognition_workload()
+        profile = IssProfiler(ExtensibleProcessor()).run(workload)
+        restrictions = IsaRestrictions(max_latency_cycles=2)
+        result = select_extensions_optimal(
+            profile, workload.candidates(), restrictions
+        )
+        assert all(c.latency_cycles <= 2 for c in result.selected)
+
+    def test_empty_candidates(self):
+        profile = IssProfiler(ExtensibleProcessor()).run(tiny_workload())
+        result = select_extensions_optimal(
+            profile, [], IsaRestrictions()
+        )
+        assert result.selected == []
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_speedup_formula(self):
+        profile = IssProfiler(ExtensibleProcessor()).run(tiny_workload())
+        result = select_extensions_optimal(
+            profile, tiny_workload().candidates(), IsaRestrictions()
+        )
+        # both instructions selected: 150k -> 10k + 6k + 20k = 36k
+        assert result.speedup == pytest.approx(150_000.0 / 36_000.0)
+
+
+class TestDesignFlow:
+    def test_e1_voice_recognition_reproduction(self):
+        """The §3.1 claim: <10 instructions, 5-10x, <200k gates."""
+        base = ExtensibleProcessor(
+            restrictions=IsaRestrictions(max_instructions=9,
+                                         gate_budget=200_000.0)
+        )
+        report = ExtensibleProcessorFlow(
+            base, voice_recognition_workload(), target_speedup=5.0
+        ).run()
+        assert report.succeeded
+        assert len(report.processor.extensions) < 10
+        assert 5.0 <= report.speedup <= 10.0
+        assert report.gate_count < 200_000.0
+
+    def test_flow_iterates_until_target(self):
+        base = ExtensibleProcessor()
+        report = ExtensibleProcessorFlow(
+            base, voice_recognition_workload(), target_speedup=5.0
+        ).run()
+        assert len(report.iterations) > 1
+        assert not report.iterations[0].meets_speedup
+        assert report.iterations[-1].meets_speedup
+
+    def test_unreachable_target_reports_failure(self):
+        base = ExtensibleProcessor(
+            restrictions=IsaRestrictions(max_instructions=2)
+        )
+        report = ExtensibleProcessorFlow(
+            base, voice_recognition_workload(), target_speedup=50.0
+        ).run()
+        assert not report.succeeded
+        assert len(report.iterations) == 2  # tried 1 and 2 instructions
+
+    def test_flow_requires_bare_core(self):
+        custom = ExtensibleProcessor(extensions=[
+            CustomInstruction("a", "k", 2.0, 100.0),
+        ])
+        with pytest.raises(ValueError):
+            ExtensibleProcessorFlow(custom, tiny_workload())
+
+    def test_mpeg2_flow(self):
+        report = ExtensibleProcessorFlow(
+            ExtensibleProcessor(), mpeg2_encoder_workload(),
+            target_speedup=4.0,
+        ).run()
+        assert report.succeeded
+        assert report.gate_count <= 200_000.0

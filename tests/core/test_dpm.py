@@ -1,0 +1,129 @@
+"""Tests for dynamic power management (§4 DPM)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AlwaysOnPolicy,
+    DpmDevice,
+    OraclePolicy,
+    TimeoutPolicy,
+    generate_workload,
+    simulate_dpm,
+    timeout_sweep,
+)
+
+
+class TestDpmDevice:
+    def test_power_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            DpmDevice(active_power=0.1, idle_power=0.5)
+        with pytest.raises(ValueError):
+            DpmDevice(idle_power=0.01, sleep_power=0.02)
+
+    def test_negative_wakeup_rejected(self):
+        with pytest.raises(ValueError):
+            DpmDevice(wakeup_latency=-1.0)
+
+    def test_break_even_formula(self):
+        device = DpmDevice(active_power=1.0, idle_power=0.4,
+                           sleep_power=0.0, wakeup_latency=0.0,
+                           wakeup_energy=0.04)
+        assert device.break_even() == pytest.approx(0.1)
+
+    def test_break_even_infinite_without_saving(self):
+        device = DpmDevice(idle_power=0.02, sleep_power=0.02)
+        assert device.break_even() == math.inf
+
+
+class TestWorkload:
+    def test_shape_and_positivity(self):
+        workload = generate_workload(n_periods=100, seed=1)
+        assert len(workload) == 100
+        assert all(b > 0 and i > 0 for b, i in workload)
+
+    def test_idle_mean(self):
+        workload = generate_workload(n_periods=20_000, idle_mean=0.05,
+                                     seed=2)
+        idle = [i for _, i in workload]
+        assert sum(idle) / len(idle) == pytest.approx(0.05, rel=0.1)
+
+    def test_zero_cv_constant_idle(self):
+        workload = generate_workload(n_periods=10, idle_cv=0.0, seed=3)
+        assert len({i for _, i in workload}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_workload(n_periods=0)
+        with pytest.raises(ValueError):
+            generate_workload(idle_cv=-1.0)
+
+
+class TestPolicies:
+    @pytest.fixture
+    def setup(self):
+        return DpmDevice(), generate_workload(n_periods=400, seed=4)
+
+    def test_always_on_has_no_qos_impact(self, setup):
+        device, workload = setup
+        result = simulate_dpm(workload, device, AlwaysOnPolicy())
+        assert result.late_wakeups == 0
+        assert result.energy == pytest.approx(result.always_on_energy)
+        assert result.energy_saving == pytest.approx(0.0)
+
+    def test_timeout_saves_energy(self, setup):
+        device, workload = setup
+        result = simulate_dpm(workload, device,
+                              TimeoutPolicy(device.break_even()))
+        assert result.energy_saving > 0.1
+
+    def test_larger_timeout_less_saving_fewer_lates(self, setup):
+        device, workload = setup
+        eager = simulate_dpm(workload, device, TimeoutPolicy(0.0))
+        lazy = simulate_dpm(workload, device, TimeoutPolicy(0.1))
+        assert eager.energy_saving > lazy.energy_saving
+        assert eager.late_wakeups >= lazy.late_wakeups
+
+    def test_oracle_no_late_wakeups(self, setup):
+        device, workload = setup
+        result = simulate_dpm(workload, device, OraclePolicy())
+        assert result.late_wakeups == 0
+        assert result.energy_saving > 0.2
+
+    def test_oracle_beats_safe_timeouts(self, setup):
+        """Among (nearly) QoS-neutral policies, the oracle wins."""
+        device, workload = setup
+        oracle = simulate_dpm(workload, device, OraclePolicy())
+        # A timeout long enough to be late only on freak idle periods.
+        safe = simulate_dpm(workload, device, TimeoutPolicy(0.5))
+        assert safe.late_rate < 0.01
+        assert oracle.late_wakeups == 0
+        assert oracle.energy < safe.energy
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            TimeoutPolicy(-1.0)
+
+    def test_late_rate_empty_workload(self):
+        device = DpmDevice()
+        result = simulate_dpm([], device, AlwaysOnPolicy())
+        assert math.isnan(result.late_rate)
+
+
+class TestTimeoutSweep:
+    def test_sweep_brackets(self):
+        results = timeout_sweep([0.01, 0.05])
+        assert results[0].policy == "always-on"
+        assert results[-1].policy == "oracle"
+        assert len(results) == 4
+
+    def test_tradeoff_curve_shape(self):
+        """The §4 trade-off: QoS impact buys energy, incrementally."""
+        results = timeout_sweep([0.005, 0.02, 0.05, 0.2])
+        timeout_results = results[1:-1]
+        savings = [r.energy_saving for r in timeout_results]
+        lates = [r.late_rate for r in timeout_results]
+        # Longer timeouts: monotonically less saving, no more lates.
+        assert savings == sorted(savings, reverse=True)
+        assert lates == sorted(lates, reverse=True)

@@ -1,0 +1,232 @@
+"""Tests for design-space exploration and the holistic design flow."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ApplicationGraph,
+    ChannelSpec,
+    DesignConstraints,
+    DesignPoint,
+    HolisticDesignFlow,
+    Mapping,
+    MappingExplorer,
+    PEKind,
+    Platform,
+    ProcessNode,
+    ProcessingElement,
+    QoSSpec,
+    all_mappings,
+    dominates,
+    pareto_front,
+    random_mappings,
+)
+
+
+def tiny_app():
+    app = ApplicationGraph("tiny")
+    app.add_process(ProcessNode("src", 1_000.0, rate_hz=30.0))
+    app.add_process(ProcessNode("dst", 100_000.0))
+    app.add_channel(ChannelSpec("src", "dst", bits_per_token=10_000))
+    return app
+
+
+def tiny_platform():
+    platform = Platform()
+    platform.add_pe(ProcessingElement("fast", PEKind.GPP,
+                                      frequency=400e6, active_power=0.8))
+    platform.add_pe(ProcessingElement("slow", PEKind.ASIP,
+                                      frequency=100e6, active_power=0.05))
+    return platform
+
+
+def point(**objectives):
+    return DesignPoint(mapping=Mapping({}), objectives=objectives)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_partial_improvement_with_equal_rest_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_tradeoff_no_dominance(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self):
+        points = [
+            point(power=1.0, latency=3.0),
+            point(power=2.0, latency=2.0),
+            point(power=3.0, latency=3.5),  # dominated by both? no: power
+            point(power=1.5, latency=3.5),  # dominated by first
+        ]
+        front = pareto_front(points, ["power", "latency"])
+        assert points[0] in front
+        assert points[1] in front
+        assert points[3] not in front
+
+    def test_duplicates_kept_once(self):
+        points = [point(power=1.0), point(power=1.0)]
+        front = pareto_front(points, ["power"])
+        assert len(front) == 1
+
+    def test_single_objective_front_is_minimum(self):
+        points = [point(power=value) for value in (3.0, 1.0, 2.0)]
+        front = pareto_front(points, ["power"])
+        assert len(front) == 1
+        assert front[0].objectives["power"] == 1.0
+
+    def test_empty_input(self):
+        assert pareto_front([], ["power"]) == []
+
+    @settings(max_examples=25)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    ), min_size=1, max_size=30))
+    def test_front_members_mutually_nondominated(self, vectors):
+        points = [point(a=a, b=b) for a, b in vectors]
+        front = pareto_front(points, ["a", "b"])
+        assert front  # at least one point is always non-dominated
+        for one in front:
+            for other in front:
+                if one is not other:
+                    assert not dominates(
+                        one.vector(["a", "b"]), other.vector(["a", "b"])
+                    )
+
+
+class TestMappingGenerators:
+    def test_all_mappings_count(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        assert len(list(all_mappings(app, platform))) == 4  # 2 PEs^2 procs
+
+    def test_all_mappings_are_valid(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        for mapping in all_mappings(app, platform):
+            mapping.validate(app, platform)
+
+    def test_random_mappings_reproducible(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        one = random_mappings(app, platform, 5, seed=3)
+        two = random_mappings(app, platform, 5, seed=3)
+        assert one == two
+
+    def test_random_mappings_valid(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        for mapping in random_mappings(app, platform, 10, seed=1):
+            mapping.validate(app, platform)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_mappings(tiny_app(), tiny_platform(), -1)
+
+
+class TestMappingExplorer:
+    def test_explore_builds_front(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        explorer = MappingExplorer(
+            app, platform,
+            objectives=("average_power", "mean_latency"),
+            horizon=3.0,
+        )
+        report = explorer.explore(all_mappings(app, platform))
+        assert report.n_evaluated == 4
+        assert 1 <= len(report.front) <= 4
+        best_power = report.best("average_power")
+        # the all-slow-ASIP mapping must be the power winner
+        assert best_power.mapping.pe_of("dst") == "slow"
+
+    def test_maximize_objective_via_minus_prefix(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        explorer = MappingExplorer(
+            app, platform, objectives=("-throughput",), horizon=3.0
+        )
+        report = explorer.explore(all_mappings(app, platform))
+        # all mappings sustain the 30 Hz source; objective ~ -30
+        assert report.best("-throughput").objectives["-throughput"] == \
+            pytest.approx(-30.0, rel=0.1)
+
+    def test_best_on_empty_raises(self):
+        app = tiny_app()
+        explorer = MappingExplorer(app, tiny_platform(), horizon=1.0)
+        report = explorer.explore([])
+        with pytest.raises(ValueError):
+            report.best("average_power")
+
+
+class TestHolisticDesignFlow:
+    def test_finds_feasible_low_power_design(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        flow = HolisticDesignFlow(
+            app, platform,
+            qos=QoSSpec(max_latency=0.5, min_throughput=25.0),
+            horizon=3.0,
+        )
+        report = flow.run(all_mappings(app, platform))
+        assert report.succeeded
+        assert report.feasible_count >= 1
+        # power objective should pick the ASIP for the heavy process
+        assert report.best.mapping.pe_of("dst") == "slow"
+
+    def test_impossible_qos_fails(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        flow = HolisticDesignFlow(
+            app, platform, qos=QoSSpec(max_latency=1e-9), horizon=2.0
+        )
+        report = flow.run(all_mappings(app, platform))
+        assert not report.succeeded
+        assert report.best is None
+
+    def test_constraints_enforced(self):
+        app = tiny_app()
+        platform = tiny_platform()
+        flow = HolisticDesignFlow(
+            app, platform, qos=QoSSpec(),
+            constraints=DesignConstraints(max_average_power=1e-6),
+            horizon=2.0,
+        )
+        report = flow.run(all_mappings(app, platform))
+        assert not report.succeeded
+        assert all(o.constraint_violations for o in report.outcomes)
+
+    def test_prescreen_rejects_overload(self):
+        app = ApplicationGraph("hot")
+        app.add_process(ProcessNode("src", 0.0, rate_hz=1000.0))
+        app.add_process(ProcessNode("dst", 10_000_000.0))  # 10 Gcycles/s
+        app.add_channel(ChannelSpec("src", "dst"))
+        platform = tiny_platform()
+        flow = HolisticDesignFlow(app, platform, qos=QoSSpec(),
+                                  horizon=1.0)
+        report = flow.run(all_mappings(app, platform))
+        assert report.screened_out == 4
+        assert report.outcomes == []
+
+    def test_default_candidates_include_heuristics(self):
+        app = tiny_app()
+        flow = HolisticDesignFlow(app, tiny_platform(), qos=QoSSpec(),
+                                  horizon=1.0)
+        candidates = flow.candidate_mappings(count=4)
+        assert len(candidates) == 6  # 4 random + single-PE + round-robin
+        for mapping in candidates:
+            mapping.validate(app, tiny_platform())

@@ -1,0 +1,108 @@
+"""Tests for QoS specs/reports and design constraints."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DesignConstraints,
+    MediaType,
+    QoSReport,
+    QoSSpec,
+    default_spec_for,
+)
+
+
+class TestQoSSpec:
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            QoSSpec(max_latency=-1.0)
+
+    def test_empty_spec_always_satisfied(self):
+        report = QoSReport(mean_latency=100.0, loss_rate=1.0)
+        assert QoSSpec().satisfied_by(report)
+
+    def test_latency_violation(self):
+        spec = QoSSpec(max_latency=0.1)
+        report = QoSReport(mean_latency=0.2)
+        violations = spec.check(report)
+        assert len(violations) == 1
+        assert violations[0].metric == "latency"
+        assert "0.2" in str(violations[0])
+
+    def test_throughput_is_a_lower_bound(self):
+        spec = QoSSpec(min_throughput=30.0)
+        assert not spec.satisfied_by(QoSReport(throughput=29.0))
+        assert spec.satisfied_by(QoSReport(throughput=31.0))
+
+    def test_multiple_violations_reported(self):
+        spec = QoSSpec(max_latency=0.1, max_loss_rate=0.01,
+                       min_throughput=10.0)
+        report = QoSReport(mean_latency=1.0, loss_rate=0.5, throughput=1.0)
+        assert len(spec.check(report)) == 3
+
+    def test_jitter_and_deadline_checked(self):
+        spec = QoSSpec(max_jitter=0.01, max_deadline_miss_rate=0.05)
+        report = QoSReport(jitter=0.02, deadline_miss_rate=0.10)
+        metrics = {v.metric for v in spec.check(report)}
+        assert metrics == {"jitter", "deadline_miss_rate"}
+
+    def test_exactly_at_bound_passes(self):
+        spec = QoSSpec(max_latency=0.1)
+        assert spec.satisfied_by(QoSReport(mean_latency=0.1))
+
+
+class TestDefaultSpecs:
+    def test_audio_tighter_jitter_than_video(self):
+        audio = default_spec_for(MediaType.AUDIO)
+        video = default_spec_for(MediaType.VIDEO)
+        assert audio.max_jitter < video.max_jitter
+        assert audio.max_loss_rate < video.max_loss_rate
+
+    def test_control_is_latency_only(self):
+        spec = default_spec_for(MediaType.CONTROL)
+        assert spec.max_latency is not None
+        assert spec.max_jitter is None
+
+    def test_throughput_scales_with_rate(self):
+        fast = default_spec_for(MediaType.VIDEO, rate_hz=60.0)
+        slow = default_spec_for(MediaType.VIDEO, rate_hz=15.0)
+        assert fast.min_throughput > slow.min_throughput
+
+
+class TestQoSReport:
+    def test_as_dict_roundtrip(self):
+        report = QoSReport(mean_latency=0.1, throughput=30.0)
+        d = report.as_dict()
+        assert d["mean_latency"] == 0.1
+        assert d["throughput"] == 30.0
+        assert math.isnan(d["jitter"])
+
+
+class TestDesignConstraints:
+    def test_unconstrained_always_ok(self):
+        assert DesignConstraints().satisfied_by({"average_power": 1e9})
+
+    def test_power_violation(self):
+        constraints = DesignConstraints(max_average_power=1.0)
+        violations = constraints.check({"average_power": 2.0})
+        assert len(violations) == 1
+        assert violations[0].name == "average_power"
+
+    def test_missing_metric_not_checked(self):
+        constraints = DesignConstraints(max_gate_count=200_000)
+        assert constraints.satisfied_by({"average_power": 5.0})
+
+    def test_gate_budget(self):
+        constraints = DesignConstraints(max_gate_count=200_000)
+        assert constraints.satisfied_by({"gate_count": 199_999})
+        assert not constraints.satisfied_by({"gate_count": 250_000})
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(max_energy=0.0)
+
+    def test_violation_str(self):
+        constraints = DesignConstraints(max_cost=10.0)
+        violation = constraints.check({"cost": 20.0})[0]
+        assert "cost" in str(violation)

@@ -1,0 +1,77 @@
+"""Tests for simulation monitors."""
+
+import pytest
+
+from repro.des import Environment, LevelMonitor, Monitor
+
+
+class TestMonitor:
+    def test_observe_accumulates(self):
+        env = Environment()
+        mon = Monitor(env, name="latency")
+        mon.observe(1.0)
+        mon.observe(3.0)
+        assert mon.count == 2
+        assert mon.mean == pytest.approx(2.0)
+
+    def test_trace_records_time(self):
+        env = Environment()
+        mon = Monitor(env, trace=True)
+
+        def proc(env):
+            yield env.timeout(5)
+            mon.observe(7.0)
+
+        env.process(proc(env))
+        env.run()
+        assert mon.series == [(5.0, 7.0)]
+
+    def test_no_trace_by_default(self):
+        env = Environment()
+        mon = Monitor(env)
+        mon.observe(1.0)
+        assert mon.series == []
+
+
+class TestLevelMonitor:
+    def test_mean_over_run(self):
+        env = Environment()
+        lvl = LevelMonitor(env, initial=0)
+
+        def proc(env):
+            yield env.timeout(2)
+            lvl.set(10)
+            yield env.timeout(2)
+            lvl.set(0)
+
+        env.process(proc(env))
+        env.run()
+        assert lvl.mean() == pytest.approx(5.0)
+
+    def test_increment_decrement(self):
+        env = Environment()
+        lvl = LevelMonitor(env, initial=5)
+        lvl.increment(3)
+        assert lvl.current == 8
+        lvl.decrement()
+        assert lvl.current == 7
+
+    def test_extends_to_query_time(self):
+        env = Environment()
+        lvl = LevelMonitor(env, initial=4)
+        env.run(until=10)
+        assert lvl.mean() == pytest.approx(4.0)
+
+    def test_min_max(self):
+        env = Environment()
+        lvl = LevelMonitor(env, initial=0)
+        lvl.set(9)
+        lvl.set(-2)
+        assert lvl.maximum == 9
+        assert lvl.minimum == -2
+
+    def test_variance_constant_signal_zero(self):
+        env = Environment()
+        lvl = LevelMonitor(env, initial=3)
+        env.run(until=5)
+        assert lvl.variance() == pytest.approx(0.0)

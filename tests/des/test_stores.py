@@ -1,0 +1,192 @@
+"""Tests for stores and finite (lossy) queues."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, FiniteQueue, Store
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        buf = Store(env)
+        out = []
+
+        def producer(env):
+            for i in range(5):
+                yield buf.put(i)
+                yield env.timeout(1)
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield buf.get()
+                out.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_producer(self):
+        env = Environment()
+        buf = Store(env, capacity=2)
+        timeline = []
+
+        def producer(env):
+            for i in range(4):
+                yield buf.put(i)
+                timeline.append(("put", i, env.now))
+
+        def consumer(env):
+            yield env.timeout(10)
+            for _ in range(4):
+                item = yield buf.get()
+                timeline.append(("get", item, env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        puts = [entry for entry in timeline if entry[0] == "put"]
+        # first two puts immediate, last two blocked until t=10
+        assert puts[0][2] == 0.0 and puts[1][2] == 0.0
+        assert puts[2][2] == 10.0 and puts[3][2] == 10.0
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        buf = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield buf.get()
+            got.append((item, env.now))
+
+        def producer(env):
+            yield env.timeout(7)
+            yield buf.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [("x", 7.0)]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_occupancy_time_average(self):
+        env = Environment()
+        buf = Store(env)
+
+        def producer(env):
+            yield buf.put("a")      # level 1 from t=0
+            yield env.timeout(10)
+            yield buf.put("b")      # level 2 from t=10
+
+        env.process(producer(env))
+        env.run(until=20)
+        # level 1 for 10s, level 2 for 10s -> average 1.5
+        assert buf.occupancy.mean(at_time=20.0) == pytest.approx(1.5)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=10))
+    def test_conservation(self, n_items, capacity):
+        """Everything put is eventually got, in order (flow conservation)."""
+        env = Environment()
+        buf = Store(env, capacity=capacity)
+        out = []
+
+        def producer(env):
+            for i in range(n_items):
+                yield buf.put(i)
+
+        def consumer(env):
+            for _ in range(n_items):
+                item = yield buf.get()
+                out.append(item)
+                yield env.timeout(0.1)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert out == list(range(n_items))
+        assert buf.level == 0
+
+
+class TestFiniteQueue:
+    def test_requires_finite_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            FiniteQueue(env, capacity=math.inf)
+
+    def test_offer_accepts_until_full(self):
+        env = Environment()
+        q = FiniteQueue(env, capacity=2)
+        assert q.offer("a") is True
+        assert q.offer("b") is True
+        assert q.offer("c") is False
+        assert q.n_dropped == 1
+        assert q.n_accepted == 2
+        assert q.level == 2
+
+    def test_offer_delivered_to_waiting_getter(self):
+        env = Environment()
+        q = FiniteQueue(env, capacity=1)
+        got = []
+
+        def consumer(env):
+            item = yield q.get()
+            got.append(item)
+
+        env.process(consumer(env))
+        env.run()  # consumer now waiting
+        assert q.offer("x") is True
+        env.run()
+        assert got == ["x"]
+
+    def test_full_queue_with_waiting_getter_accepts(self):
+        # A waiting getter means one slot is logically free.
+        env = Environment()
+        q = FiniteQueue(env, capacity=1)
+        q.offer("held")
+
+        def consumer(env):
+            a = yield q.get()
+            b = yield q.get()
+            return (a, b)
+
+        p = env.process(consumer(env))
+        env.run()
+        assert q.offer("second") is True
+        result = env.run(until=p)
+        assert result == ("held", "second")
+
+    def test_loss_rate(self):
+        env = Environment()
+        q = FiniteQueue(env, capacity=1)
+        q.offer("a")
+        q.offer("b")
+        q.offer("c")
+        assert q.loss_rate == pytest.approx(2 / 3)
+
+    def test_loss_rate_nan_before_offers(self):
+        env = Environment()
+        q = FiniteQueue(env, capacity=1)
+        assert math.isnan(q.loss_rate)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=60))
+    def test_accounting_invariant(self, capacity, n_offers):
+        env = Environment()
+        q = FiniteQueue(env, capacity=capacity)
+        for i in range(n_offers):
+            q.offer(i)
+        assert q.n_offered == n_offers
+        assert q.n_accepted + q.n_dropped == q.n_offered
+        assert q.level == min(capacity, n_offers)
+        assert q.n_accepted == q.level  # nothing consumed

@@ -1,0 +1,183 @@
+"""Integration tests: scenarios that span several subsystems."""
+
+import pytest
+
+from repro.analysis import MM1K
+from repro.core import (
+    ApplicationGraph,
+    ChannelSpec,
+    HolisticDesignFlow,
+    Mapping,
+    PEKind,
+    Platform,
+    ProcessNode,
+    ProcessingElement,
+    QoSSpec,
+    SimulationEvaluator,
+)
+from repro.noc import (
+    Mesh2D,
+    NocEnergyModel,
+    edf_schedule,
+    energy_aware_schedule,
+    greedy_mapping,
+    simulated_annealing_mapping,
+    video_surveillance_apcg,
+)
+from repro.streams import (
+    BernoulliModel,
+    CBRSource,
+    Channel,
+    Sink,
+    StreamPipeline,
+)
+
+
+def decoder_app():
+    app = ApplicationGraph("decoder")
+    app.add_process(ProcessNode("demux", 20_000.0, rate_hz=25.0))
+    app.add_process(ProcessNode("vdec", 900_000.0, cycles_cv=0.4))
+    app.add_process(ProcessNode("mix", 60_000.0))
+    app.add_channel(ChannelSpec("demux", "vdec",
+                                bits_per_token=100_000.0))
+    app.add_channel(ChannelSpec("vdec", "mix",
+                                bits_per_token=200_000.0))
+    return app
+
+
+def handheld_platform():
+    platform = Platform("handheld")
+    platform.add_pe(ProcessingElement("gpp", PEKind.GPP,
+                                      frequency=400e6,
+                                      active_power=0.8))
+    platform.add_pe(ProcessingElement("asip", PEKind.ASIP,
+                                      frequency=150e6,
+                                      active_power=0.08))
+    return platform
+
+
+class TestHolisticFlowEndToEnd:
+    def test_flow_prefers_the_efficient_asip(self):
+        """The whole point of §3: the heavy kernel lands on the ASIP."""
+        app = decoder_app()
+        platform = handheld_platform()
+        flow = HolisticDesignFlow(
+            app, platform,
+            QoSSpec(max_latency=0.2, min_throughput=24.0),
+            horizon=6.0, seed=2,
+        )
+        report = flow.run()
+        assert report.succeeded
+        assert report.best.mapping.pe_of("vdec") == "asip"
+
+    def test_tight_latency_forces_the_fast_gpp(self):
+        app = decoder_app()
+        platform = handheld_platform()
+        # 900k cycles @150 MHz = 6 ms; @400 MHz = 2.25 ms.  A 4 ms
+        # latency bound rules the ASIP out for the video decoder.
+        flow = HolisticDesignFlow(
+            app, platform,
+            QoSSpec(max_latency=0.004, min_throughput=24.0),
+            horizon=6.0, seed=2,
+        )
+        report = flow.run()
+        assert report.succeeded
+        assert report.best.mapping.pe_of("vdec") == "gpp"
+
+    def test_best_design_dominates_on_the_objective(self):
+        app = decoder_app()
+        platform = handheld_platform()
+        flow = HolisticDesignFlow(
+            app, platform, QoSSpec(min_throughput=24.0),
+            horizon=4.0, seed=3,
+        )
+        report = flow.run()
+        assert report.succeeded
+        best_power = report.best.result.metrics["average_power"]
+        for outcome in report.outcomes:
+            if outcome.feasible:
+                assert best_power <= \
+                    outcome.result.metrics["average_power"] + 1e-12
+
+
+class TestStreamVsQueueTheory:
+    def test_rx_buffer_blocking_matches_mm1k_bound(self):
+        """The DES stream's Rx loss is bounded near the M/M/1/K
+        prediction for comparable rates (deterministic service makes
+        the real system slightly *better* than M/M/1/K)."""
+        source_rate, service_rate, capacity = 45.0, 50.0, 4
+        pipe = StreamPipeline(
+            source=CBRSource(rate_hz=source_rate, packet_bits=8_000.0,
+                             seed=5),
+            channel=Channel(bandwidth=1e9, seed=6),
+            sink=Sink(display_rate_hz=service_rate),
+            rx_buffer_size=capacity,
+        )
+        report = pipe.run(horizon=400.0)
+        analytical = MM1K(source_rate, service_rate, capacity)
+        assert report.loss_rate <= \
+            analytical.blocking_probability() + 0.02
+
+    def test_lossy_channel_reduces_buffer_pressure(self):
+        def run(loss):
+            pipe = StreamPipeline(
+                source=CBRSource(rate_hz=60.0, packet_bits=8_000.0,
+                                 seed=7),
+                channel=Channel(
+                    bandwidth=1e9,
+                    error_model=BernoulliModel(p_loss=loss), seed=8,
+                ),
+                sink=Sink(display_rate_hz=50.0),
+                rx_buffer_size=8,
+            )
+            return pipe.run(horizon=100.0)
+
+        clean = run(0.0)
+        lossy = run(0.3)
+        assert lossy.rx_buffer_mean < clean.rx_buffer_mean
+
+
+class TestNocPipelineConsistency:
+    def test_better_mapping_never_hurts_schedule_energy(self):
+        """Mapping quality propagates into the scheduler's comm term."""
+        tg = video_surveillance_apcg()
+        mesh = Mesh2D(4, 3)
+        model = NocEnergyModel()
+        greedy = greedy_mapping(tg, mesh)
+        sa = simulated_annealing_mapping(tg, mesh, seed=2,
+                                         n_iterations=10_000)
+        assert sa.communication_energy(tg, model) <= \
+            greedy.communication_energy(tg, model) * 1.05
+        edf_greedy = edf_schedule(tg, greedy)
+        edf_sa = edf_schedule(tg, sa)
+        assert edf_sa.comm_energy <= edf_greedy.comm_energy * 1.05
+
+    def test_eas_beats_edf_for_any_reasonable_mapping(self):
+        tg = video_surveillance_apcg()
+        mesh = Mesh2D(4, 3)
+        for mapping in (greedy_mapping(tg, mesh),
+                        simulated_annealing_mapping(
+                            tg, mesh, seed=4, n_iterations=5_000)):
+            edf = edf_schedule(tg, mapping)
+            eas = energy_aware_schedule(tg, mapping)
+            assert eas.feasible
+            assert eas.total_energy < edf.total_energy
+
+
+class TestReproducibility:
+    def test_simulation_evaluator_bitwise_stable(self):
+        app = decoder_app()
+        platform = handheld_platform()
+        mapping = Mapping({"demux": "gpp", "vdec": "asip",
+                           "mix": "gpp"})
+
+        def run():
+            return SimulationEvaluator(
+                app, platform, mapping, seed=9,
+                deterministic_sources=False,
+            ).evaluate(horizon=5.0)
+
+        a, b = run(), run()
+        assert a.qos.mean_latency == b.qos.mean_latency
+        assert a.metrics["energy"] == b.metrics["energy"]
+        assert a.buffer_occupancy == b.buffer_occupancy

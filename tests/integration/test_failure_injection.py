@@ -1,0 +1,149 @@
+"""Failure-injection tests: the system under hostile conditions."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ApplicationGraph,
+    ChannelSpec,
+    HolisticDesignFlow,
+    Platform,
+    ProcessNode,
+    ProcessingElement,
+    QoSSpec,
+    SimulationEvaluator,
+    Mapping,
+)
+from repro.des import Environment
+from repro.manet import (
+    ManetNetwork,
+    ManetNode,
+    MinimumPowerRouting,
+    simulate_lifetime,
+)
+from repro.streams import (
+    BernoulliModel,
+    CBRSource,
+    Channel,
+    Sink,
+    StreamPipeline,
+)
+
+
+class TestTotalChannelFailure:
+    def test_fully_lossy_channel_delivers_nothing(self):
+        pipe = StreamPipeline(
+            source=CBRSource(rate_hz=50.0, packet_bits=8_000.0),
+            channel=Channel(bandwidth=1e9,
+                            error_model=BernoulliModel(p_loss=1.0)),
+            sink=Sink(display_rate_hz=50.0),
+        )
+        report = pipe.run(horizon=5.0)
+        assert report.displayed == 0
+        # The last packet may still be in flight at the horizon, so the
+        # loss accounting tops out just below 1.
+        assert report.loss_rate > 0.99
+        assert report.underrun_rate == pytest.approx(1.0)
+        assert math.isnan(report.mean_latency)
+
+    def test_arq_cannot_beat_certain_loss(self):
+        pipe = StreamPipeline(
+            source=CBRSource(rate_hz=10.0, packet_bits=1_000.0),
+            channel=Channel(bandwidth=1e9,
+                            error_model=BernoulliModel(p_loss=1.0),
+                            max_retries=5),
+            sink=Sink(display_rate_hz=10.0),
+        )
+        report = pipe.run(horizon=3.0)
+        assert report.displayed == 0
+        assert report.channel.retransmissions > 0  # it tried
+
+
+class TestPartitionedManet:
+    def test_partitioned_network_delivers_between_partitions_only(self):
+        # Two clusters far apart: intra-cluster sessions work,
+        # inter-cluster sessions all fail.
+        nodes = [
+            ManetNode(0, 0.0, 0.0, battery=100.0),
+            ManetNode(1, 100.0, 0.0, battery=100.0),
+            ManetNode(2, 5_000.0, 0.0, battery=100.0),
+            ManetNode(3, 5_100.0, 0.0, battery=100.0),
+        ]
+        network = ManetNetwork(nodes, tx_range=250.0)
+        assert not network.is_connected()
+        result = simulate_lifetime(
+            MinimumPowerRouting(), network, n_sessions=300,
+            bits_per_session=1_000.0, seed=1,
+        )
+        # Random pairs: 1/3 of pairs are intra-cluster.
+        assert 0.1 < result.delivery_ratio < 0.6
+
+    def test_single_relay_death_partitions_a_chain(self):
+        nodes = [
+            ManetNode(0, 0.0, 0.0, battery=100.0),
+            ManetNode(1, 200.0, 0.0, battery=0.001),  # doomed relay
+            ManetNode(2, 400.0, 0.0, battery=100.0),
+        ]
+        network = ManetNetwork(nodes, tx_range=250.0)
+        protocol = MinimumPowerRouting()
+        route = protocol.find_route(network, 0, 2)
+        assert route == [0, 1, 2]
+        network.forward(route, bits=1_000.0)  # kills the relay
+        assert not network.node(1).alive
+        assert protocol.find_route(network, 0, 2) is None
+
+
+class TestOverloadedDesign:
+    def app_and_platform(self):
+        app = ApplicationGraph("hog")
+        app.add_process(ProcessNode("src", 0.0, rate_hz=100.0))
+        app.add_process(ProcessNode("work", 50_000_000.0))  # 5 G/s
+        app.add_channel(ChannelSpec("src", "work",
+                                    buffer_capacity=2))
+        platform = Platform()
+        platform.add_pe(ProcessingElement("cpu", frequency=100e6))
+        return app, platform
+
+    def test_hopeless_design_reported_not_crashed(self):
+        app, platform = self.app_and_platform()
+        flow = HolisticDesignFlow(app, platform, QoSSpec(),
+                                  horizon=1.0)
+        report = flow.run()
+        assert not report.succeeded
+        # Everything dies in the analytical pre-screen.
+        assert report.screened_out > 0
+
+    def test_simulation_survives_50x_overload(self):
+        app, platform = self.app_and_platform()
+        mapping = Mapping({"src": "cpu", "work": "cpu"})
+        result = SimulationEvaluator(
+            app, platform, mapping, seed=0
+        ).evaluate(horizon=2.0)
+        assert result.qos.loss_rate > 0.9
+        assert result.utilization("cpu") <= 1.0 + 1e-9
+
+
+class TestDegenerateDesModels:
+    def test_zero_rate_system_runs_to_horizon(self):
+        env = Environment()
+        env.run(until=100.0)
+        assert env.now == 100.0
+
+    def test_process_crash_mid_simulation_surfaces(self):
+        env = Environment()
+
+        def healthy(env):
+            while True:
+                yield env.timeout(1.0)
+
+        def crashing(env):
+            yield env.timeout(5.0)
+            raise RuntimeError("injected fault")
+
+        env.process(healthy(env))
+        env.process(crashing(env))
+        with pytest.raises(RuntimeError, match="injected fault"):
+            env.run(until=10.0)
+        # The clock stopped at the fault, not before.
+        assert env.now == pytest.approx(5.0)

@@ -1,0 +1,192 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import MM1K, simulate_mm1k
+from repro.core import DesignPoint, Mapping, pareto_front, xscale_dvfs
+from repro.des import Environment, FiniteQueue
+from repro.noc import Mesh2D, NocEnergyModel, NocMapping, Tile
+from repro.core.application import Dependency, Task, TaskGraph
+from repro.streams import CBRSource, Channel, BernoulliModel, Sink, \
+    StreamPipeline
+from repro.wireless import packet_error_rate
+
+rates = st.floats(min_value=0.5, max_value=20.0, allow_nan=False)
+
+
+class TestQueueingInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(rates, rates, st.integers(min_value=1, max_value=12))
+    def test_mm1k_probabilities_and_throughput(self, lam, mu, k):
+        queue = MM1K(lam, mu, k)
+        probs = queue.state_probabilities()
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= -1e-12).all()
+        # Throughput can exceed neither offered nor service rate.
+        assert queue.throughput() <= min(lam, mu) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(rates, rates, st.integers(min_value=1, max_value=8))
+    def test_mm1k_blocking_monotone_in_capacity(self, lam, mu, k):
+        smaller = MM1K(lam, mu, k).blocking_probability()
+        larger = MM1K(lam, mu, k + 1).blocking_probability()
+        assert larger <= smaller + 1e-12
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_simulated_queue_littles_law(self, seed):
+        """L = throughput x W holds for the simulated M/M/1/K (Little's
+        law is built into the estimator; the check is that the pieces
+        remain mutually consistent and finite)."""
+        result = simulate_mm1k(6.0, 8.0, 4, horizon=300.0,
+                               warmup=30.0, seed=seed)
+        assert result.mean_queue_length == pytest.approx(
+            result.throughput * result.mean_waiting_time
+        )
+        assert 0.0 <= result.blocking_probability <= 1.0
+
+
+class TestDesInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0,
+                              allow_nan=False),
+                    min_size=1, max_size=30))
+    def test_clock_never_goes_backwards(self, delays):
+        env = Environment()
+        observed = []
+
+        def waiter(delay):
+            yield env.timeout(delay)
+            observed.append(env.now)
+
+        for delay in delays:
+            env.process(waiter(delay))
+        env.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+        assert env.now == max(delays)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=30))
+    def test_finite_queue_conservation(self, capacity, n_offers,
+                                       n_gets):
+        env = Environment()
+        queue = FiniteQueue(env, capacity=capacity)
+        got = []
+
+        def consumer():
+            for _ in range(n_gets):
+                item = yield queue.get()
+                got.append(item)
+
+        env.process(consumer())
+        for i in range(n_offers):
+            queue.offer(i)
+        env.run()
+        assert queue.n_accepted == len(got) + queue.level
+        assert queue.n_accepted + queue.n_dropped == n_offers
+        assert got == sorted(got)  # FIFO
+
+
+class TestStreamInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+           st.integers(min_value=0, max_value=3))
+    def test_pipeline_accounting(self, p_loss, retries):
+        pipe = StreamPipeline(
+            source=CBRSource(rate_hz=40.0, packet_bits=4_000.0,
+                             seed=1),
+            channel=Channel(bandwidth=1e7,
+                            error_model=BernoulliModel(p_loss=p_loss),
+                            max_retries=retries, seed=2),
+            sink=Sink(display_rate_hz=40.0),
+        )
+        report = pipe.run(horizon=10.0)
+        stats = report.channel
+        assert stats.delivered + stats.lost == stats.sent
+        assert 0.0 <= report.loss_rate <= 1.0
+        assert report.displayed <= report.emitted
+        # ARQ can only help losses.
+        if retries > 0 and p_loss > 0:
+            assert stats.retransmissions >= 0
+
+
+class TestParetoInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    ), min_size=1, max_size=25))
+    def test_everything_dominated_by_front(self, vectors):
+        points = [
+            DesignPoint(mapping=Mapping({}), objectives={"a": a, "b": b})
+            for a, b in vectors
+        ]
+        front = pareto_front(points, ["a", "b"])
+        for point in points:
+            vec = point.vector(["a", "b"])
+            covered = any(
+                f.objectives["a"] <= vec[0]
+                and f.objectives["b"] <= vec[1]
+                for f in front
+            )
+            assert covered
+
+
+class TestNocInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2),
+           st.integers(min_value=0, max_value=2))
+    def test_mapping_energy_translation_invariant(self, dx, dy):
+        """Communication energy depends on relative placement only."""
+        tg = TaskGraph()
+        tg.add_task(Task("a", 1.0))
+        tg.add_task(Task("b", 1.0))
+        tg.add_dependency(Dependency("a", "b", bits=1e6))
+        mesh = Mesh2D(5, 5)
+        model = NocEnergyModel()
+        base = NocMapping(mesh, {"a": Tile(0, 0), "b": Tile(2, 1)})
+        shifted = NocMapping(
+            mesh, {"a": Tile(dx, dy), "b": Tile(2 + dx, 1 + dy)}
+        )
+        assert shifted.communication_energy(tg, model) == \
+            pytest.approx(base.communication_energy(tg, model))
+
+
+class TestPowerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+           st.floats(min_value=1e-3, max_value=10.0, allow_nan=False))
+    def test_slowest_point_is_cheapest_feasible(self, cycles, deadline):
+        model = xscale_dvfs()
+        chosen = model.slowest_point_meeting(cycles, deadline)
+        feasible = [
+            p for p in model.points
+            if cycles / p.frequency <= deadline
+        ]
+        if chosen is None:
+            assert not feasible
+        else:
+            energies = [model.energy(cycles, p) for p in feasible]
+            assert model.energy(cycles, chosen) == pytest.approx(
+                min(energies)
+            )
+
+
+class TestWirelessInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=1e-9, max_value=1e-2, allow_nan=False),
+           st.floats(min_value=1.0, max_value=1e5, allow_nan=False))
+    def test_per_bounded_by_union_bound(self, ber, bits):
+        per = packet_error_rate(ber, bits)
+        assert 0.0 <= per <= 1.0
+        assert per <= ber * bits + 1e-12  # union bound
+        # And at least the single-bit probability for bits >= 1.
+        if bits >= 1.0:
+            assert per >= ber * (1 - ber * bits)

@@ -1,0 +1,103 @@
+"""Tests for the bus-vs-NoC scaling and memory-organization studies."""
+
+import pytest
+
+from repro.noc import (
+    Mesh2D,
+    Tile,
+    bus_vs_noc_sweep,
+    hot_link_load,
+    memory_organization_study,
+    simulate_bus_fabric,
+    simulate_noc_fabric,
+)
+
+
+class TestBusVsNoc:
+    def test_bus_keeps_up_when_underloaded(self):
+        result = simulate_bus_fabric(4, rate_per_tile=5_000.0, seed=0)
+        assert result.saturation == pytest.approx(1.0, abs=0.05)
+
+    def test_bus_saturates_at_scale(self):
+        result = simulate_bus_fabric(32, rate_per_tile=20_000.0, seed=0)
+        assert result.saturation < 0.6
+
+    def test_noc_scales(self):
+        result = simulate_noc_fabric(32, rate_per_tile=20_000.0, seed=0)
+        assert result.saturation > 0.9
+
+    def test_identical_offered_load(self):
+        bus = simulate_bus_fabric(16, seed=3)
+        noc = simulate_noc_fabric(16, seed=3)
+        assert bus.offered_bps == pytest.approx(noc.offered_bps)
+
+    def test_crossover_exists(self):
+        """Small systems: bus fine; large systems: only the NoC keeps
+        latency bounded (the §3.2 motivation)."""
+        pairs = bus_vs_noc_sweep(tile_counts=(4, 32),
+                                 rate_per_tile=20_000.0)
+        small_bus, small_noc = pairs[0]
+        large_bus, large_noc = pairs[1]
+        assert small_bus.mean_latency < 2 * small_noc.mean_latency
+        assert large_bus.mean_latency > 20 * large_noc.mean_latency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_bus_fabric(1)
+        with pytest.raises(ValueError):
+            simulate_noc_fabric(1)
+
+
+class TestHotLinkLoad:
+    def test_single_flow(self):
+        mesh = Mesh2D(3, 1)
+        load = hot_link_load(mesh, [(Tile(0, 0), Tile(2, 0), 5.0)])
+        assert load == pytest.approx(5.0)
+
+    def test_converging_flows_sum_on_shared_link(self):
+        mesh = Mesh2D(3, 1)
+        flows = [
+            (Tile(0, 0), Tile(2, 0), 1.0),
+            (Tile(1, 0), Tile(2, 0), 1.0),
+        ]
+        # both cross (1,0)->(2,0)
+        assert hot_link_load(mesh, flows) == pytest.approx(2.0)
+
+    def test_empty_flows(self):
+        assert hot_link_load(Mesh2D(2, 2), []) == 0.0
+
+    def test_self_flows_ignored(self):
+        mesh = Mesh2D(2, 2)
+        assert hot_link_load(mesh, [(Tile(0, 0), Tile(0, 0), 9.0)]) == 0
+
+
+class TestMemoryOrganization:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return memory_organization_study(access_rate=400_000.0, seed=1)
+
+    def test_distributed_much_faster(self, study):
+        """The §3.3 guidance: local memories win decisively."""
+        central = study["centralized"]
+        distributed = study["distributed"]
+        assert distributed.mean_access_latency < \
+            0.1 * central.mean_access_latency
+
+    def test_centralized_hot_link_dominates(self, study):
+        central = study["centralized"]
+        distributed = study["distributed"]
+        assert central.hot_link_bps > 2 * distributed.hot_link_bps
+
+    def test_distributed_moves_fewer_bits(self, study):
+        assert study["distributed"].network_bits < \
+            study["centralized"].network_bits
+
+    def test_shared_fraction_validated(self):
+        with pytest.raises(ValueError):
+            memory_organization_study(shared_fraction=1.5)
+
+    def test_all_local_means_no_network(self):
+        study = memory_organization_study(shared_fraction=0.0,
+                                          access_rate=100_000.0)
+        assert study["distributed"].network_bits == 0.0
+        assert study["distributed"].mean_access_latency == 0.0

@@ -1,0 +1,155 @@
+"""Tests for heterogeneity-constrained NoC mapping (§3.2)."""
+
+import pytest
+
+from repro.core.application import Dependency, Task, TaskGraph
+from repro.noc import (
+    Mesh2D,
+    NocEnergyModel,
+    Tile,
+    TileCompatibility,
+    branch_and_bound_mapping,
+    greedy_mapping,
+    random_noc_mapping,
+    simulated_annealing_mapping,
+    video_surveillance_apcg,
+)
+
+
+def small_graph():
+    tg = TaskGraph("het")
+    for name in ("cam", "dsp_filter", "cpu_ctrl", "mem_store"):
+        tg.add_task(Task(name, 1e6))
+    tg.add_dependency(Dependency("cam", "dsp_filter", bits=64_000.0))
+    tg.add_dependency(Dependency("dsp_filter", "mem_store",
+                                 bits=64_000.0))
+    tg.add_dependency(Dependency("cpu_ctrl", "dsp_filter",
+                                 bits=1_000.0))
+    return tg
+
+
+def corner_constraints():
+    """Pin two tasks to specific (far-apart) corners."""
+    return TileCompatibility({
+        "cam": {Tile(0, 0)},
+        "mem_store": {Tile(2, 2)},
+    })
+
+
+class TestTileCompatibility:
+    def test_unlisted_tasks_unconstrained(self):
+        compat = TileCompatibility({"a": {Tile(0, 0)}})
+        assert compat.allows("b", Tile(5, 5))
+        assert not compat.allows("a", Tile(1, 0))
+
+    def test_empty_tile_set_rejected(self):
+        with pytest.raises(ValueError):
+            TileCompatibility({"a": set()})
+
+    def test_allowed_tiles_filters(self):
+        compat = TileCompatibility({"a": {Tile(0, 0), Tile(1, 1)}})
+        universe = [Tile(0, 0), Tile(1, 0), Tile(1, 1)]
+        assert compat.allowed_tiles("a", universe) == \
+            [Tile(0, 0), Tile(1, 1)]
+
+    def test_check_raises_on_violation(self):
+        from repro.noc import NocMapping
+
+        compat = TileCompatibility({"a": {Tile(0, 0)}})
+        mesh = Mesh2D(2, 2)
+        bad = NocMapping(mesh, {"a": Tile(1, 1)})
+        with pytest.raises(ValueError, match="incompatible"):
+            compat.check(bad)
+
+
+class TestConstrainedAlgorithms:
+    @pytest.fixture
+    def problem(self):
+        return small_graph(), Mesh2D(3, 3), corner_constraints()
+
+    def test_random_respects_constraints(self, problem):
+        tg, mesh, compat = problem
+        for seed in range(5):
+            mapping = random_noc_mapping(tg, mesh, seed=seed,
+                                         compatibility=compat)
+            compat.check(mapping)
+            mapping.validate(tg)
+
+    def test_greedy_respects_constraints(self, problem):
+        tg, mesh, compat = problem
+        mapping = greedy_mapping(tg, mesh, compatibility=compat)
+        compat.check(mapping)
+        assert mapping.tile_of("cam") == Tile(0, 0)
+        assert mapping.tile_of("mem_store") == Tile(2, 2)
+
+    def test_sa_respects_constraints(self, problem):
+        tg, mesh, compat = problem
+        mapping = simulated_annealing_mapping(
+            tg, mesh, seed=1, n_iterations=3_000,
+            compatibility=compat,
+        )
+        compat.check(mapping)
+        mapping.validate(tg)
+
+    def test_bnb_respects_constraints_and_optimizes_rest(self, problem):
+        tg, mesh, compat = problem
+        mapping = branch_and_bound_mapping(tg, mesh,
+                                           compatibility=compat)
+        compat.check(mapping)
+        # dsp_filter sits between its pinned neighbours: on the optimal
+        # route its total hops to both corners is the Manhattan
+        # distance between them.
+        total = mapping.hops("cam", "dsp_filter") + \
+            mapping.hops("dsp_filter", "mem_store")
+        assert total == mesh.hops(Tile(0, 0), Tile(2, 2))
+
+    def test_sa_matches_bnb_under_constraints(self, problem):
+        tg, mesh, compat = problem
+        model = NocEnergyModel()
+        optimum = branch_and_bound_mapping(
+            tg, mesh, compatibility=compat
+        ).communication_energy(tg, model)
+        sa = simulated_annealing_mapping(
+            tg, mesh, seed=2, n_iterations=8_000,
+            compatibility=compat,
+        ).communication_energy(tg, model)
+        assert sa == pytest.approx(optimum, rel=0.05)
+
+    def test_constraints_cost_energy(self):
+        """Pinning tasks apart can only hurt the optimum."""
+        tg = small_graph()
+        mesh = Mesh2D(3, 3)
+        model = NocEnergyModel()
+        free = branch_and_bound_mapping(tg, mesh)
+        pinned = branch_and_bound_mapping(
+            tg, mesh, compatibility=corner_constraints()
+        )
+        assert pinned.communication_energy(tg, model) >= \
+            free.communication_energy(tg, model)
+
+    def test_infeasible_constraints_raise(self):
+        tg = small_graph()
+        mesh = Mesh2D(3, 3)
+        clash = TileCompatibility({
+            "cam": {Tile(0, 0)},
+            "mem_store": {Tile(0, 0)},  # same single tile
+        })
+        with pytest.raises(ValueError):
+            branch_and_bound_mapping(tg, mesh, compatibility=clash)
+        with pytest.raises(ValueError):
+            random_noc_mapping(tg, mesh, compatibility=clash)
+
+    def test_unconstrained_results_unchanged(self):
+        """The compatibility plumbing must not perturb the default
+        (unconstrained) algorithm outputs."""
+        tg = video_surveillance_apcg()
+        mesh = Mesh2D(4, 3)
+        model = NocEnergyModel()
+        plain = simulated_annealing_mapping(
+            tg, mesh, seed=1, n_iterations=5_000
+        )
+        assert plain.communication_energy(tg, model) > 0
+        greedy_plain = greedy_mapping(tg, mesh)
+        greedy_compat = greedy_mapping(tg, mesh,
+                                       compatibility=TileCompatibility())
+        assert greedy_plain.assignment == greedy_compat.assignment

@@ -1,0 +1,195 @@
+"""Tests for the FGS streaming substrate (E8)."""
+
+import math
+
+import pytest
+
+from repro.streaming import (
+    DecoderModel,
+    DvfsVideoClient,
+    FeedbackServer,
+    FgsFrame,
+    FgsSource,
+    FullRateServer,
+    compare_streaming_policies,
+    fgs_psnr,
+    run_session,
+)
+
+
+def frame(base=52_000.0, enh=46_000.0, index=0):
+    return FgsFrame(index=index, base_bits=base, enhancement_bits=enh)
+
+
+class TestFgsFrame:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FgsFrame(0, base_bits=0.0, enhancement_bits=1.0)
+        with pytest.raises(ValueError):
+            FgsFrame(0, base_bits=1.0, enhancement_bits=-1.0)
+
+    def test_truncation_clamped(self):
+        f = frame()
+        assert f.truncated(1e9) == f.full_bits
+        assert f.truncated(0.0) == f.base_bits
+        with pytest.raises(ValueError):
+            f.truncated(-1.0)
+
+    def test_psnr_linear_in_fraction(self):
+        f = frame(enh=1000.0)
+        low = fgs_psnr(f, 0.0)
+        mid = fgs_psnr(f, 500.0)
+        high = fgs_psnr(f, 1000.0)
+        assert low == pytest.approx(30.0)
+        assert mid == pytest.approx(34.0)
+        assert high == pytest.approx(38.0)
+
+    def test_psnr_no_enhancement_layer(self):
+        f = frame(enh=0.0)
+        assert fgs_psnr(f, 0.0) == 30.0
+
+
+class TestFgsSource:
+    def test_frame_count_and_indices(self):
+        frames = FgsSource(seed=1).frames(10)
+        assert [f.index for f in frames] == list(range(10))
+
+    def test_mean_sizes_near_nominal(self):
+        source = FgsSource(seed=2)
+        frames = source.frames(5_000)
+        mean_base = sum(f.base_bits for f in frames) / len(frames)
+        assert mean_base == pytest.approx(source.base_bits, rel=0.1)
+
+    def test_complexity_correlated(self):
+        import numpy as np
+        frames = FgsSource(seed=3).frames(3_000)
+        sizes = np.array([f.base_bits for f in frames])
+        centered = sizes - sizes.mean()
+        lag1 = (centered[:-1] @ centered[1:]) / (centered @ centered)
+        assert lag1 > 0.5  # AR(1) with 0.9 coefficient
+
+    def test_zero_cv_is_deterministic(self):
+        frames = FgsSource(seed=4, complexity_cv=0.0).frames(5)
+        assert len({f.base_bits for f in frames}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FgsSource(fps=0.0)
+        with pytest.raises(ValueError):
+            FgsSource(correlation=1.0)
+        with pytest.raises(ValueError):
+            FgsSource().frames(-1)
+
+    def test_average_full_bitrate(self):
+        source = FgsSource(fps=25.0, base_bits=40_000.0,
+                           enhancement_bits=80_000.0)
+        assert source.average_full_bitrate() == pytest.approx(3e6)
+
+
+class TestClient:
+    def test_decoder_model_validation(self):
+        with pytest.raises(ValueError):
+            DecoderModel(cycles_per_base_bit=0.0)
+        with pytest.raises(ValueError):
+            DecoderModel().cycles(-1.0, 0.0)
+
+    def test_quality_floor_selects_faster_point_for_complex_frames(self):
+        client = DvfsVideoClient(min_psnr=33.0)
+        simple = frame(base=20_000.0, enh=20_000.0)
+        complex_ = frame(base=90_000.0, enh=80_000.0)
+        assert client.choose_point(complex_).frequency > \
+            client.choose_point(simple).frequency
+
+    def test_unreachable_min_psnr_rejected(self):
+        client = DvfsVideoClient(min_psnr=50.0)  # > base + max gain
+        with pytest.raises(ValueError):
+            client.receive(frame(), 0.0)
+
+    def test_aptitude_decreases_with_base_size(self):
+        client = DvfsVideoClient()
+        point = client.dvfs.fastest()
+        small = client.aptitude_bits(point, frame(base=10_000.0))
+        large = client.aptitude_bits(point, frame(base=90_000.0))
+        assert small > large
+
+    def test_receive_accounts_waste(self):
+        client = DvfsVideoClient(min_psnr=30.0)  # base only floor
+        f = frame(base=150_000.0, enh=100_000.0)  # overwhelming frame
+        outcome = client.receive(f, f.enhancement_bits)
+        assert outcome.wasted_bits > 0
+        assert outcome.decoded_enh_bits < f.enhancement_bits
+        assert outcome.normalized_load > 1.0
+
+    def test_no_waste_when_capacity_sufficient(self):
+        client = DvfsVideoClient(min_psnr=38.0)  # forces full decode
+        f = frame(base=20_000.0, enh=20_000.0)
+        outcome = client.receive(f, f.enhancement_bits)
+        assert outcome.wasted_bits == pytest.approx(0.0)
+        assert outcome.psnr == pytest.approx(38.0)
+
+    def test_rx_energy_proportional_to_received(self):
+        client = DvfsVideoClient()
+        f = frame()
+        half = client.receive(f, f.enhancement_bits / 2)
+        full = client.receive(f, f.enhancement_bits)
+        assert full.rx_energy > half.rx_energy
+
+
+class TestServers:
+    def test_full_rate_sends_everything(self):
+        server = FullRateServer()
+        f = frame(enh=12345.0)
+        assert server.enhancement_to_send(f) == 12345.0
+        server.observe_feedback(1.0)  # no-op
+
+    def test_feedback_truncates_to_aptitude(self):
+        server = FeedbackServer()
+        f = frame(enh=50_000.0)
+        assert server.enhancement_to_send(f) == 0.0  # no report yet
+        server.observe_feedback(20_000.0)
+        assert server.enhancement_to_send(f) == 20_000.0
+        server.observe_feedback(90_000.0)
+        assert server.enhancement_to_send(f) == 50_000.0  # clamped
+
+    def test_safety_margin(self):
+        server = FeedbackServer(safety_margin=0.5)
+        server.observe_feedback(40_000.0)
+        assert server.enhancement_to_send(frame(enh=50_000.0)) == \
+            pytest.approx(20_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackServer(initial_aptitude=-1.0)
+        with pytest.raises(ValueError):
+            FeedbackServer(safety_margin=0.0)
+        with pytest.raises(ValueError):
+            FeedbackServer().observe_feedback(-1.0)
+
+
+class TestE8Comparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_streaming_policies(n_frames=1_500, seed=0)
+
+    def test_rx_energy_reduction_around_15_percent(self, comparison):
+        """The [28] claim: ~15% client communication-energy saving."""
+        assert 0.08 <= comparison.rx_energy_reduction <= 0.25
+
+    def test_feedback_normalized_load_near_unity(self, comparison):
+        """'a video streaming system that maintains this normalized
+        load at unity produces the optimum video quality with no energy
+        waste'."""
+        assert comparison.feedback.mean_normalized_load == \
+            pytest.approx(1.0, abs=0.05)
+        assert comparison.full_rate.mean_normalized_load > 1.05
+
+    def test_feedback_cuts_waste(self, comparison):
+        assert comparison.feedback.waste_fraction < \
+            0.5 * comparison.full_rate.waste_fraction
+
+    def test_quality_penalty_small(self, comparison):
+        assert comparison.psnr_cost < 1.0  # "no appreciable penalty"
+
+    def test_session_validation(self):
+        with pytest.raises(ValueError):
+            run_session(FullRateServer(), n_frames=0)

@@ -1,0 +1,191 @@
+"""Tests for channel automata and error models."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment, FiniteQueue, Store
+from repro.streams import (
+    BernoulliModel,
+    Channel,
+    GilbertElliottModel,
+    LosslessModel,
+    Packet,
+    PacketFate,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def packet(uid=0, size=1000.0):
+    return Packet(uid=uid, created=0.0, size_bits=size)
+
+
+def run_channel(channel, n_packets=200, size=1000.0, horizon=1000.0):
+    env = Environment()
+    tx = Store(env)
+    rx = FiniteQueue(env, capacity=n_packets + 1)
+    for i in range(n_packets):
+        tx.items.append(packet(uid=i, size=size))
+    channel.start(env, tx, rx)
+    env.run(until=horizon)
+    return rx, channel.stats
+
+
+class TestErrorModels:
+    def test_lossless_always_ok(self):
+        model = LosslessModel()
+        assert all(
+            model.classify(packet(), rng()) is PacketFate.OK
+            for _ in range(10)
+        )
+
+    def test_bernoulli_probabilities(self):
+        model = BernoulliModel(p_loss=0.3, p_error=0.2)
+        generator = rng()
+        fates = [model.classify(packet(), generator)
+                 for _ in range(20_000)]
+        losses = sum(1 for f in fates if f is PacketFate.LOST)
+        errors = sum(1 for f in fates if f is PacketFate.ERROR)
+        assert losses / len(fates) == pytest.approx(0.3, abs=0.02)
+        # error applies to survivors: 0.7 * 0.2
+        assert errors / len(fates) == pytest.approx(0.14, abs=0.02)
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliModel(p_loss=1.5)
+        with pytest.raises(ValueError):
+            BernoulliModel(p_error=-0.1)
+
+    def test_gilbert_elliott_stationary_fraction(self):
+        model = GilbertElliottModel(p_good_to_bad=0.1, p_bad_to_good=0.4)
+        assert model.stationary_bad_fraction() == pytest.approx(0.2)
+
+    def test_gilbert_elliott_burstier_than_bernoulli(self):
+        """Same average loss, but GE losses come in runs."""
+        generator = rng()
+        ge = GilbertElliottModel(
+            p_good_to_bad=0.02, p_bad_to_good=0.18,
+            loss_good=0.0, loss_bad=0.5, error_bad=0.0,
+        )
+        avg_loss = ge.stationary_bad_fraction() * 0.5
+        bernoulli = BernoulliModel(p_loss=avg_loss)
+
+        def run_lengths(model):
+            fates = [model.classify(packet(), generator)
+                     for _ in range(50_000)]
+            lengths, current = [], 0
+            for fate in fates:
+                if fate is PacketFate.LOST:
+                    current += 1
+                elif current:
+                    lengths.append(current)
+                    current = 0
+            return lengths
+
+        ge_runs = run_lengths(ge)
+        be_runs = run_lengths(bernoulli)
+        assert np.mean(ge_runs) > 1.5 * np.mean(be_runs)
+
+    def test_gilbert_elliott_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottModel(p_good_to_bad=2.0)
+
+
+class TestChannel:
+    def test_lossless_delivers_everything(self):
+        channel = Channel(bandwidth=1e6)
+        rx, stats = run_channel(channel, n_packets=50)
+        assert stats.delivered == 50
+        assert stats.lost == 0
+        assert rx.level == 50
+
+    def test_transmission_time(self):
+        channel = Channel(bandwidth=1e6)
+        assert channel.transmission_time(packet(size=1e6)) == \
+            pytest.approx(1.0)
+
+    def test_serialization_paces_delivery(self):
+        env = Environment()
+        tx = Store(env)
+        rx = FiniteQueue(env, capacity=10)
+        channel = Channel(bandwidth=1000.0)  # 1 s per 1000-bit packet
+        tx.items.extend([packet(uid=i) for i in range(3)])
+        channel.start(env, tx, rx)
+        env.run(until=2.5)
+        assert rx.level == 2  # third packet still serializing
+
+    def test_propagation_delay_added(self):
+        env = Environment()
+        tx = Store(env)
+        rx = FiniteQueue(env, capacity=10)
+        channel = Channel(bandwidth=1e6, propagation_delay=0.5)
+        tx.items.append(packet())
+        channel.start(env, tx, rx)
+        env.run(until=0.4)
+        assert rx.level == 0
+        env.run(until=1.0)
+        assert rx.level == 1
+
+    def test_lossy_channel_drops(self):
+        channel = Channel(
+            bandwidth=1e9, error_model=BernoulliModel(p_loss=0.5),
+            seed=1,
+        )
+        rx, stats = run_channel(channel, n_packets=1000)
+        assert stats.lost == pytest.approx(500, abs=80)
+        assert stats.delivered + stats.lost == stats.sent
+
+    def test_corruption_marks_packet(self):
+        channel = Channel(
+            bandwidth=1e9, error_model=BernoulliModel(p_error=1.0),
+        )
+        rx, stats = run_channel(channel, n_packets=10)
+        assert stats.corrupted == 10
+        assert all(p.corrupted for p in rx.items)
+
+    def test_retransmission_recovers_losses(self):
+        lossy = BernoulliModel(p_loss=0.4)
+        channel = Channel(
+            bandwidth=1e9, error_model=lossy, max_retries=10, seed=2
+        )
+        rx, stats = run_channel(channel, n_packets=500)
+        assert stats.delivered == 500
+        assert stats.retransmissions > 100
+
+    def test_retransmission_costs_energy(self):
+        base = Channel(bandwidth=1e9, tx_energy_per_bit=1e-9, seed=3)
+        _, stats_base = run_channel(base, n_packets=200)
+        arq = Channel(
+            bandwidth=1e9, error_model=BernoulliModel(p_loss=0.3),
+            max_retries=10, tx_energy_per_bit=1e-9, seed=3,
+        )
+        _, stats_arq = run_channel(arq, n_packets=200)
+        assert stats_arq.tx_energy > stats_base.tx_energy
+
+    def test_energy_accounting(self):
+        channel = Channel(
+            bandwidth=1e9, tx_energy_per_bit=2e-9,
+            rx_energy_per_bit=1e-9,
+        )
+        _, stats = run_channel(channel, n_packets=10, size=1000.0)
+        assert stats.tx_energy == pytest.approx(10 * 1000 * 2e-9)
+        assert stats.rx_energy == pytest.approx(10 * 1000 * 1e-9)
+        assert stats.energy == pytest.approx(stats.tx_energy
+                                             + stats.rx_energy)
+
+    def test_loss_rate_property(self):
+        channel = Channel(
+            bandwidth=1e9, error_model=BernoulliModel(p_loss=1.0),
+        )
+        _, stats = run_channel(channel, n_packets=10)
+        assert stats.loss_rate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            Channel(bandwidth=1.0, propagation_delay=-1.0)
+        with pytest.raises(ValueError):
+            Channel(bandwidth=1.0, max_retries=-1)

@@ -1,0 +1,139 @@
+"""Tests for the Fig.1(b) MPEG-2 decoder model and lip-sync analysis."""
+
+import math
+
+import pytest
+
+from repro.streams import (
+    Mpeg2Workload,
+    SyncMonitor,
+    SyncTolerance,
+    build_mpeg2_application,
+    resync_schedule,
+    simulate_mpeg2_decoder,
+)
+
+
+class TestMpeg2Application:
+    def test_fig1b_topology(self):
+        app = build_mpeg2_application()
+        assert app.successors("vld") == ["idct", "mv"]
+        assert set(app.predecessors("display")) == {"idct", "mv"}
+        assert [p.name for p in app.sources()] == ["receive"]
+        assert [p.name for p in app.sinks()] == ["display"]
+        app.validate()
+
+    def test_buffer_capacities_forwarded(self):
+        app = build_mpeg2_application(b3_capacity=7, b4_capacity=3)
+        assert app.channel("vld", "idct").buffer_capacity == 7
+        assert app.channel("vld", "mv").buffer_capacity == 3
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            Mpeg2Workload(fps=0.0)
+
+
+class TestMpeg2Simulation:
+    def test_fast_cpu_keeps_realtime(self):
+        report = simulate_mpeg2_decoder(
+            cpu_frequency=400e6, horizon=10.0, warmup=1.0
+        )
+        assert report.realtime
+        assert report.throughput_fps == pytest.approx(25.0, rel=0.1)
+
+    def test_slow_cpu_loses_frames(self):
+        # total demand ~2.8 Mcycles/frame * 25 fps = 70 Mcycles/s
+        report = simulate_mpeg2_decoder(
+            cpu_frequency=40e6, horizon=15.0, warmup=2.0
+        )
+        assert not report.realtime
+        assert report.cpu_utilization > 0.9
+
+    def test_pressure_raises_buffer_occupancy(self):
+        relaxed = simulate_mpeg2_decoder(
+            cpu_frequency=400e6, horizon=10.0, warmup=1.0
+        )
+        loaded = simulate_mpeg2_decoder(
+            cpu_frequency=75e6, horizon=10.0, warmup=1.0
+        )
+        assert loaded.b3_mean_occupancy >= relaxed.b3_mean_occupancy
+
+    def test_deterministic(self):
+        a = simulate_mpeg2_decoder(horizon=5.0, seed=4)
+        b = simulate_mpeg2_decoder(horizon=5.0, seed=4)
+        assert a.throughput_fps == b.throughput_fps
+        assert a.mean_latency == b.mean_latency
+
+
+class TestSyncTolerance:
+    def test_window(self):
+        tol = SyncTolerance(max_lead=0.08, max_lag=0.08)
+        assert tol.in_sync(0.0)
+        assert tol.in_sync(0.08)
+        assert not tol.in_sync(0.09)
+        assert not tol.in_sync(-0.09)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncTolerance(max_lead=-0.1)
+
+
+class TestSyncMonitor:
+    def test_perfect_sync(self):
+        mon = SyncMonitor(rate_a=25.0, rate_b=25.0)
+        for k in range(10):
+            mon.record_a(k, k / 25.0)
+            mon.record_b(k, k / 25.0)
+        report = mon.report()
+        assert report.mean_skew == pytest.approx(0.0)
+        assert report.fraction_out_of_sync == 0.0
+        assert report.acceptable
+
+    def test_constant_lag_detected(self):
+        mon = SyncMonitor(rate_a=25.0, rate_b=25.0)
+        for k in range(10):
+            mon.record_a(k, k / 25.0 + 0.2)  # A presented late
+            mon.record_b(k, k / 25.0)
+        report = mon.report()
+        assert report.mean_skew == pytest.approx(0.2)
+        assert report.fraction_out_of_sync == 1.0
+        assert not report.acceptable
+
+    def test_unmatched_units_ignored(self):
+        mon = SyncMonitor(rate_a=25.0, rate_b=25.0)
+        mon.record_a(0, 0.0)
+        mon.record_b(1, 0.04)
+        report = mon.report()
+        assert report.n_samples == 0
+        assert math.isnan(report.mean_skew)
+
+    def test_different_rates_normalized(self):
+        # audio at 50 units/s, video at 25 fps, both perfectly on time
+        mon = SyncMonitor(rate_a=50.0, rate_b=25.0)
+        for k in range(20):
+            mon.record_a(k, k / 50.0)
+            mon.record_b(k, k / 25.0)
+        assert mon.report().mean_skew == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyncMonitor(rate_a=0.0, rate_b=25.0)
+
+
+class TestResyncSchedule:
+    def test_in_tolerance_no_action(self):
+        tol = SyncTolerance()
+        assert resync_schedule(0.05, tol, frame_period=0.04) == 0
+
+    def test_lagging_stream_drops_frames(self):
+        tol = SyncTolerance()
+        # lagging (positive skew) by 120 ms at 40 ms frames -> drop 3
+        assert resync_schedule(0.12, tol, frame_period=0.04) == 3
+
+    def test_leading_stream_repeats_frames(self):
+        tol = SyncTolerance()
+        assert resync_schedule(-0.12, tol, frame_period=0.04) == -3
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            resync_schedule(0.0, SyncTolerance(), frame_period=0.0)

@@ -1,0 +1,93 @@
+"""Tests for playout-buffer sizing."""
+
+import pytest
+
+from repro.streams import (
+    Channel,
+    GilbertElliottModel,
+    MpegSource,
+    Sink,
+    StreamPipeline,
+    required_startup_delay,
+    size_playout,
+)
+
+
+class TestRequiredStartupDelay:
+    def test_perfectly_periodic_arrivals_need_first_latency(self):
+        # frame k arrives at 0.1 + k/25: requirement is flat 0.1
+        arrivals = [(k, 0.1 + k / 25.0) for k in range(100)]
+        assert required_startup_delay(arrivals, fps=25.0) == \
+            pytest.approx(0.1)
+
+    def test_jitter_raises_requirement(self):
+        smooth = [(k, 0.1 + k / 25.0) for k in range(100)]
+        jittery = [
+            (k, 0.1 + k / 25.0 + (0.2 if k % 10 == 0 else 0.0))
+            for k in range(100)
+        ]
+        assert required_startup_delay(jittery, 25.0, 0.0) > \
+            required_startup_delay(smooth, 25.0, 0.0)
+
+    def test_target_fraction_trims_outliers(self):
+        arrivals = [(k, k / 25.0) for k in range(99)]
+        arrivals.append((99, 99 / 25.0 + 5.0))  # one straggler
+        strict = required_startup_delay(arrivals, 25.0, 0.0)
+        tolerant = required_startup_delay(arrivals, 25.0, 0.02)
+        assert strict >= 5.0
+        assert tolerant < 0.5
+
+    def test_never_negative(self):
+        # arrivals far ahead of their display instants
+        arrivals = [(k, 0.0) for k in range(10)]
+        assert required_startup_delay(arrivals, 25.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_startup_delay([], 25.0)
+        with pytest.raises(ValueError):
+            required_startup_delay([(0, 0.0)], 0.0)
+        with pytest.raises(ValueError):
+            required_startup_delay([(0, 0.0)], 25.0,
+                                   target_late_fraction=1.0)
+
+
+class TestSizePlayout:
+    def make_factory(self, trace=True, seed=9):
+        def factory():
+            return StreamPipeline(
+                source=MpegSource(fps=25.0, i_frame_bits=250_000.0,
+                                  seed=seed),
+                channel=Channel(
+                    bandwidth=4e6,
+                    error_model=GilbertElliottModel(loss_bad=0.0,
+                                                    error_bad=0.0),
+                    seed=seed + 1, trace_arrivals=trace,
+                ),
+                sink=Sink(display_rate_hz=25.0),
+                rx_buffer_size=256,
+            )
+        return factory
+
+    def test_requires_traced_channel(self):
+        with pytest.raises(ValueError, match="trace_arrivals"):
+            size_playout(self.make_factory(trace=False), fps=25.0)
+
+    def test_sized_delay_controls_underruns(self):
+        """The sized startup delay actually achieves (close to) the
+        target when replayed."""
+        delay = size_playout(self.make_factory(), fps=25.0,
+                             target_late_fraction=0.01, horizon=40.0)
+        assert delay > 0.0
+
+        pipeline = self.make_factory()()
+        pipeline.sink.startup_delay = delay
+        report = pipeline.run(horizon=40.0)
+        assert report.underrun_rate < 0.05
+
+    def test_tighter_target_needs_more_delay(self):
+        loose = size_playout(self.make_factory(), fps=25.0,
+                             target_late_fraction=0.1, horizon=30.0)
+        tight = size_playout(self.make_factory(), fps=25.0,
+                             target_late_fraction=0.0, horizon=30.0)
+        assert tight >= loose

@@ -1,0 +1,88 @@
+"""Tests for the source-rate / ARQ co-exploration (§2.1, [6])."""
+
+import pytest
+
+from repro.streams import explore_rate_arq, pareto_points
+
+
+@pytest.fixture(scope="module")
+def points():
+    # 20 s of stream: long enough for the ARQ-vs-rate dominance
+    # structure to stabilize.
+    return explore_rate_arq(horizon=20.0)
+
+
+class TestExploration:
+    def test_grid_size(self, points):
+        assert len(points) == 9  # 3 rates x 3 retry budgets
+
+    def test_retries_reduce_loss(self, points):
+        by_config = {
+            (p.i_frame_bits, p.max_retries): p for p in points
+        }
+        for rate in (150_000.0, 300_000.0, 450_000.0):
+            losses = [
+                by_config[(rate, r)].report.loss_rate for r in (0, 1, 3)
+            ]
+            assert losses == sorted(losses, reverse=True)
+
+    def test_energy_grows_with_rate(self, points):
+        by_config = {
+            (p.i_frame_bits, p.max_retries): p for p in points
+        }
+        energies = [
+            by_config[(rate, 0)].energy
+            for rate in (150_000.0, 300_000.0, 450_000.0)
+        ]
+        assert energies == sorted(energies)
+
+    def test_retries_cost_energy(self, points):
+        by_config = {
+            (p.i_frame_bits, p.max_retries): p for p in points
+        }
+        assert by_config[(450_000.0, 3)].energy > \
+            by_config[(450_000.0, 0)].energy
+
+    def test_quality_loss_falls_back_to_one_without_display(self):
+        explored = explore_rate_arq(
+            i_frame_sizes=(150_000.0,), retry_budgets=(0,),
+            horizon=0.2,  # shorter than the playout startup delay
+        )
+        assert explored[0].quality_loss == 1.0
+
+
+class TestParetoFront:
+    def test_front_nonempty_subset(self, points):
+        front = pareto_points(points)
+        assert front
+        assert all(p in points for p in front)
+
+    def test_front_mutually_nondominated(self, points):
+        front = pareto_points(points)
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    a.displayed_quality >= b.displayed_quality
+                    and a.energy <= b.energy
+                    and (a.displayed_quality > b.displayed_quality
+                         or a.energy < b.energy)
+                )
+                assert not dominates
+
+    def test_front_spans_rate_axis(self, points):
+        """Cheap-and-coarse through expensive-and-sharp configs all
+        survive — the whole point of system-level co-exploration."""
+        front = pareto_points(points)
+        rates = {p.i_frame_bits for p in front}
+        assert len(rates) == 3
+
+    def test_no_arq_dominated_at_high_rate(self, points):
+        """At near-capacity rates, spending a little ARQ energy always
+        pays in delivered quality."""
+        front = pareto_points(points)
+        assert not any(
+            p.i_frame_bits == 450_000.0 and p.max_retries == 0
+            for p in front
+        )

@@ -1,0 +1,42 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_shows_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["run", "zz"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "E6" in out
+        assert "reduction" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "e2", "e14"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out and "E14" in out
+
+    def test_registry_covers_every_benchmark_experiment(self):
+        # one CLI entry per experiment id of DESIGN.md
+        expected = {"f1", "f2"} | {f"e{i}" for i in range(1, 18)}
+        assert set(EXPERIMENTS) == expected
+
+    @pytest.mark.parametrize("exp_id", ["f2", "e5", "e13"])
+    def test_selected_runners_produce_tables(self, exp_id, capsys):
+        assert main(["run", exp_id]) == 0
+        assert "===" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Tests for the table renderer used by benchmarks."""
+
+import pytest
+
+from repro.utils import Table, format_ratio, format_si
+
+
+class TestFormatters:
+    def test_ratio(self):
+        assert format_ratio(7.314) == "7.31x"
+        assert format_ratio(7.314, digits=1) == "7.3x"
+
+    def test_si_millijoule(self):
+        assert format_si(2.1e-3, "J") == "2.10 mJ"
+
+    def test_si_zero(self):
+        assert format_si(0.0, "W") == "0 W"
+
+    def test_si_large(self):
+        assert format_si(3.2e9, "Hz") == "3.20 GHz"
+
+    def test_si_unitless(self):
+        assert format_si(1500.0) == "1.50 k"
+
+    def test_si_tiny_clamps_to_pico(self):
+        assert "p" in format_si(3e-13, "J")
+
+
+class TestTable:
+    def test_render_contains_all_cells(self):
+        table = Table(["scheme", "energy"], title="demo")
+        table.add_row(["EDF", 1.0])
+        table.add_row(["EAS", 0.55])
+        out = table.render()
+        assert "demo" in out
+        assert "EDF" in out and "EAS" in out
+        assert "0.55" in out
+
+    def test_row_width_mismatch_raises(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row([0.123456789])
+        assert "0.1235" in table.render()
+
+    def test_columns_aligned(self):
+        table = Table(["name", "v"])
+        table.add_row(["long-name-here", 1])
+        table.add_row(["s", 2])
+        lines = table.render().splitlines()
+        # all data lines equal width when stripped of trailing spaces
+        header = lines[0]
+        assert header.index("v") > len("long-name-here")
+
+    def test_show_prints(self, capsys):
+        table = Table(["a"], title="t")
+        table.add_row([1])
+        table.show()
+        captured = capsys.readouterr()
+        assert "t" in captured.out

@@ -1,0 +1,133 @@
+"""Tests for the wireless→streams packet-channel bridge."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    CBRSource,
+    Channel,
+    PacketFate,
+    Packet,
+    Sink,
+    StreamPipeline,
+)
+from repro.wireless import (
+    BPSK,
+    FiniteStateChannel,
+    LinkConfig,
+    LinkErrorModel,
+    QAM64,
+    UNCODED,
+    link_error_model,
+    packet_error_rate,
+)
+
+
+class TestPacketErrorRate:
+    def test_zero_ber(self):
+        assert packet_error_rate(0.0, 10_000.0) == 0.0
+
+    def test_one_ber(self):
+        assert packet_error_rate(1.0, 8.0) == 1.0
+
+    def test_small_ber_approximation(self):
+        # For tiny BER, PER ~ bits * ber
+        assert packet_error_rate(1e-9, 1_000.0) == pytest.approx(
+            1e-6, rel=1e-3
+        )
+
+    def test_monotone_in_size(self):
+        rates = [packet_error_rate(1e-5, b)
+                 for b in (100.0, 1_000.0, 10_000.0)]
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packet_error_rate(2.0, 100.0)
+        with pytest.raises(ValueError):
+            packet_error_rate(0.1, -1.0)
+
+
+class TestLinkErrorModel:
+    def packet(self, bits=10_000.0):
+        return Packet(uid=0, created=0.0, size_bits=bits)
+
+    def test_zero_ber_always_ok(self):
+        model = LinkErrorModel(ber=0.0)
+        rng = np.random.default_rng(0)
+        fates = [model.classify(self.packet(), rng) for _ in range(50)]
+        assert all(f is PacketFate.OK for f in fates)
+
+    def test_high_ber_mostly_bad(self):
+        model = LinkErrorModel(ber=1e-2)
+        rng = np.random.default_rng(1)
+        fates = [model.classify(self.packet(), rng)
+                 for _ in range(500)]
+        ok = sum(1 for f in fates if f is PacketFate.OK)
+        assert ok < 50
+
+    def test_loss_rate_matches_header_exposure(self):
+        ber = 1e-4
+        model = LinkErrorModel(ber=ber, loss_threshold_bits=64.0)
+        rng = np.random.default_rng(2)
+        fates = [model.classify(self.packet(), rng)
+                 for _ in range(30_000)]
+        lost = sum(1 for f in fates if f is PacketFate.LOST)
+        assert lost / len(fates) == pytest.approx(
+            packet_error_rate(ber, 64.0), rel=0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkErrorModel(ber=-0.1)
+        with pytest.raises(ValueError):
+            LinkErrorModel(ber=0.1, loss_threshold_bits=-1.0)
+
+
+class TestLinkComposition:
+    def test_denser_modulation_worse_at_same_power(self):
+        channel = FiniteStateChannel.indoor_default()
+        state = channel.states[1]
+        power = 0.05
+        bpsk = link_error_model(LinkConfig(BPSK, UNCODED), channel,
+                                state, power)
+        qam = link_error_model(LinkConfig(QAM64, UNCODED), channel,
+                               state, power)
+        assert qam.ber > bpsk.ber
+
+    def test_fade_state_worse(self):
+        channel = FiniteStateChannel.indoor_default()
+        config = LinkConfig(BPSK, UNCODED)
+        good = link_error_model(config, channel, channel.states[0],
+                                0.05)
+        fade = link_error_model(config, channel, channel.states[-1],
+                                0.05)
+        assert fade.ber > good.ber
+
+    def test_end_to_end_video_over_radio(self):
+        """Compose: Fig.1(a) stream over a §4 radio link."""
+        channel_model = FiniteStateChannel.indoor_default()
+        config = LinkConfig(BPSK, UNCODED)
+        # Power sized for the shadow state at BER 1e-5.
+        power = channel_model.required_tx_power(
+            config.required_snr(1e-5), channel_model.states[2]
+        )
+        good = link_error_model(config, channel_model,
+                                channel_model.states[0], power)
+        fade = link_error_model(config, channel_model,
+                                channel_model.states[3], power)
+
+        def run(error_model):
+            pipe = StreamPipeline(
+                source=CBRSource(rate_hz=50.0, packet_bits=8_000.0,
+                                 seed=4),
+                channel=Channel(bandwidth=1e6,
+                                error_model=error_model, seed=5),
+                sink=Sink(display_rate_hz=50.0),
+            )
+            return pipe.run(horizon=20.0)
+
+        report_good = run(good)
+        report_fade = run(fade)
+        assert report_good.loss_rate < 0.01
+        assert report_fade.loss_rate > report_good.loss_rate
