@@ -4,8 +4,10 @@ and smart-space availability/energy studies."""
 from repro.ambient.faults import FaultProcess, availability_lower_bound
 from repro.ambient.smart_space import (
     EnergyStudyResult,
+    LiveRedundancyResult,
     RedundancyResult,
     SmartSpace,
+    live_redundancy_study,
     redundancy_study,
     user_aware_energy_study,
 )
@@ -24,6 +26,8 @@ __all__ = [
     "SmartSpace",
     "RedundancyResult",
     "redundancy_study",
+    "LiveRedundancyResult",
+    "live_redundancy_study",
     "EnergyStudyResult",
     "user_aware_energy_study",
 ]

@@ -49,7 +49,15 @@ class FaultProcess:
 
     def up_trace(self, n_slots: int, seed: int = 0,
                  node: int = 0) -> np.ndarray:
-        """Boolean per-slot up/down trace for one node."""
+        """Boolean per-slot up/down trace for one node.
+
+        Each slot takes the state that covers its midpoint, so the
+        sojourns partition the slots exactly.  (The earlier
+        floor/ceil attribution handed every boundary slot wholesale to
+        the later sojourn, which inflated permanent-failure up-times by
+        about half a slot and guaranteed at least one up slot no matter
+        how early the node died.)
+        """
         if n_slots < 0:
             raise ValueError("n_slots must be non-negative")
         rng = spawn_rng(seed, f"fault:{node}")
@@ -62,8 +70,10 @@ class FaultProcess:
             else:
                 duration = float(rng.exponential(self.mttr_slots))
             t_next = t + duration
-            start = min(int(t), n_slots)
-            end = min(int(np.ceil(t_next)), n_slots)
+            # Slot s covers [s, s+1); its midpoint s+0.5 lies in
+            # [t, t_next) iff ceil(t-0.5) <= s < ceil(t_next-0.5).
+            start = min(max(int(np.ceil(t - 0.5)), 0), n_slots)
+            end = min(max(int(np.ceil(t_next - 0.5)), 0), n_slots)
             up[start:end] = alive
             if alive and self.mttr_slots is None:
                 up[end:] = False  # permanent failure
@@ -73,17 +83,39 @@ class FaultProcess:
         return up
 
 
+def _binom_tail_exact(n: int, p: float, k_min: int) -> float:
+    """P[X >= k_min] for X ~ Binomial(n, p), by exact summation.
+
+    scipy-free fallback built on :func:`math.comb`; exact up to float
+    rounding for the small ``n`` ambient deployments use.
+    """
+    import math
+
+    if k_min <= 0:
+        return 1.0
+    total = 0.0
+    for i in range(k_min, n + 1):
+        total += math.comb(n, i) * p ** i * (1.0 - p) ** (n - i)
+    return min(total, 1.0)
+
+
 def availability_lower_bound(per_node: float, n_nodes: int,
                              k_required: int) -> float:
     """Probability at least ``k_required`` of ``n_nodes`` are up.
 
     Binomial availability of a k-out-of-n redundant ambient service
-    with independent node availability ``per_node``.
+    with independent node availability ``per_node``.  Uses scipy's
+    survival function when available and an exact ``math.comb``
+    summation otherwise, so ambient models stay runnable on minimal
+    installs.
     """
     if not 0.0 <= per_node <= 1.0:
         raise ValueError("per-node availability must lie in [0, 1]")
     if not 0 <= k_required <= n_nodes:
         raise ValueError("need 0 <= k_required <= n_nodes")
-    from scipy.stats import binom
+    try:
+        from scipy.stats import binom
+    except ImportError:
+        return _binom_tail_exact(n_nodes, per_node, k_required)
 
     return float(binom.sf(k_required - 1, n_nodes, per_node))

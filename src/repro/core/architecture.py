@@ -75,6 +75,9 @@ class ProcessingElement:
     active_power: float | None = None
     idle_power: float = 0.02
     dvfs: DvfsModel | None = None
+    #: False while the PE is failed; schedulers and fault injectors
+    #: toggle this through :meth:`fail` / :meth:`repair`.
+    available: bool = True
 
     def __post_init__(self) -> None:
         if self.frequency <= 0:
@@ -85,6 +88,14 @@ class ProcessingElement:
             self.active_power = 0.5 / _DEFAULT_EFFICIENCY[self.kind]
         if self.active_power < 0:
             raise ValueError(f"{self.name}: negative active power")
+
+    def fail(self, cause=None) -> None:
+        """Mark the PE unavailable (crashed or powered off by a fault)."""
+        self.available = False
+
+    def repair(self) -> None:
+        """Bring the PE back into service."""
+        self.available = True
 
     def execution_time(self, cycles: float) -> float:
         """Seconds to execute ``cycles`` at the nominal frequency."""
@@ -111,6 +122,31 @@ class Interconnect:
     def is_shared(self) -> bool:
         """True when transfers contend for a single medium (a bus)."""
         return False
+
+    # ------------------------------------------------------------------
+    # Link availability (fault injection)
+    # ------------------------------------------------------------------
+    def _down_set(self) -> set[tuple[str, str]]:
+        if not hasattr(self, "_down_links"):
+            self._down_links: set[tuple[str, str]] = set()
+        return self._down_links
+
+    def link_available(self, src: str, dst: str) -> bool:
+        """True while the ``src``→``dst`` link (undirected) is in
+        service.  Shared media (a bus) are down when *any* link is."""
+        down = self._down_set()
+        if self.is_shared():
+            return not down
+        return (src, dst) not in down and (dst, src) not in down
+
+    def fail_link(self, src: str, dst: str) -> None:
+        """Take the ``src``→``dst`` link out of service."""
+        self._down_set().add((src, dst))
+
+    def repair_link(self, src: str, dst: str) -> None:
+        """Return the link to service (no-op if it was up)."""
+        self._down_set().discard((src, dst))
+        self._down_set().discard((dst, src))
 
 
 @dataclass
@@ -225,6 +261,18 @@ class Platform:
     def total_idle_power(self) -> float:
         """Sum of PE idle powers — the platform's floor power draw."""
         return sum(pe.idle_power for pe in self._pes.values())
+
+    def available_pes(self) -> list[ProcessingElement]:
+        """PEs currently in service."""
+        return [pe for pe in self._pes.values() if pe.available]
+
+    def fail_pe(self, name: str) -> None:
+        """Take a PE out of service (fault injection)."""
+        self._pes[name].fail()
+
+    def repair_pe(self, name: str) -> None:
+        """Return a PE to service."""
+        self._pes[name].repair()
 
     def __repr__(self) -> str:
         return (

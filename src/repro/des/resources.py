@@ -49,6 +49,14 @@ class Request(Event):
         self.resource.release(self)
         return False
 
+    def cancel(self) -> None:
+        """Withdraw the claim — waiting or granted — from the resource.
+
+        Alias of :meth:`Resource.release` so that interrupt/timeout
+        policies can abandon any waiter event uniformly.
+        """
+        self.resource.release(self)
+
 
 class Resource:
     """A FIFO resource with integer capacity.
@@ -68,6 +76,9 @@ class Resource:
         self.capacity = int(capacity)
         self.users: list[Request] = []
         self.queue: list[Request] = []
+        #: While True no new grants are made (current holders finish);
+        #: fault injectors toggle this via :meth:`set_out_of_service`.
+        self.out_of_service = False
 
     @property
     def count(self) -> int:
@@ -88,11 +99,20 @@ class Resource:
         # Releasing an already-released request is a no-op so that the
         # with-statement exit stays safe after interrupts.
 
+    def set_out_of_service(self, flag: bool) -> None:
+        """Stop (or resume) granting the resource; resuming grants to
+        any requests that queued up during the outage."""
+        self.out_of_service = bool(flag)
+        if not self.out_of_service:
+            self._grant_next()
+
     def _enqueue(self, request: Request) -> None:
         self.queue.append(request)
         self._grant_next()
 
     def _grant_next(self) -> None:
+        if self.out_of_service:
+            return
         while self.queue and len(self.users) < self.capacity:
             request = self.queue.pop(0)
             self.users.append(request)
@@ -142,6 +162,8 @@ class PriorityResource(Resource):
         self._grant_next()
 
     def _grant_next(self) -> None:
+        if self.out_of_service:
+            return
         while self._heap and len(self.users) < self.capacity:
             _, _, request = heapq.heappop(self._heap)
             self.users.append(request)

@@ -31,7 +31,22 @@ class StorePut(Event):
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
+        self.store = store
         store._register_put(self)
+
+    def cancel(self) -> None:
+        """Withdraw a still-pending put (no-op once triggered).
+
+        A process abandoning a blocked put — after an
+        :class:`~repro.des.events.Interrupt` or a policy timeout — must
+        cancel it, or the store would later accept an item nobody is
+        accounting for.
+        """
+        if not self.triggered:
+            try:
+                self.store._put_waiters.remove(self)
+            except ValueError:
+                pass
 
 
 class StoreGet(Event):
@@ -39,7 +54,20 @@ class StoreGet(Event):
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)
+        self.store = store
         store._register_get(self)
+
+    def cancel(self) -> None:
+        """Withdraw a still-pending get (no-op once triggered).
+
+        Without the cancel, an abandoned get would silently swallow the
+        next buffered item.
+        """
+        if not self.triggered:
+            try:
+                self.store._get_waiters.remove(self)
+            except ValueError:
+                pass
 
 
 class Store:
@@ -80,6 +108,10 @@ class Store:
         self.items: list[Any] = []
         self._put_waiters: list[StorePut] = []
         self._get_waiters: list[StoreGet] = []
+        #: While True the store matches no puts/gets — waiters queue up
+        #: (or, for :meth:`FiniteQueue.offer`, arrivals drop).  Fault
+        #: injectors toggle this via :meth:`set_out_of_service`.
+        self.out_of_service = False
         #: Time-weighted occupancy, usable after the run for the average
         #: buffer length the paper calls "very important ... utilization
         #: over time".
@@ -112,7 +144,17 @@ class Store:
     def _record_level(self) -> None:
         self.occupancy.record(self.env.now, len(self.items))
 
+    def set_out_of_service(self, flag: bool) -> None:
+        """Disable (or re-enable) the store; re-enabling matches any
+        waiters that queued up during the outage."""
+        self.out_of_service = bool(flag)
+        if not self.out_of_service:
+            self._dispatch()
+
     def _dispatch(self) -> None:
+        if self.out_of_service:
+            self._record_level()
+            return
         progressed = True
         while progressed:
             progressed = False
@@ -152,6 +194,9 @@ class FiniteQueue(Store):
     def offer(self, item: Any) -> bool:
         """Enqueue ``item`` if space allows; return False if dropped."""
         self.n_offered += 1
+        if self.out_of_service:
+            self.n_dropped += 1
+            return False
         if len(self.items) >= self.capacity and not self._get_waiters:
             self.n_dropped += 1
             return False

@@ -32,6 +32,10 @@ class LifetimeResult:
     total_energy: float
     alive_fraction_end: float
     deaths_timeline: list[int] = field(default_factory=list)
+    #: Fault-injection accounting: events applied from the plan and
+    #: sessions lost to transmitting over a stale (broken) route.
+    n_fault_events: int = 0
+    stale_route_failures: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -48,6 +52,9 @@ def simulate_lifetime(
     death_fraction: float = 0.2,
     seed: int = 0,
     reroute_every: int = 1,
+    fault_plan: dict[int, list[tuple[int, str]]] | None = None,
+    route_repair: bool = True,
+    traffic_pairs: int | None = None,
 ) -> LifetimeResult:
     """Drive random sessions until the death threshold or session cap.
 
@@ -66,6 +73,20 @@ def simulate_lifetime(
     reroute_every:
         Sessions between route recomputations for a pair (1 = every
         session, modeling perfectly fresh routing state).
+    fault_plan:
+        ``{session: [(node_id, "fail" | "repair"), ...]}`` — mid-run
+        node crashes and recoveries applied at the top of each session
+        (see :func:`repro.resilience.faults.session_fault_plan`).
+    route_repair:
+        When True (default), a cached route containing a dead node is
+        re-discovered before use; when False, the stale route is used
+        as-is and the session burns energy up to the break — the
+        non-resilient baseline against injected node faults.
+    traffic_pairs:
+        When given, sessions run between this many fixed endpoint
+        pairs (hotspot traffic, e.g. a handful of media flows) instead
+        of uniformly random pairs; fixed pairs exercise the route
+        cache heavily, which is what makes stale routes hurt.
     """
     if not 0.0 < death_fraction <= 1.0:
         raise ValueError("death_fraction must lie in (0, 1]")
@@ -76,30 +97,62 @@ def simulate_lifetime(
     n_nodes = len(node_ids)
     threshold = math.ceil(death_fraction * n_nodes)
 
+    pairs: list[tuple[int, int]] | None = None
+    if traffic_pairs is not None:
+        if traffic_pairs < 1:
+            raise ValueError("traffic_pairs must be >= 1")
+        pairs = []
+        for _ in range(traffic_pairs):
+            a, b = rng.choice(node_ids, size=2, replace=False)
+            pairs.append((int(a), int(b)))
+
     delivered = 0
     failed = 0
     total_energy = 0.0
     deaths: list[int] = []
     first_death: int | None = None
     lifetime = n_sessions
+    n_fault_events = 0
+    stale_failures = 0
     route_cache: dict[tuple[int, int], tuple[list[int], int]] = {}
 
     for session in range(1, n_sessions + 1):
+        if fault_plan:
+            for node_id, action in fault_plan.get(session, []):
+                node = network.node(node_id)
+                if action == "fail":
+                    node.fail()
+                elif action == "repair":
+                    node.repair()
+                else:
+                    raise ValueError(f"unknown fault action {action!r}")
+                n_fault_events += 1
         alive_before = {
             n.node_id for n in network.alive_nodes()
         }
-        if len(node_ids) - len(alive_before) >= threshold:
+        # The lifetime definition counts deaths "as a result of energy
+        # exhaustion" — a transiently faulted node with charge left is
+        # out of service, not dead.
+        energy_dead_before = {
+            node_id for node_id in node_ids
+            if network.node(node_id).battery <= 0.0
+        }
+        if len(energy_dead_before) >= threshold:
             lifetime = session - 1
             break
-        src, dst = rng.choice(node_ids, size=2, replace=False)
-        src, dst = int(src), int(dst)
+        if pairs is not None:
+            src, dst = pairs[int(rng.integers(len(pairs)))]
+        else:
+            src, dst = rng.choice(node_ids, size=2, replace=False)
+            src, dst = int(src), int(dst)
         if src not in alive_before or dst not in alive_before:
             failed += 1
             continue
 
         cached = route_cache.get((src, dst))
         if cached is not None and session - cached[1] < reroute_every \
-                and all(network.node(n).alive for n in cached[0]):
+                and (not route_repair
+                     or all(network.node(n).alive for n in cached[0])):
             route = cached[0]
         else:
             route = protocol.find_route(network, src, dst)
@@ -109,22 +162,30 @@ def simulate_lifetime(
             failed += 1
             continue
 
-        energy = network.forward(route, bits_per_session)
-        if protocol.control_overhead > 0:
-            overhead = energy * protocol.control_overhead
-            per_node = overhead / len(route)
-            for node_id in route:
-                network.node(node_id).consume(per_node)
-            energy += overhead
+        energy, ok = network.forward_partial(route, bits_per_session)
         total_energy += energy
-        delivered += 1
+        if not ok:
+            # The route broke mid-transfer (stale cache over a dead
+            # node): the energy is spent, the session is lost.
+            failed += 1
+            stale_failures += 1
+            route_cache.pop((src, dst), None)
+        else:
+            if protocol.control_overhead > 0:
+                overhead = energy * protocol.control_overhead
+                per_node = overhead / len(route)
+                for node_id in route:
+                    network.node(node_id).consume(per_node)
+                total_energy += overhead
+            delivered += 1
 
         for node in network.alive_nodes():
             node.end_window()
 
         newly_dead = [
-            node_id for node_id in alive_before
-            if not network.node(node_id).alive
+            node_id for node_id in node_ids
+            if node_id not in energy_dead_before
+            and network.node(node_id).battery <= 0.0
         ]
         if newly_dead:
             deaths.extend([session] * len(newly_dead))
@@ -142,6 +203,8 @@ def simulate_lifetime(
         total_energy=total_energy,
         alive_fraction_end=network.alive_fraction(),
         deaths_timeline=deaths,
+        n_fault_events=n_fault_events,
+        stale_route_failures=stale_failures,
     )
 
 

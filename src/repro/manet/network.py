@@ -95,6 +95,33 @@ class ManetNetwork:
                 total += rx
         return total
 
+    def forward_partial(self, route: list[int], bits: float,
+                        count_rx: bool = True) -> tuple[float, bool]:
+        """Push ``bits`` along ``route`` until a dead hop breaks it.
+
+        Models transmission over a *stale* route: each live sender
+        spends TX energy into the void, but the session dies at the
+        first dead relay.  Returns ``(energy_spent, delivered)``.
+        """
+        if len(route) < 2:
+            raise ValueError("route needs at least two nodes")
+        total = 0.0
+        for src_id, dst_id in zip(route, route[1:]):
+            src = self.nodes[src_id]
+            dst = self.nodes[dst_id]
+            if not src.alive:
+                return total, False
+            tx = self.radio.tx_energy(bits, src.distance_to(dst))
+            src.consume(tx)
+            total += tx
+            if not dst.alive:
+                return total, False
+            if count_rx:
+                rx = self.radio.rx_energy(bits)
+                dst.consume(rx)
+                total += rx
+        return total, True
+
     def __len__(self) -> int:
         return len(self.nodes)
 

@@ -38,6 +38,9 @@ class ManetNode:
     #: Energy consumed in the current session window (reset by
     #: :meth:`end_window`).
     window_energy: float = field(default=0.0)
+    #: True while an injected fault (crash, capture, hardware death —
+    #: anything other than energy exhaustion) holds the node down.
+    failed: bool = field(default=False)
     _ewma_alpha: float = field(default=0.3, repr=False)
 
     def __post_init__(self) -> None:
@@ -48,8 +51,18 @@ class ManetNode:
 
     @property
     def alive(self) -> bool:
-        """True while the battery holds charge."""
-        return self.battery > 0.0
+        """True while the battery holds charge and no fault is
+        active."""
+        return self.battery > 0.0 and not self.failed
+
+    def fail(self, cause: object = None) -> None:
+        """Take the node down for a non-energy reason."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Clear an injected fault; the node revives if its battery
+        still holds charge."""
+        self.failed = False
 
     @property
     def residual_fraction(self) -> float:

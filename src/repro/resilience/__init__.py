@@ -1,0 +1,92 @@
+"""In-simulation fault injection and resilience policies (§5).
+
+The paper's ambient-multimedia thesis is that distributed multimedia
+systems must "operate with limited resources and failing parts".  This
+package makes failure a first-class *simulation event* rather than an
+offline trace:
+
+* :mod:`repro.resilience.faults` — :class:`FaultInjector` processes
+  that break and repair live model components (DES resources and
+  stores, stream channels, platform PEs and links, running processes)
+  on sampled fail/repair schedules;
+* :mod:`repro.resilience.policies` — process combinators
+  (:func:`retry_with_backoff`, :func:`with_timeout`,
+  :class:`Watchdog`, :class:`CircuitBreaker`) that let model code
+  survive those faults gracefully;
+* :mod:`repro.resilience.harness` — QoS-vs-fault-rate sweeps over the
+  existing experiments, quantifying *graceful degradation* (the paper's
+  redundancy/adaptation claim) against crash-or-stall baselines.
+"""
+
+from repro.resilience.faults import (
+    BreakableLink,
+    BreakablePE,
+    BreakableResource,
+    BreakableStore,
+    CallbackBreakable,
+    FailureModel,
+    FaultEvent,
+    FaultInjector,
+    ProcessKill,
+    all_down_intervals,
+    any_up_fraction,
+    session_fault_plan,
+)
+from repro.resilience.harness import (
+    DegradationCurve,
+    QosPoint,
+    ambient_qos,
+    arq_streaming_qos,
+    fault_rate_sweep,
+    format_report,
+    manet_qos,
+    resilience_report,
+    stream_pipeline_qos,
+)
+from repro.resilience.policies import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    PolicyError,
+    RetryBudgetExceeded,
+    Watchdog,
+    WatchdogTimeout,
+    retry_with_backoff,
+    with_timeout,
+)
+
+__all__ = [
+    # faults
+    "FailureModel",
+    "FaultEvent",
+    "FaultInjector",
+    "ProcessKill",
+    "BreakableResource",
+    "BreakableStore",
+    "BreakablePE",
+    "BreakableLink",
+    "CallbackBreakable",
+    "session_fault_plan",
+    "all_down_intervals",
+    "any_up_fraction",
+    # policies
+    "PolicyError",
+    "DeadlineExceeded",
+    "RetryBudgetExceeded",
+    "CircuitOpen",
+    "WatchdogTimeout",
+    "with_timeout",
+    "retry_with_backoff",
+    "Watchdog",
+    "CircuitBreaker",
+    # harness
+    "QosPoint",
+    "DegradationCurve",
+    "fault_rate_sweep",
+    "stream_pipeline_qos",
+    "arq_streaming_qos",
+    "manet_qos",
+    "ambient_qos",
+    "resilience_report",
+    "format_report",
+]

@@ -1,0 +1,367 @@
+"""Resilience policy combinators for DES processes.
+
+These are the reusable building blocks consumers wrap around fallible
+operations, all built on the kernel's interrupt primitive:
+
+* :func:`with_timeout` — bound the wait for any event by a deadline;
+* :func:`retry_with_backoff` — re-attempt a fallible operation with an
+  exponential-backoff schedule and a bounded retry budget (the ARQ
+  pattern of §2.1, "how much retransmission can be afforded");
+* :class:`Watchdog` — interrupt a process whose heartbeats stop;
+* :class:`CircuitBreaker` — fast-fail callers while a dependency is
+  broken, probing it again after a cool-down.
+
+All combinators are generator functions used with ``yield from`` inside
+model processes::
+
+    def worker(env, store):
+        item = yield from with_timeout(env, store.get(), deadline=2.0)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.des.events import Event, Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.environment import Environment
+
+__all__ = [
+    "PolicyError",
+    "DeadlineExceeded",
+    "RetryBudgetExceeded",
+    "CircuitOpen",
+    "WatchdogTimeout",
+    "with_timeout",
+    "retry_with_backoff",
+    "Watchdog",
+    "CircuitBreaker",
+]
+
+
+class PolicyError(Exception):
+    """Base class of all resilience-policy failures."""
+
+
+class DeadlineExceeded(PolicyError):
+    """An operation outlived its :func:`with_timeout` deadline."""
+
+    @property
+    def deadline(self) -> float:
+        return self.args[0]
+
+
+class RetryBudgetExceeded(PolicyError):
+    """Every attempt of :func:`retry_with_backoff` failed."""
+
+
+class CircuitOpen(PolicyError):
+    """A :class:`CircuitBreaker` rejected the call without trying."""
+
+
+class WatchdogTimeout:
+    """Interrupt cause delivered by a starved :class:`Watchdog`."""
+
+    def __init__(self, name: str, silent_for: float):
+        self.name = name
+        self.silent_for = silent_for
+
+    def __repr__(self) -> str:
+        return (f"WatchdogTimeout({self.name!r}, "
+                f"silent_for={self.silent_for:g})")
+
+
+def _defuse_late_failure(event: Event) -> None:
+    """Callback that keeps an abandoned event's failure from crashing
+    the run — nobody is listening for it anymore."""
+    if event._ok is False:
+        event._defused = True
+
+
+def _abandon(event: Event) -> None:
+    """Detach from an event we no longer care about.
+
+    Cancellable waiters (store puts/gets, resource requests) are
+    withdrawn so they cannot consume items or grants on our behalf;
+    live processes are interrupted; any late failure is defused.
+    """
+    cancel = getattr(event, "cancel", None)
+    if cancel is not None:
+        cancel()
+    if isinstance(event, Process) and event.is_alive:
+        event.interrupt(DeadlineExceeded(math.nan))
+    if event.callbacks is not None:
+        event.callbacks.append(_defuse_late_failure)
+
+
+def with_timeout(env: "Environment", event: Event, deadline: float):
+    """Wait for ``event`` at most ``deadline`` time units.
+
+    Returns the event's value if it wins the race; raises
+    :class:`DeadlineExceeded` otherwise, after abandoning the laggard
+    (cancelling store/resource waiters, interrupting processes) so the
+    timed-out operation cannot complete behind the caller's back.
+    Failures of ``event`` before the deadline propagate unchanged.
+    """
+    if deadline < 0:
+        raise ValueError("deadline must be non-negative")
+    timer = env.timeout(deadline)
+    already_triggered = event.triggered
+    results = yield env.any_of([event, timer])
+    if event in results:
+        return results[event]
+    if not already_triggered and event.triggered and event._ok:
+        # Dead heat: the event succeeded at the very deadline instant
+        # but the timer processed first.  Its effect (an item taken, a
+        # grant consumed) already happened, so hand the value over
+        # rather than dropping it on the floor.  Born-triggered events
+        # (timeouts still scheduled in the future) don't qualify.
+        return event.value
+    _abandon(event)
+    raise DeadlineExceeded(deadline)
+
+
+def retry_with_backoff(
+    env: "Environment",
+    factory: Callable[[], Any],
+    retries: int = 3,
+    base_delay: float = 0.01,
+    factor: float = 2.0,
+    max_delay: float = math.inf,
+    timeout: float | None = None,
+    retry_on: tuple = (Exception,),
+    rng=None,
+    jitter: float = 0.0,
+    on_retry: Callable[[int, float, BaseException], None] | None = None,
+):
+    """Attempt a fallible operation up to ``1 + retries`` times.
+
+    ``factory`` produces a *fresh* attempt each call: an event, a
+    process, or a plain generator (wrapped into a process).  Failed
+    attempts wait ``base_delay * factor**k`` (clamped to ``max_delay``,
+    optionally jittered by ``rng``) before the next try; ``timeout``
+    additionally bounds each attempt via :func:`with_timeout`.
+
+    Raises :class:`RetryBudgetExceeded` (chaining the last error) once
+    the budget is spent.  :class:`~repro.des.events.Interrupt` is never
+    treated as a retryable failure unless listed in ``retry_on``
+    explicitly — a fault injector killing *this* process must win.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if base_delay < 0 or factor < 1.0:
+        raise ValueError("need base_delay >= 0 and factor >= 1")
+    attempt = 0
+    while True:
+        target = factory()
+        if not isinstance(target, Event):
+            target = env.process(target)
+        try:
+            if timeout is not None:
+                result = yield from with_timeout(env, target, timeout)
+            else:
+                result = yield target
+            return result
+        except retry_on as error:
+            if isinstance(error, Interrupt) and \
+                    not _explicitly_retryable(Interrupt, retry_on):
+                raise
+            attempt += 1
+            if attempt > retries:
+                raise RetryBudgetExceeded(
+                    f"gave up after {attempt} attempts"
+                ) from error
+            delay = min(base_delay * factor ** (attempt - 1), max_delay)
+            if jitter > 0 and rng is not None:
+                delay *= 1.0 + jitter * float(rng.random())
+            if on_retry is not None:
+                on_retry(attempt, delay, error)
+            if delay > 0:
+                yield env.timeout(delay)
+
+
+def _explicitly_retryable(exc_type: type, retry_on: tuple) -> bool:
+    return any(cls is exc_type for cls in retry_on)
+
+
+class Watchdog:
+    """Interrupts a victim (or fires a callback) when heartbeats stop.
+
+    The watched process calls :meth:`beat` at every sign of life; if no
+    beat arrives within ``timeout``, the watchdog delivers a
+    :class:`WatchdogTimeout` interrupt to ``victim`` and/or invokes
+    ``on_starve``, then re-arms (continuous supervision) unless
+    ``one_shot``.
+
+    Examples
+    --------
+    >>> from repro.des import Environment, Interrupt
+    >>> env = Environment()
+    >>> log = []
+    >>> def worker(env):
+    ...     try:
+    ...         yield env.timeout(100)   # hung
+    ...     except Interrupt as interrupt:
+    ...         log.append((env.now, type(interrupt.cause).__name__))
+    >>> victim = env.process(worker(env))
+    >>> dog = Watchdog(env, timeout=3.0, victim=victim)
+    >>> env.run(until=10)
+    >>> log
+    [(3.0, 'WatchdogTimeout')]
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        timeout: float,
+        victim: Process | None = None,
+        on_starve: Callable[["Watchdog"], None] | None = None,
+        name: str = "watchdog",
+        one_shot: bool = False,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.env = env
+        self.timeout = timeout
+        self.victim = victim
+        self.on_starve = on_starve
+        self.name = name
+        self.one_shot = one_shot
+        self.n_starvations = 0
+        self._last_beat = env.now
+        self._stopped = False
+        self.process = env.process(self._run())
+
+    def beat(self) -> None:
+        """Record a sign of life, pushing the deadline out."""
+        self._last_beat = self.env.now
+
+    def stop(self) -> None:
+        """Retire the watchdog."""
+        self._stopped = True
+        if self.process.is_alive:
+            self.process.interrupt("watchdog-stopped")
+
+    def _run(self):
+        while not self._stopped:
+            deadline = self._last_beat + self.timeout
+            delay = deadline - self.env.now
+            if delay > 0:
+                try:
+                    yield self.env.timeout(delay)
+                except Interrupt:
+                    return  # stop()
+                continue  # a beat may have moved the deadline
+            self.n_starvations += 1
+            silent = self.env.now - self._last_beat
+            cause = WatchdogTimeout(self.name, silent)
+            if self.victim is not None and self.victim.is_alive:
+                self.victim.interrupt(cause)
+            if self.on_starve is not None:
+                self.on_starve(self)
+            if self.one_shot:
+                return
+            self._last_beat = self.env.now  # re-arm
+
+
+class CircuitBreaker:
+    """Fast-fails calls to a broken dependency; probes after cool-down.
+
+    States: *closed* (calls pass), *open* (calls rejected with
+    :class:`CircuitOpen` until ``reset_timeout`` elapses), *half-open*
+    (one trial call allowed; success closes the circuit, failure
+    re-opens it).
+
+    Use as a combinator::
+
+        result = yield from breaker.call(lambda: store.get())
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        env: "Environment",
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        call_timeout: float | None = None,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.env = env
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.call_timeout = call_timeout
+        self.name = name
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._open_until = -math.inf
+        self.n_calls = 0
+        self.n_failures = 0
+        self.n_rejected = 0
+        self.n_state_changes = 0
+
+    @property
+    def state(self) -> str:
+        """Current breaker state (resolves open → half-open lazily)."""
+        if self._state == self.OPEN and self.env.now >= self._open_until:
+            return self.HALF_OPEN
+        return self._state
+
+    def call(self, factory: Callable[[], Any]):
+        """Run one guarded attempt of ``factory`` (see class docs)."""
+        state = self.state
+        if state == self.OPEN:
+            self.n_rejected += 1
+            raise CircuitOpen(
+                f"{self.name} open for another "
+                f"{self._open_until - self.env.now:g}"
+            )
+        if state == self.HALF_OPEN:
+            self._transition(self.HALF_OPEN)
+        self.n_calls += 1
+        target = factory()
+        if not isinstance(target, Event):
+            target = self.env.process(target)
+        try:
+            if self.call_timeout is not None:
+                result = yield from with_timeout(
+                    self.env, target, self.call_timeout
+                )
+            else:
+                result = yield target
+        except Interrupt:
+            raise  # a fault aimed at the caller is not a call failure
+        except Exception:
+            self._record_failure()
+            raise
+        self._record_success()
+        return result
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.n_state_changes += 1
+
+    def _record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._transition(self.CLOSED)
+
+    def _record_failure(self) -> None:
+        self.n_failures += 1
+        self._consecutive_failures += 1
+        if (self._state == self.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold):
+            self._transition(self.OPEN)
+            self._open_until = self.env.now + self.reset_timeout
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, state={self.state}, "
+                f"failures={self.n_failures}/{self.n_calls})")

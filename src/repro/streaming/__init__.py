@@ -2,6 +2,7 @@
 the DVFS decoder client with aptitude feedback, server rate policies and
 the full-rate vs. feedback comparison harness."""
 
+from repro.streaming.arq import ArqPolicy, FrameDelivery, LossyLink
 from repro.streaming.client import (
     DecoderModel,
     DvfsVideoClient,
@@ -25,6 +26,9 @@ __all__ = [
     "SlotOutcome",
     "FullRateServer",
     "FeedbackServer",
+    "ArqPolicy",
+    "FrameDelivery",
+    "LossyLink",
     "SessionReport",
     "run_session",
     "StreamingComparison",

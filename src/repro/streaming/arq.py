@@ -1,0 +1,141 @@
+"""ARQ over a lossy streaming link (§2.1's "how much retransmission
+can be afforded", applied to the E8 session).
+
+The E8 experiment streams frame slots through a perfect transport; this
+module adds the imperfect one: a :class:`LossyLink` that loses frames
+and feedback reports, and an :class:`ArqPolicy` that retransmits lost
+frames under an exponential-backoff timeout schedule until the frame
+deadline or the retry budget runs out.  A frame that cannot be
+delivered in time is *skipped* by the client (graceful degradation:
+one bad slot, not a crashed session) and a lost feedback report leaves
+the server adapting on stale aptitude — both effects the resilience
+harness measures as QoS-vs-loss-rate curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.rng import spawn_rng
+
+__all__ = ["ArqPolicy", "FrameDelivery", "LossyLink"]
+
+
+@dataclass(frozen=True)
+class ArqPolicy:
+    """Retransmission policy: bounded retries, exponential backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        Retransmissions allowed per frame after the first attempt.
+    initial_timeout:
+        Seconds waited before the first retransmission.
+    backoff_factor:
+        Timeout multiplier per further attempt (>= 1).
+    """
+
+    max_retries: int = 3
+    initial_timeout: float = 0.005
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.initial_timeout <= 0:
+            raise ValueError("initial_timeout must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def timeout(self, attempt: int) -> float:
+        """Retransmission timeout after failed attempt ``attempt``
+        (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return self.initial_timeout * self.backoff_factor ** attempt
+
+
+@dataclass(frozen=True)
+class FrameDelivery:
+    """Outcome of pushing one frame through a :class:`LossyLink`."""
+
+    delivered: bool
+    attempts: int
+    latency: float  #: arrival time after slot start; NaN if never
+
+    @property
+    def retransmissions(self) -> int:
+        return self.attempts - 1
+
+
+class LossyLink:
+    """Per-slot Bernoulli loss on the downlink and the feedback uplink.
+
+    Operates in slot time like the E8 session loop: each call to
+    :meth:`deliver` plays out one frame's (re)transmissions against the
+    frame deadline, each call to :meth:`feedback_ok` decides one
+    aptitude report's fate.  Seeded via :func:`spawn_rng`, so sessions
+    are bit-reproducible.
+
+    Parameters
+    ----------
+    p_loss:
+        Probability one frame transmission is lost.
+    p_feedback_loss:
+        Probability a feedback report is lost; defaults to ``p_loss``.
+    rtt:
+        Round-trip time, seconds; half of it rides on every delivery.
+    """
+
+    def __init__(self, p_loss: float = 0.0,
+                 p_feedback_loss: float | None = None,
+                 rtt: float = 0.0, seed: int = 0, name: str = "link"):
+        if not 0.0 <= p_loss <= 1.0:
+            raise ValueError("p_loss must be a probability")
+        if p_feedback_loss is not None and \
+                not 0.0 <= p_feedback_loss <= 1.0:
+            raise ValueError("p_feedback_loss must be a probability")
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        self.p_loss = p_loss
+        self.p_feedback_loss = (p_loss if p_feedback_loss is None
+                                else p_feedback_loss)
+        self.rtt = rtt
+        self._rng = spawn_rng(seed, f"lossy-link:{name}")
+        self.n_attempts = 0
+        self.n_frame_losses = 0
+        self.n_feedback_losses = 0
+
+    def deliver(self, deadline: float,
+                arq: ArqPolicy | None = None) -> FrameDelivery:
+        """Transmit one frame, retransmitting under ``arq`` until it
+        arrives, the deadline passes, or the budget is spent."""
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        budget = arq.max_retries if arq is not None else 0
+        elapsed = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            self.n_attempts += 1
+            if self._rng.random() >= self.p_loss:
+                latency = elapsed + self.rtt / 2.0
+                return FrameDelivery(delivered=latency <= deadline,
+                                     attempts=attempts, latency=latency)
+            self.n_frame_losses += 1
+            if arq is None or attempts > budget:
+                return FrameDelivery(delivered=False, attempts=attempts,
+                                     latency=math.nan)
+            elapsed += arq.timeout(attempts - 1)
+            if elapsed + self.rtt / 2.0 > deadline:
+                # No retransmission can make the deadline anymore.
+                return FrameDelivery(delivered=False, attempts=attempts,
+                                     latency=math.nan)
+
+    def feedback_ok(self) -> bool:
+        """Fate of one client → server aptitude report."""
+        if self._rng.random() < self.p_feedback_loss:
+            self.n_feedback_losses += 1
+            return False
+        return True

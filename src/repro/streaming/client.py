@@ -187,6 +187,31 @@ class DvfsVideoClient:
         self.outcomes.append(outcome)
         return outcome
 
+    def skip_frame(self, frame: FgsFrame,
+                   received_bits: float = 0.0) -> SlotOutcome:
+        """Account a frame that never arrived in time (ARQ budget
+        exhausted, deadline missed): nothing is decoded, the display
+        conceals the slot (PSNR 0), and the decoder idles through the
+        period.  Any ``received_bits`` from failed partial deliveries
+        still cost reception energy and count as waste."""
+        if received_bits < 0:
+            raise ValueError("received_bits must be non-negative")
+        period = 1.0 / self.fps
+        point = self.choose_point(frame)
+        outcome = SlotOutcome(
+            frame_index=frame.index,
+            received_bits=received_bits,
+            decoded_enh_bits=0.0,
+            wasted_bits=received_bits,
+            psnr=0.0,
+            point=point,
+            compute_energy=self.dvfs.idle_energy(period),
+            rx_energy=received_bits * self.decoder.rx_energy_per_bit,
+            normalized_load=0.0,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.power import DvfsModel
+from repro.streaming.arq import ArqPolicy, LossyLink
 from repro.streaming.client import DecoderModel, DvfsVideoClient
 from repro.streaming.fgs import FgsSource
 from repro.streaming.server import FeedbackServer, FullRateServer
@@ -32,11 +33,22 @@ class SessionReport:
     mean_psnr: float
     mean_normalized_load: float
     waste_fraction: float
+    #: Lossy-link accounting (all frames delivered when no link is
+    #: simulated).
+    n_delivered: int = 0
+    n_dropped: int = 0
+    retransmissions: int = 0
 
     @property
     def total_energy(self) -> float:
         """Client communication + computation energy."""
         return self.rx_energy + self.compute_energy
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of frames shown on time."""
+        return self.n_delivered / self.n_frames if self.n_frames else \
+            math.nan
 
 
 def run_session(
@@ -45,20 +57,42 @@ def run_session(
     source_seed: int = 0,
     client: DvfsVideoClient | None = None,
     source: FgsSource | None = None,
+    link: LossyLink | None = None,
+    arq: ArqPolicy | None = None,
 ) -> SessionReport:
-    """Stream ``n_frames`` from ``server`` to a DVFS client."""
+    """Stream ``n_frames`` from ``server`` to a DVFS client.
+
+    With a :class:`~repro.streaming.arq.LossyLink`, each frame slot
+    plays out (re)transmissions under ``arq``; frames that miss the
+    deadline are skipped by the client, and lost feedback reports leave
+    the server adapting on its previous aptitude estimate.
+    """
     if n_frames < 1:
         raise ValueError("n_frames must be >= 1")
     source = source or FgsSource(seed=source_seed)
     client = client or DvfsVideoClient(fps=source.fps)
+    period = 1.0 / client.fps
 
+    n_delivered = 0
+    n_dropped = 0
+    retransmissions = 0
     for _ in range(n_frames):
         frame = source.next_frame()
         enhancement = server.enhancement_to_send(frame)
+        if link is not None:
+            delivery = link.deliver(period, arq)
+            retransmissions += delivery.retransmissions
+            if not delivery.delivered:
+                n_dropped += 1
+                client.skip_frame(frame)
+                continue
+        n_delivered += 1
         outcome = client.receive(frame, enhancement)
-        # Aptitude report for the *next* slot (one-slot delay).
+        # Aptitude report for the *next* slot (one-slot delay); a lost
+        # report leaves the server's view of the client stale.
         point = outcome.point
-        server.observe_feedback(client.aptitude_bits(point, frame))
+        if link is None or link.feedback_ok():
+            server.observe_feedback(client.aptitude_bits(point, frame))
 
     return SessionReport(
         policy=server.name,
@@ -68,6 +102,9 @@ def run_session(
         mean_psnr=client.mean_psnr(),
         mean_normalized_load=client.mean_normalized_load(),
         waste_fraction=client.waste_fraction(),
+        n_delivered=n_delivered,
+        n_dropped=n_dropped,
+        retransmissions=retransmissions,
     )
 
 

@@ -10,6 +10,7 @@ from repro.streams.channel import (
     Channel,
     ChannelStats,
     ErrorModel,
+    FailoverChannel,
     GilbertElliottModel,
     LosslessModel,
     PacketFate,
@@ -59,6 +60,7 @@ __all__ = [
     "PacketFate",
     "Channel",
     "ChannelStats",
+    "FailoverChannel",
     "Sink",
     "StreamPipeline",
     "StreamReport",

@@ -16,11 +16,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.streams.packets import Packet
+from repro.des.events import Event, Interrupt
+from repro.streams.packets import FrameType, Packet
 from repro.utils.rng import spawn_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,6 +35,7 @@ __all__ = [
     "GilbertElliottModel",
     "Channel",
     "ChannelStats",
+    "FailoverChannel",
 ]
 
 
@@ -163,6 +165,12 @@ class ChannelStats:
     corrupted: int = 0
     lost: int = 0
     retransmissions: int = 0
+    #: Outage accounting (fault injection): completed outage windows,
+    #: packets lost in-flight when the medium failed, and enhancement
+    #: packets shed to catch up after recovery.
+    outages: int = 0
+    fault_drops: int = 0
+    degraded_drops: int = 0
     tx_energy: float = 0.0
     rx_energy: float = 0.0
     #: ``(seqno, arrival_time)`` per delivered packet when the channel
@@ -200,6 +208,16 @@ class Channel:
         Retransmission budget per packet (0 = no ARQ).
     tx_energy_per_bit, rx_energy_per_bit:
         Transceiver energy cost per transmitted/received bit.
+    resilient:
+        When True, an injected fault (:meth:`fail`) costs only the
+        in-flight packet and service pauses until :meth:`repair`; when
+        False (default), the fault's Interrupt propagates and crashes
+        the run — the baseline behaviour the resilience layer exists to
+        replace.
+    shed_enhancement:
+        When True, a resilient channel sheds buffered B-frames from the
+        Tx backlog after an outage instead of serving stale enhancement
+        work (graceful degradation: drop quality, keep liveness).
     """
 
     def __init__(
@@ -213,6 +231,8 @@ class Channel:
         seed: int = 0,
         name: str = "channel",
         trace_arrivals: bool = False,
+        resilient: bool = False,
+        shed_enhancement: bool = False,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -228,12 +248,58 @@ class Channel:
         self.rx_energy_per_bit = rx_energy_per_bit
         self.name = name
         self.trace_arrivals = trace_arrivals
+        self.resilient = resilient
+        self.shed_enhancement = shed_enhancement
         self.stats = ChannelStats()
         self._rng = spawn_rng(seed, f"channel:{name}")
+        #: True while the medium is failed (fault injection).
+        self.down = False
+        #: The relay process serving this channel, once started.
+        self.process = None
+        self._active = False
+        self._up_waiters: list[Event] = []
 
     def transmission_time(self, packet: Packet) -> float:
         """Seconds to serialize one packet onto the medium."""
         return packet.size_bits / self.bandwidth
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface (a Channel is a breakable)
+    # ------------------------------------------------------------------
+    def fail(self, cause: Any = None) -> None:
+        """Take the medium down; interrupts the relay if mid-activity."""
+        if self.down:
+            return
+        self.down = True
+        if (self.process is not None and self.process.is_alive
+                and self._active):
+            self.process.interrupt(cause)
+
+    def repair(self) -> None:
+        """Bring the medium back; wakes a relay waiting out the outage."""
+        if not self.down:
+            return
+        self.down = False
+        self.stats.outages += 1
+        waiters, self._up_waiters = self._up_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def _wait_repair(self, env: "Environment") -> Event:
+        event = env.event()
+        self._up_waiters.append(event)
+        return event
+
+    def _shed_enhancement(self, tx_buffer: "Store") -> None:
+        """Drop buffered enhancement (B) frames to catch up after an
+        outage — degrade quality instead of stalling the stream."""
+        kept = []
+        for item in tx_buffer.items:
+            if getattr(item, "frame_type", None) is FrameType.B:
+                self.stats.degraded_drops += 1
+            else:
+                kept.append(item)
+        tx_buffer.items[:] = kept
 
     def start(self, env: "Environment", tx_buffer: "Store",
               rx_buffer: "FiniteQueue"):
@@ -241,9 +307,31 @@ class Channel:
 
         def run():
             while True:
-                packet: Packet = yield tx_buffer.get()
+                if self.down:
+                    self._active = False
+                    yield self._wait_repair(env)
+                    if self.shed_enhancement:
+                        self._shed_enhancement(tx_buffer)
+                    continue
+                self._active = True
+                get_event = tx_buffer.get()
+                try:
+                    packet: Packet = yield get_event
+                except Interrupt:
+                    get_event.cancel()
+                    if not self.resilient:
+                        raise
+                    continue
                 self.stats.sent += 1
-                fate = yield from self._transmit(env, packet)
+                try:
+                    fate = yield from self._transmit(env, packet)
+                except Interrupt:
+                    if not self.resilient:
+                        raise
+                    # The in-flight packet dies with the medium.
+                    self.stats.lost += 1
+                    self.stats.fault_drops += 1
+                    continue
                 if fate is PacketFate.LOST:
                     self.stats.lost += 1
                     continue
@@ -260,7 +348,8 @@ class Channel:
                     )
                 rx_buffer.offer(packet)
 
-        return env.process(run())
+        self.process = env.process(run())
+        return self.process
 
     def _transmit(self, env: "Environment", packet: Packet):
         """One ARQ round: attempt, then retry on failure while budget
@@ -281,3 +370,115 @@ class Channel:
                 if fate is not PacketFate.LOST:
                     yield env.timeout(self.propagation_delay)
                 return fate
+
+
+class FailoverChannel:
+    """A primary/backup channel pair with automatic failover.
+
+    One relay process serves the stream, routing each packet over the
+    primary path unless it is down, in which case the (typically
+    narrower) backup carries the traffic — the redundancy form of
+    graceful degradation: quality may drop with the backup's bandwidth,
+    but the stream never stalls while either path lives.
+
+    Both member channels stay individually breakable
+    (``fail``/``repair``), so fault injectors target them directly; the
+    relay only dies if *both* are down and only pauses, never crashes.
+    """
+
+    def __init__(self, primary: Channel, backup: Channel):
+        self.primary = primary
+        self.backup = backup
+        self.n_failovers = 0
+        self.process = None
+        self._last_path: Channel | None = None
+
+    @property
+    def down(self) -> bool:
+        """True only when both paths are failed."""
+        return self.primary.down and self.backup.down
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Merged counters over both paths (traces concatenated and
+        re-sorted by arrival time)."""
+        merged = ChannelStats()
+        for stats in (self.primary.stats, self.backup.stats):
+            merged.sent += stats.sent
+            merged.delivered += stats.delivered
+            merged.corrupted += stats.corrupted
+            merged.lost += stats.lost
+            merged.retransmissions += stats.retransmissions
+            merged.outages += stats.outages
+            merged.fault_drops += stats.fault_drops
+            merged.degraded_drops += stats.degraded_drops
+            merged.tx_energy += stats.tx_energy
+            merged.rx_energy += stats.rx_energy
+            merged.arrival_trace.extend(stats.arrival_trace)
+        merged.arrival_trace.sort(key=lambda entry: entry[1])
+        return merged
+
+    def _pick(self) -> Channel | None:
+        if not self.primary.down:
+            path = self.primary
+        elif not self.backup.down:
+            path = self.backup
+        else:
+            return None
+        if path is self.backup and self._last_path is not self.backup:
+            self.n_failovers += 1
+        self._last_path = path
+        return path
+
+    def start(self, env: "Environment", tx_buffer: "Store",
+              rx_buffer: "FiniteQueue"):
+        """Start the failover relay moving Tx-buffer -> Rx-buffer."""
+
+        def run():
+            while True:
+                path = self._pick()
+                if path is None:
+                    # Total outage: wait for whichever path heals first.
+                    yield env.any_of([
+                        self.primary._wait_repair(env),
+                        self.backup._wait_repair(env),
+                    ])
+                    continue
+                path._active = True
+                get_event = tx_buffer.get()
+                try:
+                    packet: Packet = yield get_event
+                except Interrupt:
+                    get_event.cancel()
+                    path._active = False
+                    continue
+                path.stats.sent += 1
+                try:
+                    fate = yield from path._transmit(env, packet)
+                except Interrupt:
+                    path.stats.lost += 1
+                    path.stats.fault_drops += 1
+                    path._active = False
+                    continue
+                path._active = False
+                if fate is PacketFate.LOST:
+                    path.stats.lost += 1
+                    continue
+                if fate is PacketFate.ERROR:
+                    packet.corrupted = True
+                    path.stats.corrupted += 1
+                path.stats.delivered += 1
+                path.stats.rx_energy += (
+                    packet.size_bits * path.rx_energy_per_bit
+                )
+                if path.trace_arrivals:
+                    path.stats.arrival_trace.append(
+                        (packet.seqno, env.now)
+                    )
+                rx_buffer.offer(packet)
+
+        self.process = env.process(run())
+        # Faults on either member must interrupt the shared relay.
+        self.primary.process = self.process
+        self.backup.process = self.process
+        return self.process

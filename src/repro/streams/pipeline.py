@@ -12,11 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.des import Environment, FiniteQueue
-from repro.streams.channel import Channel, ChannelStats
+from repro.des.events import Interrupt
+from repro.streams.channel import Channel, ChannelStats, FailoverChannel
 from repro.streams.sink import Sink
 from repro.streams.source import StreamSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FailureModel
 
 __all__ = ["StreamReport", "StreamPipeline"]
 
@@ -39,6 +44,11 @@ class StreamReport:
     tx_drops: int
     rx_drops: int
     channel: ChannelStats = field(default_factory=ChannelStats)
+    #: Fault-injection outcome: did an unhandled fault kill the run,
+    #: and if so when; how many faults were injected overall.
+    crashed: bool = False
+    crash_time: float = math.nan
+    n_faults: int = 0
 
     @property
     def throughput(self) -> float:
@@ -89,7 +99,7 @@ class StreamPipeline:
     def __init__(
         self,
         source: StreamSource,
-        channel: Channel,
+        channel: Channel | FailoverChannel,
         sink: Sink,
         tx_buffer_size: int = 32,
         rx_buffer_size: int = 32,
@@ -102,8 +112,23 @@ class StreamPipeline:
         self.tx_buffer_size = tx_buffer_size
         self.rx_buffer_size = rx_buffer_size
 
-    def run(self, horizon: float) -> StreamReport:
-        """Simulate the stream for ``horizon`` seconds."""
+    def run(self, horizon: float, faults: "FailureModel | None" = None,
+            fault_seed: int = 0) -> StreamReport:
+        """Simulate the stream for ``horizon`` seconds.
+
+        Parameters
+        ----------
+        horizon:
+            Simulated duration in seconds.
+        faults, fault_seed:
+            When ``faults`` is given, a
+            :class:`~repro.resilience.faults.FaultInjector` breaks and
+            repairs the channel (the *primary* path of a
+            :class:`FailoverChannel`) on that model's schedule.  A
+            non-resilient channel then crashes the run at the first
+            fault (``report.crashed``); a resilient or failover channel
+            degrades instead, and the report stays complete.
+        """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         env = Environment()
@@ -113,8 +138,31 @@ class StreamPipeline:
         self.source.start(env, tx_buffer, until=horizon)
         self.channel.start(env, tx_buffer, rx_buffer)
         self.sink.start(env, rx_buffer)
-        env.run(until=horizon)
 
+        injector = None
+        if faults is not None:
+            # Imported here: repro.resilience depends on this module.
+            from repro.resilience.faults import FaultInjector
+
+            target = self.channel
+            if isinstance(self.channel, FailoverChannel):
+                target = self.channel.primary
+            injector = FaultInjector(
+                env, target, faults, seed=fault_seed,
+                name="stream-channel",
+            )
+
+        crashed = False
+        crash_time = math.nan
+        try:
+            env.run(until=horizon)
+        except Interrupt:
+            # Baseline (non-resilient) behaviour: the injected fault
+            # propagated out of the relay and killed the simulation.
+            crashed = True
+            crash_time = env.now
+
+        measured = env.now if crashed else horizon
         emitted = self.source.n_emitted
         displayed = self.sink.n_displayed
         channel_lost = self.channel.stats.lost
@@ -132,9 +180,12 @@ class StreamPipeline:
             loss_rate=loss_rate,
             underrun_rate=self.sink.underrun_rate,
             corruption_rate=self.sink.corruption_rate,
-            tx_buffer_mean=tx_buffer.occupancy.mean(at_time=horizon),
-            rx_buffer_mean=rx_buffer.occupancy.mean(at_time=horizon),
+            tx_buffer_mean=tx_buffer.occupancy.mean(at_time=measured),
+            rx_buffer_mean=rx_buffer.occupancy.mean(at_time=measured),
             tx_drops=tx_buffer.n_dropped,
             rx_drops=rx_buffer.n_dropped,
             channel=self.channel.stats,
+            crashed=crashed,
+            crash_time=crash_time,
+            n_faults=injector.n_failures if injector is not None else 0,
         )

@@ -1,9 +1,12 @@
 """Tests for the ambient-multimedia substrate (§5)."""
 
 import math
+import sys
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ambient import (
     FaultProcess,
@@ -12,9 +15,11 @@ from repro.ambient import (
     UserBehaviorModel,
     availability_lower_bound,
     default_home_user,
+    live_redundancy_study,
     redundancy_study,
     user_aware_energy_study,
 )
+from repro.ambient.faults import _binom_tail_exact
 
 
 class TestUserActivity:
@@ -100,6 +105,38 @@ class TestFaultProcess:
             FaultProcess(mtbf_slots=1.0).up_trace(-1)
 
 
+class TestUpTraceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mtbf=st.floats(min_value=20.0, max_value=200.0),
+        mttr=st.floats(min_value=5.0, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_trace_mean_tracks_steady_availability(self, mtbf, mttr,
+                                                   seed):
+        """The slot-level up fraction stays inside a renewal-theory
+        confidence band around MTBF/(MTBF+MTTR)."""
+        fp = FaultProcess(mtbf_slots=mtbf, mttr_slots=mttr)
+        cycle = mtbf + mttr
+        n_slots = int(150 * cycle)  # ~150 failure/repair cycles
+        up = fp.up_trace(n_slots, seed=seed)
+        a = fp.steady_availability()
+        # Asymptotic std of the time-average of an alternating
+        # exponential renewal process, with slack for the start-up
+        # transient (the node is born alive) and slot quantization.
+        sigma = a * (1.0 - a) * math.sqrt(2.0 * cycle / n_slots)
+        assert abs(float(up.mean()) - a) <= 8.0 * sigma + 0.02
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mtbf=st.floats(min_value=0.1, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_permanent_trace_never_recovers(self, mtbf, seed):
+        up = FaultProcess(mtbf_slots=mtbf).up_trace(5_000, seed=seed)
+        assert (np.diff(up.astype(int)) <= 0).all()
+
+
 class TestAvailabilityBound:
     def test_one_of_one(self):
         assert availability_lower_bound(0.9, 1, 1) == pytest.approx(0.9)
@@ -118,6 +155,21 @@ class TestAvailabilityBound:
             availability_lower_bound(1.5, 2, 1)
         with pytest.raises(ValueError):
             availability_lower_bound(0.5, 2, 3)
+
+    def test_exact_tail_matches_scipy_path(self):
+        for n, p, k in [(5, 0.9, 3), (12, 0.37, 7), (20, 0.99, 20),
+                        (8, 0.5, 0), (6, 0.0, 1), (6, 1.0, 6)]:
+            assert _binom_tail_exact(n, p, k) == pytest.approx(
+                availability_lower_bound(p, n, k), abs=1e-12
+            )
+
+    def test_scipy_free_fallback(self, monkeypatch):
+        """With scipy unimportable, the exact summation takes over."""
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        monkeypatch.setitem(sys.modules, "scipy.stats", None)
+        value = availability_lower_bound(0.9, 4, 2)
+        assert value == pytest.approx(_binom_tail_exact(4, 0.9, 2))
+        assert value == pytest.approx(0.9963, abs=1e-4)
 
 
 class TestSmartSpace:
@@ -140,6 +192,26 @@ class TestSmartSpace:
             assert r.measured_availability == pytest.approx(
                 r.analytical_availability, abs=tolerance
             )
+
+    def test_live_study_matches_analytic_and_orders(self):
+        results = live_redundancy_study(horizon=30_000.0, seed=6)
+        measured = [r.measured_availability for r in results]
+        assert measured == sorted(measured)
+        assert all(r.n_faults > 0 for r in results)
+        for r in results:
+            tolerance = 0.12 if r.nodes_per_zone == 1 else 0.05
+            assert r.measured_availability == pytest.approx(
+                r.analytical_availability, abs=tolerance
+            )
+
+    def test_live_study_reproducible(self):
+        first = live_redundancy_study(horizon=5_000.0, seed=1)
+        second = live_redundancy_study(horizon=5_000.0, seed=1)
+        assert first == second
+
+    def test_live_study_horizon_validation(self):
+        with pytest.raises(ValueError):
+            live_redundancy_study(horizon=0.0)
 
     def test_user_aware_saves_energy_without_service_loss(self):
         results = user_aware_energy_study(n_slots=15_000, seed=5)

@@ -1,0 +1,380 @@
+"""Resilience policy combinators: timeout, retry, watchdog, breaker."""
+
+import pytest
+
+from repro.des import Environment, Store
+from repro.des.events import Interrupt
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    DeadlineExceeded,
+    RetryBudgetExceeded,
+    Watchdog,
+    WatchdogTimeout,
+    retry_with_backoff,
+    with_timeout,
+)
+
+
+def run_process(env, generator):
+    """Drive one generator to completion, returning its value."""
+    process = env.process(generator)
+    env.run()
+    return process.value
+
+
+class TestWithTimeout:
+    def test_event_wins(self):
+        env = Environment()
+
+        def worker(env):
+            value = yield from with_timeout(
+                env, env.timeout(1, value="ok"), deadline=5.0
+            )
+            return value, env.now
+
+        assert run_process(env, worker(env)) == ("ok", 1.0)
+
+    def test_deadline_wins(self):
+        env = Environment()
+        outcomes = []
+
+        def worker(env):
+            try:
+                yield from with_timeout(env, env.timeout(10),
+                                        deadline=2.0)
+            except DeadlineExceeded as error:
+                outcomes.append((env.now, error.deadline))
+
+        env.process(worker(env))
+        env.run()
+        assert outcomes == [(2.0, 2.0)]
+
+    def test_timed_out_get_cannot_steal_later_item(self):
+        env = Environment()
+        got = []
+
+        def impatient(env):
+            try:
+                yield from with_timeout(env, store.get(), deadline=1.0)
+            except DeadlineExceeded:
+                pass
+            yield env.timeout(100)
+
+        def patient(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield store.put("item")
+
+        store = Store(env)
+        env.process(impatient(env))
+        env.process(patient(env))
+        env.process(producer(env))
+        env.run()
+        # The abandoned get was withdrawn; the item goes to `patient`.
+        assert got == [(5.0, "item")]
+
+    def test_failure_before_deadline_propagates(self):
+        env = Environment()
+
+        def exploder(env):
+            yield env.timeout(1)
+            raise KeyError("inner")
+
+        def worker(env):
+            with pytest.raises(KeyError):
+                yield from with_timeout(
+                    env, env.process(exploder(env)), deadline=10.0
+                )
+
+        env.process(worker(env))
+        env.run()
+
+    def test_negative_deadline_rejected(self):
+        env = Environment()
+
+        def worker(env):
+            with pytest.raises(ValueError):
+                yield from with_timeout(env, env.event(), deadline=-1.0)
+            yield env.timeout(0)
+
+        env.process(worker(env))
+        env.run()
+
+
+class TestRetryWithBackoff:
+    def test_succeeds_after_failures(self):
+        env = Environment()
+        attempts = []
+
+        def flaky(env):
+            attempts.append(env.now)
+            yield env.timeout(0.1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "done"
+
+        def worker(env):
+            value = yield from retry_with_backoff(
+                env, lambda: flaky(env), retries=5,
+                base_delay=1.0, factor=2.0,
+            )
+            return value
+
+        assert run_process(env, worker(env)) == "done"
+        # Attempt starts: 0, then 0.1+1, then 1.1+0.1+2.
+        assert attempts == pytest.approx([0.0, 1.1, 3.2])
+
+    def test_budget_exhaustion_chains_last_error(self):
+        env = Environment()
+
+        def always_fails(env):
+            yield env.timeout(0.1)
+            raise OSError("still broken")
+
+        def worker(env):
+            try:
+                yield from retry_with_backoff(
+                    env, lambda: always_fails(env), retries=2,
+                    base_delay=0.01,
+                )
+            except RetryBudgetExceeded as error:
+                return type(error.__cause__).__name__
+            return "unexpected"
+
+        assert run_process(env, worker(env)) == "OSError"
+
+    def test_interrupt_not_retried_by_default(self):
+        env = Environment()
+        observed = []
+
+        def sleeper(env):
+            yield env.timeout(50)
+
+        def worker(env):
+            try:
+                yield from retry_with_backoff(
+                    env, lambda: sleeper(env), retries=5,
+                )
+            except Interrupt as interrupt:
+                observed.append(interrupt.cause)
+
+        target = env.process(worker(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            target.interrupt("fault")
+
+        env.process(killer(env))
+        env.run()
+        assert observed == ["fault"]
+
+    def test_per_attempt_timeout(self):
+        env = Environment()
+        starts = []
+
+        def slow_then_fast(env):
+            starts.append(env.now)
+            yield env.timeout(10 if len(starts) == 1 else 0.1)
+            return "ok"
+
+        def worker(env):
+            value = yield from retry_with_backoff(
+                env, lambda: slow_then_fast(env), retries=2,
+                base_delay=0.5, timeout=1.0,
+                retry_on=(DeadlineExceeded,),
+            )
+            return value
+
+        assert run_process(env, worker(env)) == "ok"
+        assert starts == pytest.approx([0.0, 1.5])
+
+    def test_max_delay_clamps_backoff(self):
+        env = Environment()
+        delays = []
+
+        def always_fails(env):
+            yield env.timeout(0)
+            raise OSError()
+
+        def worker(env):
+            try:
+                yield from retry_with_backoff(
+                    env, lambda: always_fails(env), retries=4,
+                    base_delay=1.0, factor=10.0, max_delay=2.0,
+                    on_retry=lambda n, d, e: delays.append(d),
+                )
+            except RetryBudgetExceeded:
+                pass
+
+        env.process(worker(env))
+        env.run()
+        assert delays == [1.0, 2.0, 2.0, 2.0]
+
+    def test_validation(self):
+        env = Environment()
+
+        def worker(env):
+            with pytest.raises(ValueError):
+                yield from retry_with_backoff(env, lambda: None,
+                                              retries=-1)
+            yield env.timeout(0)
+
+        env.process(worker(env))
+        env.run()
+
+
+class TestWatchdog:
+    def test_starvation_interrupts_victim(self):
+        env = Environment()
+        log = []
+
+        def hung(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        victim = env.process(hung(env))
+        Watchdog(env, timeout=3.0, victim=victim)
+        env.run(until=10)
+        assert len(log) == 1
+        time, cause = log[0]
+        assert time == 3.0
+        assert isinstance(cause, WatchdogTimeout)
+        assert cause.silent_for == pytest.approx(3.0)
+
+    def test_beats_keep_victim_alive(self):
+        env = Environment()
+        interrupted = []
+
+        def healthy(env, dog):
+            for _ in range(20):
+                try:
+                    yield env.timeout(1)
+                except Interrupt:
+                    interrupted.append(env.now)
+                    return
+                dog.beat()
+
+        dog = Watchdog(env, timeout=3.0)
+        dog.victim = env.process(healthy(env, dog))
+        env.run(until=20)
+        assert interrupted == []
+        assert dog.n_starvations == 0
+
+    def test_on_starve_callback_and_rearm(self):
+        env = Environment()
+        starvations = []
+        dog = Watchdog(env, timeout=2.0,
+                       on_starve=lambda d: starvations.append(env.now))
+        env.run(until=7)
+        assert starvations == [2.0, 4.0, 6.0]
+
+    def test_one_shot(self):
+        env = Environment()
+        starvations = []
+        Watchdog(env, timeout=2.0, one_shot=True,
+                 on_starve=lambda d: starvations.append(env.now))
+        env.run(until=10)
+        assert starvations == [2.0]
+
+    def test_stop(self):
+        env = Environment()
+        starvations = []
+        dog = Watchdog(env, timeout=5.0,
+                       on_starve=lambda d: starvations.append(env.now))
+
+        def stopper(env):
+            yield env.timeout(1)
+            dog.stop()
+
+        env.process(stopper(env))
+        env.run(until=20)
+        assert starvations == []
+
+
+class TestCircuitBreaker:
+    @staticmethod
+    def failing(env):
+        yield env.timeout(0.1)
+        raise OSError("down")
+
+    @staticmethod
+    def working(env):
+        yield env.timeout(0.1)
+        return "ok"
+
+    def test_opens_after_threshold_then_recovers(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=2,
+                                 reset_timeout=5.0)
+        timeline = []
+
+        def driver(env):
+            for _ in range(3):
+                try:
+                    yield from breaker.call(lambda: self.failing(env))
+                except OSError:
+                    timeline.append(("fail", breaker.state))
+                except CircuitOpen:
+                    timeline.append(("rejected", breaker.state))
+            # Cool down, then the half-open probe succeeds.
+            yield env.timeout(5.0)
+            value = yield from breaker.call(lambda: self.working(env))
+            timeline.append((value, breaker.state))
+
+        env.process(driver(env))
+        env.run()
+        assert timeline == [
+            ("fail", "closed"),
+            ("fail", "open"),
+            ("rejected", "open"),
+            ("ok", "closed"),
+        ]
+        assert breaker.n_rejected == 1
+        assert breaker.n_failures == 2
+
+    def test_half_open_failure_reopens(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=1,
+                                 reset_timeout=2.0)
+
+        def driver(env):
+            with pytest.raises(OSError):
+                yield from breaker.call(lambda: self.failing(env))
+            assert breaker.state == "open"
+            yield env.timeout(2.0)
+            assert breaker.state == "half-open"
+            with pytest.raises(OSError):
+                yield from breaker.call(lambda: self.failing(env))
+            assert breaker.state == "open"
+
+        env.process(driver(env))
+        env.run()
+
+    def test_success_resets_failure_count(self):
+        env = Environment()
+        breaker = CircuitBreaker(env, failure_threshold=2,
+                                 reset_timeout=1.0)
+
+        def driver(env):
+            for _ in range(4):
+                with pytest.raises(OSError):
+                    yield from breaker.call(lambda: self.failing(env))
+                yield from breaker.call(lambda: self.working(env))
+            assert breaker.state == "closed"
+
+        env.process(driver(env))
+        env.run()
+        assert breaker.n_rejected == 0
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CircuitBreaker(env, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(env, reset_timeout=0.0)

@@ -35,6 +35,7 @@ MODULES_WITH_DOCTESTS = [
     "repro.wireless.packet_channel",
     "repro.asip.retarget",
     "repro.ambient.users",
+    "repro.resilience.policies",
 ]
 
 
