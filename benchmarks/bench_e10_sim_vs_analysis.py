@@ -10,30 +10,12 @@ and reports accuracy and wall-clock cost.
 
 import pytest
 
-from repro.analysis import AnalyticalStreamModel, compare_mm1k
-from repro.streams import (
-    BernoulliModel,
-    CBRSource,
-    Channel,
-    Sink,
-    StreamPipeline,
-)
-from repro.utils import Table
 
+def bench_e10_mm1k(experiment):
+    result = experiment("e10")
+    result.table("M/M/1/5").show()
 
-def bench_e10_mm1k(once):
-    rows, sim_seconds, ana_seconds = once(
-        compare_mm1k, 8.0, 10.0, 5,
-        horizon=3_000.0, warmup=200.0, seed=1,
-    )
-    table = Table(
-        ["metric", "simulated", "analytical", "rel_error"],
-        title="E10a: M/M/1/5 — DES vs. closed form (§2.2)",
-    )
-    for row in rows:
-        table.add_row([row.metric, row.simulated, row.analytical,
-                       row.relative_error])
-    table.show()
+    rows, sim_seconds, ana_seconds = result.raw["mm1k"]
     speedup = sim_seconds / max(ana_seconds, 1e-9)
     print(f"wall clock: sim={sim_seconds:.3f}s ana={ana_seconds:.6f}s "
           f"-> analysis {speedup:.0f}x faster")
@@ -43,44 +25,14 @@ def bench_e10_mm1k(once):
     assert speedup > 100
 
 
-def _stream_comparison():
-    source_rate, loss, service_rate, capacity = 40.0, 0.1, 50.0, 8
-    model = AnalyticalStreamModel(
-        source_rate=source_rate, channel_loss=loss,
-        service_rate=service_rate, rx_capacity=capacity,
-    )
-    analytical = model.solve()
-
+def bench_e10_stream_model(experiment):
     # The matching DES model: Poisson-ish CBR source, Bernoulli loss,
     # rate-driven sink.  Sink consumption is deterministic (not
     # exponential), so agreement is approximate by design.
-    pipe = StreamPipeline(
-        source=CBRSource(rate_hz=source_rate, packet_bits=8_000.0,
-                         seed=3),
-        channel=Channel(bandwidth=1e9,
-                        error_model=BernoulliModel(p_loss=loss),
-                        seed=4),
-        sink=Sink(display_rate_hz=service_rate),
-        rx_buffer_size=capacity,
-    )
-    simulated = pipe.run(horizon=500.0)
-    return analytical, simulated
+    result = experiment("e10")
+    result.table("CTMC").show()
 
-
-def bench_e10_stream_model(once):
-    analytical, simulated = once(_stream_comparison)
-    table = Table(
-        ["metric", "simulated", "analytical"],
-        title="E10b: Fig.1(a) stream — DES vs. CTMC model",
-    )
-    table.add_row(["throughput", simulated.throughput,
-                   analytical.throughput])
-    table.add_row(["loss_rate", simulated.loss_rate,
-                   analytical.loss_rate])
-    table.add_row(["rx_occupancy", simulated.rx_buffer_mean,
-                   analytical.mean_rx_occupancy])
-    table.show()
-
+    analytical, simulated = result.raw["stream"]
     assert simulated.throughput == pytest.approx(
         analytical.throughput, rel=0.1
     )

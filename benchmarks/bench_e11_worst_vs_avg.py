@@ -8,69 +8,13 @@ demand and (b) the average demand plus buffering, and compare the
 silicon/power cost against the delivered QoS.
 """
 
-import numpy as np
 
-from repro.streams import Mpeg2Workload, simulate_mpeg2_decoder
-from repro.utils import Table
+def bench_e11_worst_vs_average(experiment):
+    result = experiment("e11")
+    result.table("provisioning").show()
 
-WORKLOAD = Mpeg2Workload(cycles_cv=0.8)  # heavy-tailed frame demands
-FPS = WORKLOAD.fps
-
-
-def _sample_frame_demands(n=20_000, seed=7):
-    """Per-frame total cycle demand under the lognormal CV model."""
-    rng = np.random.default_rng(seed)
-    total = 0.0
-    means = [WORKLOAD.receive_cycles, WORKLOAD.vld_cycles,
-             WORKLOAD.idct_cycles, WORKLOAD.mv_cycles,
-             WORKLOAD.display_cycles]
-    samples = np.zeros(n)
-    for mean in means:
-        if mean == 0:
-            continue
-        cv = WORKLOAD.cycles_cv
-        sigma = np.sqrt(np.log(1 + cv * cv))
-        mu = np.log(mean) - sigma**2 / 2
-        samples += rng.lognormal(mu, sigma, size=n)
-        total += mean
-    return samples, total
-
-
-def _provisioning_experiment():
-    demands, mean_demand = _sample_frame_demands()
-    p999 = float(np.quantile(demands, 0.999))
-    rows = []
-    for label, per_frame_budget in [
-        ("worst-case (p99.9)", p999),
-        ("2x average", 2.0 * mean_demand),
-        ("1.3x average + buffers", 1.3 * mean_demand),
-        ("average (underprovisioned)", 1.0 * mean_demand),
-    ]:
-        frequency = per_frame_budget * FPS
-        report = simulate_mpeg2_decoder(
-            workload=WORKLOAD, cpu_frequency=frequency,
-            b3_capacity=8, b4_capacity=8,
-            horizon=20.0, warmup=2.0, seed=3,
-        )
-        rows.append((label, frequency, report))
-    return rows, p999 / mean_demand
-
-
-def bench_e11_worst_vs_average(once):
-    rows, overdesign_ratio = once(_provisioning_experiment)
-    table = Table(
-        ["provisioning", "cpu_mhz", "fps", "loss", "util",
-         "energy_per_frame_mJ"],
-        title="E11: worst-case vs average-case provisioning (§2, [4])",
-    )
-    for label, frequency, report in rows:
-        delivered = max(report.result.metrics["delivered"], 1.0)
-        table.add_row([
-            label, frequency / 1e6, report.throughput_fps,
-            report.loss_rate, report.cpu_utilization,
-            report.result.metrics["energy"] / delivered * 1e3,
-        ])
-    table.show()
+    rows = result.raw["rows"]
+    overdesign_ratio = result.raw["overdesign_ratio"]
     print(f"worst-case demand is {overdesign_ratio:.1f}x the average "
           f"demand (the paper: 'orders of magnitude' for hard bounds)")
 

@@ -7,29 +7,12 @@ Sweeps the tile count under identical uniform traffic on a shared bus
 and a 2D mesh of equal link speed.
 """
 
-from repro.noc import bus_vs_noc_sweep
-from repro.utils import Table
 
-TILES = (4, 8, 16, 32)
+def bench_e12_bus_vs_noc(experiment):
+    result = experiment("e12")
+    result.table("shared bus vs").show()
 
-
-def bench_e12_bus_vs_noc(once):
-    pairs = once(bus_vs_noc_sweep, tile_counts=TILES,
-                 rate_per_tile=20_000.0)
-    table = Table(
-        ["tiles", "offered_Gbps", "bus_saturation", "bus_latency_us",
-         "noc_saturation", "noc_latency_us"],
-        title="E12: shared bus vs 2D-mesh NoC under uniform traffic "
-              "(§3.2)",
-    )
-    for bus, noc in pairs:
-        table.add_row([
-            bus.n_tiles, bus.offered_bps / 1e9,
-            bus.saturation, bus.mean_latency * 1e6,
-            noc.saturation, noc.mean_latency * 1e6,
-        ])
-    table.show()
-
+    pairs = result.raw["pairs"]
     small_bus, small_noc = pairs[0]
     large_bus, large_noc = pairs[-1]
     # Small systems: both fine (the bus is even marginally simpler).

@@ -8,29 +8,12 @@ latency, network traffic and the hot-link bandwidth a conservative NoC
 design would have to provision.
 """
 
-from repro.noc import memory_organization_study
-from repro.utils import Table
 
+def bench_e13_memory_locality(experiment):
+    result = experiment("e13")
+    result.table("memory").show()
 
-def bench_e13_memory_locality(once):
-    study = once(memory_organization_study, access_rate=400_000.0,
-                 seed=1)
-    table = Table(
-        ["organization", "mean_latency_us", "max_latency_us",
-         "network_Mbit", "hot_link_Mbps"],
-        title="E13: centralized vs distributed memory on a 4x4 NoC "
-              "(§3.3)",
-    )
-    for result in study.values():
-        table.add_row([
-            result.organization,
-            result.mean_access_latency * 1e6,
-            result.max_access_latency * 1e6,
-            result.network_bits / 1e6,
-            result.hot_link_bps / 1e6,
-        ])
-    table.show()
-
+    study = result.raw["study"]
     central = study["centralized"]
     distributed = study["distributed"]
     # Local memories cut access latency by orders of magnitude...

@@ -7,27 +7,15 @@ workload, bracketing the trade-off curve with the always-on policy
 at zero QoS damage).
 """
 
-from repro.core import DpmDevice, timeout_sweep
-from repro.utils import Table
-
-TIMEOUTS = (0.0, 0.005, 0.02, 0.05, 0.2)
+from repro.core import DpmDevice
 
 
-def bench_e14_dpm_tradeoff(once):
-    results = once(timeout_sweep, TIMEOUTS)
-    device = DpmDevice()
-    table = Table(
-        ["policy", "energy_J", "saving", "late_rate", "delay_ms"],
-        title=f"E14: DPM energy-QoS trade-off "
-              f"(break-even {device.break_even() * 1e3:.1f} ms)",
-    )
-    for r in results:
-        table.add_row([
-            r.policy, r.energy, r.energy_saving, r.late_rate,
-            r.total_delay * 1e3,
-        ])
-    table.show()
+def bench_e14_dpm_tradeoff(experiment):
+    result = experiment("e14")
+    result.table("DPM").show()
 
+    results = result.raw["results"]
+    timeouts_swept = result.raw["timeouts"]
     always_on = results[0]
     oracle = results[-1]
     timeouts = results[1:-1]
@@ -42,7 +30,7 @@ def bench_e14_dpm_tradeoff(once):
     savings = [r.energy_saving for r in timeouts]
     assert savings == sorted(savings, reverse=True)
     lates_beyond_latency = [
-        r.late_rate for r, timeout in zip(timeouts, TIMEOUTS)
+        r.late_rate for r, timeout in zip(timeouts, timeouts_swept)
         if timeout >= DpmDevice().wakeup_latency
     ]
     assert lates_beyond_latency == sorted(lates_beyond_latency,

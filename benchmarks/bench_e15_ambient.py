@@ -8,29 +8,12 @@ vs the binomial closed form), and always-on vs user-aware node power
 management driven by the stochastic home-user model.
 """
 
-from repro.ambient import (
-    default_home_user,
-    redundancy_study,
-    user_aware_energy_study,
-)
-from repro.utils import Table
 
+def bench_e15_fault_tolerance(experiment):
+    result = experiment("e15")
+    result.table("availability").show()
 
-def bench_e15_fault_tolerance(once):
-    results = once(redundancy_study, n_slots=30_000, seed=4)
-    table = Table(
-        ["nodes_per_zone", "measured_availability",
-         "analytical_availability"],
-        title="E15a: smart-space availability vs redundancy "
-              "(6 zones, failing nodes)",
-    )
-    for r in results:
-        table.add_row([
-            r.nodes_per_zone, r.measured_availability,
-            r.analytical_availability,
-        ])
-    table.show()
-
+    results = result.raw["redundancy"]
     measured = [r.measured_availability for r in results]
     assert measured == sorted(measured)  # redundancy helps, monotone
     assert measured[0] < 0.9             # one node per zone: fragile
@@ -41,20 +24,11 @@ def bench_e15_fault_tolerance(once):
                    - r.analytical_availability) < tolerance
 
 
-def bench_e15_user_aware_energy(once):
-    user = default_home_user()
-    results = once(user_aware_energy_study, n_slots=30_000, seed=5)
-    pi = user.steady_state()
+def bench_e15_user_aware_energy(experiment):
+    result = experiment("e15")
+    result.table("user-aware").show()
 
-    table = Table(
-        ["policy", "energy", "service_ratio"],
-        title="E15b: always-on vs user-aware ambient operation "
-              f"(user absent {pi['absent'] * 100:.0f}% of slots)",
-    )
-    for r in results.values():
-        table.add_row([r.policy, r.energy, r.service_ratio])
-    table.show()
-
+    results = result.raw["energy"]
     on = results["always-on"]
     aware = results["user-aware"]
     saving = 1 - aware.energy / on.energy

@@ -8,29 +8,13 @@ wireless channel near capacity and prints the Pareto-efficient
 configurations.
 """
 
-from repro.streams import explore_rate_arq, pareto_points
-from repro.utils import Table
 
+def bench_e16_rate_arq_exploration(experiment):
+    result = experiment("e16")
+    result.table("co-exploration").show()
 
-def bench_e16_rate_arq_exploration(once):
-    points = once(explore_rate_arq, horizon=20.0)
-    front = pareto_points(points)
-    front_set = {(p.i_frame_bits, p.max_retries) for p in front}
-
-    table = Table(
-        ["i_frame_bits", "max_retries", "loss", "underrun",
-         "energy_J", "quality_score", "pareto"],
-        title="E16: source-rate / retransmission co-exploration "
-              "(§2.1, [6])",
-    )
-    for p in points:
-        table.add_row([
-            int(p.i_frame_bits), p.max_retries, p.report.loss_rate,
-            p.report.underrun_rate, p.energy, p.displayed_quality,
-            (p.i_frame_bits, p.max_retries) in front_set,
-        ])
-    table.show()
-
+    points = result.raw["points"]
+    front = result.raw["front"]
     # The co-exploration story: the front spans all three source rates
     # (quality-energy dial), ARQ always features at the top rate, and
     # retransmission visibly buys loss for energy.

@@ -7,26 +7,12 @@ Builds the exact CTMC of a Fig.1(b)-shaped buffer pipeline at growing
 depth and races it against the DES kernel on the same system.
 """
 
-from repro.analysis import state_space_study
-from repro.utils import Table
 
+def bench_e17_state_explosion(experiment):
+    result = experiment("e17")
+    result.table("CTMC").show()
 
-def bench_e17_state_explosion(once):
-    rows = once(state_space_study, max_stages=5, capacity=3)
-    table = Table(
-        ["pipeline_stages", "exact_states", "exact_seconds",
-         "sim_seconds", "exact_throughput", "sim_throughput"],
-        title="E17: exact CTMC vs simulation as the model grows "
-              "(§2.2)",
-    )
-    for row in rows:
-        table.add_row([
-            row["stages"], row["states"], row["exact_seconds"],
-            row["sim_seconds"], row["exact_throughput"],
-            row["sim_throughput"],
-        ])
-    table.show()
-
+    rows = result.raw["rows"]
     states = [row["states"] for row in rows]
     exact = [row["exact_seconds"] for row in rows]
     sim = [row["sim_seconds"] for row in rows]

@@ -6,51 +6,12 @@ Sweeps the allowed instruction count and prints speedup/gates per
 configuration, plus the same flow on an MPEG-2 encoder for contrast.
 """
 
-from repro.asip import (
-    ExtensibleProcessor,
-    IsaRestrictions,
-    IssProfiler,
-    mpeg2_encoder_workload,
-    select_extensions_optimal,
-    voice_recognition_workload,
-)
-from repro.utils import Table, format_ratio
 
+def bench_e1_voice_recognition(experiment):
+    result = experiment("e1")
+    result.table("voice recognition").show()
 
-def _sweep(workload, max_instructions=9, gate_budget=200_000.0):
-    base = ExtensibleProcessor(
-        restrictions=IsaRestrictions(
-            max_instructions=max_instructions, gate_budget=gate_budget,
-        )
-    )
-    profile = IssProfiler(base).run(workload)
-    rows = []
-    for allowed in range(1, max_instructions + 1):
-        restrictions = IsaRestrictions(
-            max_instructions=allowed, gate_budget=gate_budget,
-        )
-        selection = select_extensions_optimal(
-            profile, workload.candidates(), restrictions,
-            extension_budget=gate_budget - base.base_gates,
-        )
-        rows.append((allowed, selection,
-                     base.base_gates + selection.gates_used))
-    return rows
-
-
-def bench_e1_voice_recognition(once):
-    rows = once(_sweep, voice_recognition_workload())
-    table = Table(
-        ["n_instructions", "speedup", "total_gates", "in_5x_10x_band"],
-        title="E1: voice recognition on an extensible processor (§3.1)",
-    )
-    for allowed, selection, gates in rows:
-        table.add_row([
-            allowed, format_ratio(selection.speedup), gates,
-            5.0 <= selection.speedup <= 10.0,
-        ])
-    table.show()
-
+    rows = result.raw["voice"]
     # The paper's operating point: <10 instructions, 5-10x, <200k gates.
     final_allowed, final_selection, final_gates = rows[-1]
     assert final_allowed < 10
@@ -61,16 +22,11 @@ def bench_e1_voice_recognition(once):
     assert speedups == sorted(speedups)
 
 
-def bench_e1_mpeg2_contrast(once):
-    rows = once(_sweep, mpeg2_encoder_workload(), 5)
-    table = Table(
-        ["n_instructions", "speedup", "total_gates"],
-        title="E1 contrast: MPEG-2 encoder (one dominant kernel)",
-    )
-    for allowed, selection, gates in rows:
-        table.add_row([allowed, format_ratio(selection.speedup), gates])
-    table.show()
+def bench_e1_mpeg2_contrast(experiment):
+    result = experiment("e1")
+    result.table("MPEG-2 encoder").show()
 
+    rows = result.raw["mpeg2"]
     # One hot kernel: the first instruction buys most of the speedup.
     first = rows[0][1].speedup
     last = rows[-1][1].speedup

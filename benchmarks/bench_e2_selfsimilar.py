@@ -9,65 +9,12 @@ estimators; (2) autocorrelation decay (power-law vs. exponential);
 
 import numpy as np
 
-from repro.traffic import (
-    FgnGenerator,
-    aggregate_onoff_trace,
-    autocorrelation,
-    fgn_trace,
-    mmpp2_trace,
-    periodogram_hurst,
-    poisson_trace,
-    rs_hurst,
-    simulate_trace_queue,
-    taqqu_hurst,
-    variance_time_hurst,
-)
-from repro.utils import Table
 
-N = 2**15
-MEAN_RATE = 10.0
-SERVICE = 12.0
+def bench_e2_hurst_estimation(experiment):
+    result = experiment("e2")
+    result.table("Hurst estimates").show()
 
-
-def _make_traces():
-    return {
-        "fgn H=0.85": fgn_trace(N, 0.85, MEAN_RATE, peakedness=0.4,
-                                seed=1),
-        "fgn H=0.70": fgn_trace(N, 0.70, MEAN_RATE, peakedness=0.4,
-                                seed=2),
-        "onoff a=1.4": aggregate_onoff_trace(
-            30, N, alpha=1.4, peak_rate=MEAN_RATE / 7.5, seed=3,
-        ),
-        "poisson": poisson_trace(N, MEAN_RATE, seed=4),
-        "mmpp2": mmpp2_trace(N, MEAN_RATE, burstiness=6.0, seed=5),
-    }
-
-
-def _hurst_experiment():
-    traces = _make_traces()
-    rows = []
-    for name, trace in traces.items():
-        rows.append((
-            name,
-            rs_hurst(trace),
-            variance_time_hurst(trace),
-            periodogram_hurst(trace),
-        ))
-    return rows
-
-
-def bench_e2_hurst_estimation(once):
-    rows = once(_hurst_experiment)
-    table = Table(
-        ["trace", "rs", "variance_time", "periodogram"],
-        title="E2a: Hurst estimates (expected: fGn=H, onoff~0.8, "
-              "poisson/mmpp~0.5)",
-    )
-    for row in rows:
-        table.add_row(list(row))
-    table.show()
-
-    by_name = {r[0]: r[1:] for r in rows}
+    by_name = {r[0]: r[1:] for r in result.raw["hurst"]}
     assert abs(np.mean(by_name["fgn H=0.85"]) - 0.85) < 0.1
     assert abs(np.mean(by_name["fgn H=0.70"]) - 0.70) < 0.1
     assert np.mean(by_name["onoff a=1.4"]) > 0.65  # Taqqu: 0.8
@@ -75,53 +22,24 @@ def bench_e2_hurst_estimation(once):
     assert np.mean(by_name["mmpp2"]) < 0.72  # SRD despite burstiness
 
 
-def _acf_experiment():
-    traces = _make_traces()
-    lags = [1, 5, 10, 50, 100]
-    return {
-        name: [autocorrelation(trace, 100)[lag] for lag in lags]
-        for name, trace in traces.items()
-    }, lags
+def bench_e2_autocorrelation(experiment):
+    result = experiment("e2")
+    result.table("autocorrelation").show()
 
-
-def bench_e2_autocorrelation(once):
-    acfs, lags = once(_acf_experiment)
-    table = Table(
-        ["trace"] + [f"lag{lag}" for lag in lags],
-        title="E2b: autocorrelation decay (power-law vs. exponential)",
-    )
-    for name, values in acfs.items():
-        table.add_row([name] + values)
-    table.show()
-
+    acfs, lags = result.raw["acf"]
+    assert lags[3] == 50
     # At lag 50, LRD traffic retains correlation; Markovian has none.
     assert acfs["fgn H=0.85"][3] > 0.1
     assert abs(acfs["poisson"][3]) < 0.05
     assert abs(acfs["mmpp2"][3]) < 0.1
 
 
-def _queue_experiment():
-    traces = _make_traces()
-    levels = [1.0, 5.0, 10.0, 20.0, 50.0]
-    rows = {}
-    for name, trace in traces.items():
-        # Normalize to identical mean load before queueing.
-        normalized = trace * (MEAN_RATE / trace.mean())
-        result = simulate_trace_queue(normalized, SERVICE)
-        rows[name] = (result.mean_occupancy, result.survival(levels))
-    return rows, levels
+def bench_e2_queueing(experiment):
+    result = experiment("e2")
+    result.table("queue tails").show()
 
-
-def bench_e2_queueing(once):
-    rows, levels = once(_queue_experiment)
-    table = Table(
-        ["trace", "mean_Q"] + [f"P[Q>{int(level)}]" for level in levels],
-        title="E2c: queue tails at equal load (rho=0.83)",
-    )
-    for name, (mean_q, tail) in rows.items():
-        table.add_row([name, mean_q] + list(tail))
-    table.show()
-
+    rows, levels = result.raw["queue"]
+    assert levels[3] == 20.0
     # The headline: the self-similar tail dwarfs the Markovian one.
     tail_ss = rows["fgn H=0.85"][1][3]     # P[Q>20]
     tail_po = rows["poisson"][1][3]

@@ -7,67 +7,12 @@ instance) exact branch-and-bound mappings on the video-surveillance and
 MMS graphs, plus the hop-count quality metric.
 """
 
-from repro.noc import (
-    Mesh2D,
-    NocEnergyModel,
-    adhoc_mapping,
-    branch_and_bound_mapping,
-    greedy_mapping,
-    mms_apcg,
-    random_multimedia_apcg,
-    random_noc_mapping,
-    simulated_annealing_mapping,
-    video_surveillance_apcg,
-)
-from repro.utils import Table
 
+def bench_e3_mapping_energy(experiment):
+    result = experiment("e3")
+    result.table("mapping energy").show()
 
-def _mapping_experiment():
-    model = NocEnergyModel()
-    problems = [
-        (video_surveillance_apcg(), Mesh2D(4, 3)),
-        (mms_apcg(), Mesh2D(4, 4)),
-    ]
-    results = {}
-    for tg, mesh in problems:
-        random_cost = sum(
-            random_noc_mapping(tg, mesh, seed=s).communication_energy(
-                tg, model
-            )
-            for s in range(5)
-        ) / 5
-        entry = {
-            "adhoc": adhoc_mapping(tg, mesh).communication_energy(
-                tg, model
-            ),
-            "random(avg5)": random_cost,
-            "greedy": greedy_mapping(tg, mesh).communication_energy(
-                tg, model
-            ),
-            "sa": simulated_annealing_mapping(
-                tg, mesh, seed=1, n_iterations=20_000
-            ).communication_energy(tg, model),
-        }
-        results[tg.name] = entry
-    return results
-
-
-def bench_e3_mapping_energy(once):
-    results = once(_mapping_experiment)
-    table = Table(
-        ["application", "mapping", "comm_energy_uJ", "saving_vs_random",
-         "saving_vs_adhoc"],
-        title="E3: NoC mapping energy per iteration (§3.3, [20])",
-    )
-    for app, entry in results.items():
-        for scheme, energy in entry.items():
-            table.add_row([
-                app, scheme, energy * 1e6,
-                1 - energy / entry["random(avg5)"],
-                1 - energy / entry["adhoc"],
-            ])
-    table.show()
-
+    results = result.raw["mapping"]
     # The paper's claim on the complex audio/video app (MMS-style):
     # >50% saving over an unoptimized placement.
     mms = results["mms"]
@@ -79,31 +24,9 @@ def bench_e3_mapping_energy(once):
         assert entry["greedy"] < entry["adhoc"]
 
 
-def _optimality_experiment():
-    model = NocEnergyModel()
-    rows = []
-    for seed in range(3):
-        tg = random_multimedia_apcg(7, seed=seed)
-        mesh = Mesh2D(3, 3)
-        optimum = branch_and_bound_mapping(tg, mesh)
-        sa = simulated_annealing_mapping(tg, mesh, seed=0,
-                                         n_iterations=15_000)
-        rows.append((
-            seed,
-            optimum.communication_energy(tg, model),
-            sa.communication_energy(tg, model),
-        ))
-    return rows
+def bench_e3_sa_vs_optimal(experiment):
+    result = experiment("e3")
+    result.table("branch-and-bound").show()
 
-
-def bench_e3_sa_vs_optimal(once):
-    rows = once(_optimality_experiment)
-    table = Table(
-        ["instance", "bnb_optimum_uJ", "sa_uJ", "gap"],
-        title="E3 ablation: SA quality vs. exact branch-and-bound",
-    )
-    for seed, opt, sa in rows:
-        table.add_row([seed, opt * 1e6, sa * 1e6, sa / opt - 1])
-    table.show()
-    for _, opt, sa in rows:
+    for _, opt, sa in result.raw["optimality"]:
         assert sa <= opt * 1.10  # SA within 10% of the optimum

@@ -7,88 +7,23 @@ scheduler on both multimedia graphs, and sweeps deadline tightness to
 show where the savings come from.
 """
 
-from repro.core.application import TaskGraph
-from repro.noc import (
-    Mesh2D,
-    edf_schedule,
-    energy_aware_schedule,
-    greedy_mapping,
-    mms_apcg,
-    video_surveillance_apcg,
-)
-from repro.utils import Table
 
+def bench_e4_edf_vs_energy_aware(experiment):
+    result = experiment("e4")
+    result.table("EDF vs energy-aware").show()
 
-def _copy_with_period(tg, period):
-    clone = TaskGraph(tg.name, period=period)
-    for task in tg.tasks:
-        clone.add_task(type(task)(task.name, task.cycles,
-                                  task.deadline))
-    for dep in tg.dependencies:
-        clone.add_dependency(type(dep)(dep.src, dep.dst, dep.bits))
-    return clone
-
-
-def _headline_experiment():
-    rows = []
-    for tg, mesh in [(video_surveillance_apcg(), Mesh2D(4, 3)),
-                     (mms_apcg(), Mesh2D(4, 4))]:
-        mapping = greedy_mapping(tg, mesh)
-        edf = edf_schedule(tg, mapping)
-        eas = energy_aware_schedule(tg, mapping)
-        rows.append((tg.name, edf, eas))
-    return rows
-
-
-def bench_e4_edf_vs_energy_aware(once):
-    rows = once(_headline_experiment)
-    table = Table(
-        ["application", "scheduler", "makespan_ms", "energy_mJ",
-         "feasible", "saving"],
-        title="E4: EDF vs energy-aware scheduling (§3.3, [23])",
-    )
-    for name, edf, eas in rows:
-        table.add_row([name, "EDF@fmax", edf.makespan * 1e3,
-                       edf.total_energy * 1e3, edf.feasible, 0.0])
-        table.add_row([
-            name, "energy-aware", eas.makespan * 1e3,
-            eas.total_energy * 1e3, eas.feasible,
-            1 - eas.total_energy / edf.total_energy,
-        ])
-    table.show()
-
-    for name, edf, eas in rows:
+    for name, edf, eas in result.raw["headline"]:
         assert edf.feasible and eas.feasible
         assert 1 - eas.total_energy / edf.total_energy > 0.40
 
 
-def _tightness_experiment():
-    base = video_surveillance_apcg()
-    mesh = Mesh2D(4, 3)
-    rows = []
-    for factor in (0.6, 0.8, 1.0, 1.5, 2.0):
-        tg = _copy_with_period(base, base.period * factor)
-        mapping = greedy_mapping(tg, mesh)
-        edf = edf_schedule(tg, mapping)
-        eas = energy_aware_schedule(tg, mapping)
-        saving = (1 - eas.total_energy / edf.total_energy
-                  if edf.feasible else float("nan"))
-        rows.append((factor, edf.feasible, eas.feasible, saving))
-    return rows
-
-
-def bench_e4_deadline_tightness(once):
-    rows = once(_tightness_experiment)
-    table = Table(
-        ["period_factor", "edf_feasible", "eas_feasible", "saving"],
-        title="E4 ablation: savings vs. deadline tightness",
-    )
-    for row in rows:
-        table.add_row(list(row))
-    table.show()
+def bench_e4_deadline_tightness(experiment):
+    result = experiment("e4")
+    result.table("deadline tightness").show()
 
     # Looser deadlines leave more slack: savings grow with the period
     # until every task sits at the slowest point, then saturate.
+    rows = result.raw["tightness"]
     feasible = [(f, s) for f, edf_ok, eas_ok, s in rows
                 if edf_ok and eas_ok]
     savings = [s for _, s in feasible]

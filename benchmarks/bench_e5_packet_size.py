@@ -11,37 +11,13 @@ overhead per size, exposing the interior latency optimum.
 
 import numpy as np
 
-from repro.noc import Mesh2D, default_flows, packet_size_sweep
-from repro.utils import Table
 
-PAYLOADS = [256.0, 1_024.0, 4_096.0, 16_384.0, 65_536.0]
+def bench_e5_packet_size(experiment):
+    result = experiment("e5")
+    result.table("packet-size").show()
 
-
-def _sweep():
-    mesh = Mesh2D(4, 4)
-    flows = default_flows(mesh, n_flows=8, message_bits=64_000.0,
-                          rate_hz=1_000.0, seed=0)
-    return packet_size_sweep(PAYLOADS, mesh=mesh, flows=flows,
-                             horizon=0.03)
-
-
-def bench_e5_packet_size(once):
-    results = once(_sweep)
-    table = Table(
-        ["payload_bits", "msg_latency_us", "energy_per_bit_pJ",
-         "header_overhead", "goodput_Mbps"],
-        title="E5: packet-size trade-off on a 4x4 mesh (§3.3)",
-    )
-    for r in results:
-        table.add_row([
-            int(r.payload_bits),
-            r.mean_message_latency * 1e6,
-            r.energy_per_payload_bit * 1e12,
-            r.header_overhead,
-            r.goodput / 1e6,
-        ])
-    table.show()
-
+    results = result.raw["sweep"]
+    payloads = result.raw["payloads"]
     latencies = [r.mean_message_latency for r in results]
     energies = [r.energy_per_payload_bit for r in results]
     overheads = [r.header_overhead for r in results]
@@ -51,6 +27,6 @@ def bench_e5_packet_size(once):
     assert energies == sorted(energies, reverse=True)
     # Latency has an interior optimum: both extremes are worse.
     best = int(np.argmin(latencies))
-    assert 0 < best < len(PAYLOADS) - 1
+    assert 0 < best < len(payloads) - 1
     assert latencies[-1] > 1.2 * latencies[best]   # blocking penalty
     assert latencies[0] > latencies[best]          # header penalty

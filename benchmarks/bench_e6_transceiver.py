@@ -7,27 +7,12 @@ Prints the per-state best responses against the static baseline and the
 expected-energy comparison.
 """
 
-from repro.wireless import FiniteStateChannel, evaluate_adaptation
-from repro.utils import Table
 
+def bench_e6_dynamic_transceiver(experiment):
+    exp = experiment("e6")
+    exp.table("per-state transceiver").show()
 
-def bench_e6_dynamic_transceiver(once):
-    result = once(evaluate_adaptation)
-    table = Table(
-        ["channel_state", "static_config", "dynamic_config",
-         "static_mJ", "dynamic_mJ"],
-        title="E6: per-state transceiver configuration (§4, [26])",
-    )
-    channel = FiniteStateChannel.indoor_default()
-    for state in channel.states:
-        table.add_row([
-            state.name,
-            str(result.static_config),
-            str(result.dynamic_configs[state.name]),
-            result.per_state_static[state.name] * 1e3,
-            result.per_state_dynamic[state.name] * 1e3,
-        ])
-    table.show()
+    result = exp.raw["adaptation"]
     print(f"expected energy: static={result.static_energy * 1e3:.2f} mJ"
           f"  dynamic={result.dynamic_energy * 1e3:.2f} mJ"
           f"  reduction={result.energy_reduction * 100:.1f}%"
@@ -44,29 +29,15 @@ def bench_e6_dynamic_transceiver(once):
     assert fade.code.coding_gain_db >= los.code.coding_gain_db
 
 
-def _distance_sweep():
-    rows = []
-    for distance in (5.0, 10.0, 20.0, 40.0):
-        channel = FiniteStateChannel.indoor_default(distance=distance)
-        result = evaluate_adaptation(channel=channel)
-        rows.append((distance, result.energy_reduction))
-    return rows
+def bench_e6_distance_sweep(experiment):
+    exp = experiment("e6")
+    exp.table("link distance").show()
 
-
-def bench_e6_distance_sweep(once):
-    rows = once(_distance_sweep)
-    table = Table(
-        ["distance_m", "energy_reduction"],
-        title="E6 ablation: adaptation gain vs. link distance",
-    )
-    for row in rows:
-        table.add_row(list(row))
-    table.show()
     # Adaptation pays most at intermediate distances: short links are
     # electronics-dominated (one dense config wins everywhere), very
     # long links are PA-dominated (the most robust config wins
     # everywhere) — the gain peaks in between.
-    reductions = [r for _, r in rows]
+    reductions = [r for _, r in exp.raw["distance"]]
     assert all(r >= -1e-9 for r in reductions)
     peak = max(range(len(reductions)), key=lambda i: reductions[i])
     assert 0 < peak < len(reductions) - 1

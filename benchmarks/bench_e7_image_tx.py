@@ -6,33 +6,12 @@ Prints the per-state optimal configurations against the worst-case
 baseline, plus a PSNR-target sweep.
 """
 
-from repro.wireless import (
-    FiniteStateChannel,
-    ImageCoderModel,
-    TransceiverParams,
-    evaluate_image_transmission,
-    optimize_for_state,
-)
-from repro.utils import Table
 
+def bench_e7_image_transmission(experiment):
+    exp = experiment("e7")
+    exp.table("energy per state").show()
 
-def bench_e7_image_transmission(once):
-    result = once(evaluate_image_transmission)
-    table = Table(
-        ["channel_state", "baseline_config", "adaptive_config",
-         "baseline_mJ", "adaptive_mJ"],
-        title="E7: image transmission energy per state (§4, [27])",
-    )
-    channel = FiniteStateChannel.indoor_default(distance=20.0)
-    for state in channel.states:
-        table.add_row([
-            state.name,
-            str(result.baseline_config),
-            str(result.adaptive_configs[state.name]),
-            result.per_state_baseline[state.name] * 1e3,
-            result.per_state_adaptive[state.name] * 1e3,
-        ])
-    table.show()
+    result = exp.raw["transmission"]
     print(f"expected energy: baseline={result.baseline_energy * 1e3:.1f}"
           f" mJ  adaptive={result.adaptive_energy * 1e3:.1f} mJ"
           f"  saving={result.energy_saving * 100:.1f}% (paper: ~60%)")
@@ -45,30 +24,11 @@ def bench_e7_image_transmission(once):
     assert fade.code.constraint_length > los.code.constraint_length
 
 
-def _psnr_sweep():
-    channel = FiniteStateChannel.indoor_default(distance=20.0)
-    params = TransceiverParams()
-    coder = ImageCoderModel()
-    state = channel.states[1]  # "light" shadowing
-    rows = []
-    for psnr in (28.0, 32.0, 36.0, 40.0):
-        config, energy = optimize_for_state(
-            state, channel, params, coder, psnr_target=psnr
-        )
-        rows.append((psnr, config.bpp, config.target_ber, energy))
-    return rows
+def bench_e7_quality_energy_tradeoff(experiment):
+    exp = experiment("e7")
+    exp.table("quality-energy").show()
 
-
-def bench_e7_quality_energy_tradeoff(once):
-    rows = once(_psnr_sweep)
-    table = Table(
-        ["psnr_target_db", "bpp", "target_ber", "energy_mJ"],
-        title="E7 ablation: quality-energy trade-off (light shadowing)",
-    )
-    for psnr, bpp, ber, energy in rows:
-        table.add_row([psnr, bpp, ber, energy * 1e3])
-    table.show()
-
+    rows = exp.raw["psnr"]
     energies = [energy for *_, energy in rows]
     assert energies == sorted(energies)   # quality costs energy
     bpps = [bpp for _, bpp, _, _ in rows]

@@ -5,32 +5,12 @@ normalized decoding load of unity is the no-waste optimum.
 Prints the policy comparison and the normalized-load landscape.
 """
 
-from repro.streaming import (
-    DvfsVideoClient,
-    FeedbackServer,
-    FgsSource,
-    FullRateServer,
-    compare_streaming_policies,
-    run_session,
-)
-from repro.utils import Table
 
+def bench_e8_feedback_streaming(experiment):
+    result = experiment("e8")
+    result.table("streaming policies").show()
 
-def bench_e8_feedback_streaming(once):
-    comparison = once(compare_streaming_policies, n_frames=2_000,
-                      seed=0)
-    table = Table(
-        ["policy", "rx_energy_J", "compute_energy_J", "mean_psnr_db",
-         "norm_load", "waste"],
-        title="E8: FGS streaming policies (§4.1, [28])",
-    )
-    for report in (comparison.full_rate, comparison.feedback):
-        table.add_row([
-            report.policy, report.rx_energy, report.compute_energy,
-            report.mean_psnr, report.mean_normalized_load,
-            report.waste_fraction,
-        ])
-    table.show()
+    comparison = result.raw["comparison"]
     print(f"client communication-energy reduction: "
           f"{comparison.rx_energy_reduction * 100:.1f}% (paper: ~15%)"
           f"  quality cost: {comparison.psnr_cost:.2f} dB")
@@ -40,32 +20,14 @@ def bench_e8_feedback_streaming(once):
     assert comparison.psnr_cost < 1.0
 
 
-def _dvfs_ablation():
+def bench_e8_client_dvfs_ablation(experiment):
     """Client compute energy with and without DVFS, same feedback
     stream — §4.1's 'dynamic voltage and frequency scaling technique is
     used to adjust the decoding aptitude of the client'."""
-    results = {}
-    for label, enabled in [("dvfs", True), ("fixed-fmax", False)]:
-        client = DvfsVideoClient(dvfs_enabled=enabled)
-        report = run_session(
-            FeedbackServer(), n_frames=1_500, source_seed=2,
-            client=client, source=FgsSource(seed=2),
-        )
-        results[label] = report
-    return results
+    result = experiment("e8")
+    result.table("DVFS on vs off").show()
 
-
-def bench_e8_client_dvfs_ablation(once):
-    results = once(_dvfs_ablation)
-    table = Table(
-        ["client", "compute_energy_J", "rx_energy_J", "mean_psnr_db"],
-        title="E8 ablation: client DVFS on vs off (feedback server)",
-    )
-    for label, report in results.items():
-        table.add_row([label, report.compute_energy, report.rx_energy,
-                       report.mean_psnr])
-    table.show()
-
+    results = result.raw["dvfs"]
     dvfs = results["dvfs"]
     fixed = results["fixed-fmax"]
     saving = 1 - dvfs.compute_energy / fixed.compute_energy
@@ -80,38 +42,13 @@ def bench_e8_client_dvfs_ablation(once):
     assert fixed.rx_energy > dvfs.rx_energy
 
 
-def _load_landscape():
+def bench_e8_normalized_load(experiment):
     """Sweep the server's aggressiveness: normalized load vs. waste and
     quality — showing load=1 as the knee."""
-    rows = []
-    for margin in (0.4, 0.6, 0.8, 1.0):
-        client = DvfsVideoClient()
-        report = run_session(
-            FeedbackServer(safety_margin=margin), n_frames=1_200,
-            source_seed=1, client=client, source=FgsSource(seed=1),
-        )
-        rows.append((margin, report.mean_normalized_load,
-                     report.mean_psnr, report.waste_fraction))
-    # Full-rate anchor (load > 1).
-    client = DvfsVideoClient()
-    full = run_session(FullRateServer(), n_frames=1_200, source_seed=1,
-                       client=client, source=FgsSource(seed=1))
-    rows.append((float("nan"), full.mean_normalized_load,
-                 full.mean_psnr, full.waste_fraction))
-    return rows
+    result = experiment("e8")
+    result.table("normalized-decoding-load").show()
 
-
-def bench_e8_normalized_load(once):
-    rows = once(_load_landscape)
-    table = Table(
-        ["server_margin", "norm_load", "mean_psnr_db", "waste"],
-        title="E8 ablation: the normalized-decoding-load landscape "
-              "(unity = optimum)",
-    )
-    for row in rows:
-        table.add_row(list(row))
-    table.show()
-
+    rows = result.raw["load"]
     # Below unity: no waste but quality lost; above unity: waste.
     under = rows[0]    # margin 0.4
     at_one = rows[3]   # margin 1.0

@@ -7,60 +7,13 @@ Prints lifetime (sessions to 20% node death), first-death time,
 delivery and energy per protocol, averaged over topologies.
 """
 
-import numpy as np
 
-from repro.manet import PROTOCOLS, compare_protocols
-from repro.utils import Table
+def bench_e9_network_lifetime(experiment):
+    result = experiment("e9")
+    result.table("network lifetime").show()
 
-SEEDS = (0, 1, 2, 3)
-
-
-def _lifetime_experiment():
-    all_results = {}
-    for seed in SEEDS:
-        all_results[seed] = compare_protocols(
-            PROTOCOLS, n_nodes=50, seed=seed,
-            n_sessions=100_000, bits_per_session=80_000.0,
-            death_fraction=0.2,
-        )
-    return all_results
-
-
-def bench_e9_network_lifetime(once):
-    all_results = once(_lifetime_experiment)
-
-    table = Table(
-        ["protocol", "lifetime_sessions", "first_death", "delivered",
-         "energy_J", "lifetime_vs_minpower"],
-        title="E9: MANET network lifetime, mean over "
-              f"{len(SEEDS)} topologies (§4.2)",
-    )
-    names = [cls().name for cls in PROTOCOLS]
-    means = {}
-    for name in names:
-        lifetime = np.mean([
-            all_results[s][name].lifetime_sessions for s in SEEDS
-        ])
-        first = np.mean([
-            all_results[s][name].first_death_session or 0
-            for s in SEEDS
-        ])
-        delivered = np.mean([
-            all_results[s][name].delivered for s in SEEDS
-        ])
-        energy = np.mean([
-            all_results[s][name].total_energy for s in SEEDS
-        ])
-        means[name] = (lifetime, first, delivered, energy)
+    means = result.raw["means"]
     base = means["min-power"][0]
-    for name in names:
-        lifetime, first, delivered, energy = means[name]
-        table.add_row([
-            name, lifetime, first, delivered, energy,
-            lifetime / base - 1,
-        ])
-    table.show()
-
     # Battery-cost clears the >20% bar; LPR is positive; both delay the
     # first death substantially (they protect exactly the nodes
     # "most needed to maintain the network connectivity").

@@ -9,62 +9,12 @@ length of these buffers is very important as it reflects their
 utilization over time".
 """
 
-from repro.streams import (
-    BernoulliModel,
-    Channel,
-    GilbertElliottModel,
-    MpegSource,
-    Sink,
-    StreamPipeline,
-    simulate_mpeg2_decoder,
-)
-from repro.utils import Table
 
+def bench_f1_generic_stream(experiment):
+    result = experiment("f1")
+    result.table("F1a").show()
 
-def _run_pipeline(error_model, max_retries, label, horizon=30.0):
-    pipe = StreamPipeline(
-        source=MpegSource(fps=25.0, i_frame_bits=300_000.0, seed=1),
-        channel=Channel(
-            bandwidth=5e6, error_model=error_model,
-            max_retries=max_retries, tx_energy_per_bit=1e-9,
-            rx_energy_per_bit=0.5e-9, seed=2,
-        ),
-        sink=Sink(display_rate_hz=25.0, startup_delay=0.3),
-        rx_buffer_size=64,
-    )
-    report = pipe.run(horizon=horizon)
-    return label, report
-
-
-def _stream_experiment():
-    scenarios = [
-        _run_pipeline(None, 0, "lossless wire"),
-        _run_pipeline(BernoulliModel(p_loss=0.05), 0, "bernoulli 5%"),
-        _run_pipeline(GilbertElliottModel(), 0, "gilbert-elliott"),
-        _run_pipeline(GilbertElliottModel(), 3, "gilbert-elliott + ARQ"),
-    ]
-    return scenarios
-
-
-def bench_f1_generic_stream(once):
-    scenarios = once(_stream_experiment)
-    table = Table(
-        ["channel", "loss", "underrun", "latency_ms", "retx",
-         "energy_mJ"],
-        title="F1a: generic multimedia stream (Fig.1a)",
-    )
-    for label, report in scenarios:
-        table.add_row([
-            label,
-            report.loss_rate,
-            report.underrun_rate,
-            report.mean_latency * 1e3,
-            report.channel.retransmissions,
-            report.channel.energy * 1e3,
-        ])
-    table.show()
-
-    by_label = dict(scenarios)
+    by_label = dict(result.raw["stream"])
     assert by_label["lossless wire"].loss_rate == 0.0
     assert by_label["bernoulli 5%"].loss_rate > 0.02
     # ARQ recovers most of the bursty losses at some latency cost.
@@ -74,34 +24,11 @@ def bench_f1_generic_stream(once):
         by_label["gilbert-elliott"].channel.energy
 
 
-def _decoder_experiment():
-    rows = []
-    for freq in (400e6, 150e6, 100e6, 60e6):
-        report = simulate_mpeg2_decoder(
-            cpu_frequency=freq, horizon=12.0, warmup=2.0, seed=0,
-        )
-        rows.append((freq, report))
-    return rows
+def bench_f1_mpeg2_decoder(experiment):
+    result = experiment("f1")
+    result.table("F1b").show()
 
-
-def bench_f1_mpeg2_decoder(once):
-    rows = once(_decoder_experiment)
-    table = Table(
-        ["cpu_mhz", "fps", "b3_occupancy", "b4_occupancy", "util",
-         "realtime"],
-        title="F1b: MPEG-2 decoder producer-consumer study (Fig.1b)",
-    )
-    for freq, report in rows:
-        table.add_row([
-            freq / 1e6,
-            report.throughput_fps,
-            report.b3_mean_occupancy,
-            report.b4_mean_occupancy,
-            report.cpu_utilization,
-            report.realtime,
-        ])
-    table.show()
-
+    rows = result.raw["decoder"]
     fast = rows[0][1]
     slow = rows[-1][1]
     assert fast.realtime

@@ -4,56 +4,15 @@ Drives the profile → identify → define → generate → verify loop and
 prints one row per iteration, exactly the loop structure of Fig.2.
 """
 
-from repro.asip import (
-    ExtensibleProcessor,
-    ExtensibleProcessorFlow,
-    IsaRestrictions,
-    IssProfiler,
-    ProcessorParameters,
-    STANDARD_BLOCKS,
-    select_blocks,
-    select_extensions_optimal,
-    voice_recognition_workload,
-)
-from repro.utils import Table, format_ratio
+from repro.utils import format_ratio
 
 
-def _flow_experiment():
-    base = ExtensibleProcessor(
-        restrictions=IsaRestrictions(max_instructions=9,
-                                     gate_budget=200_000.0)
-    )
-    workload = voice_recognition_workload()
-    profile = IssProfiler(base).run(workload)
-    report = ExtensibleProcessorFlow(
-        base, workload, target_speedup=5.0
-    ).run()
-    return profile, report
+def bench_f2_design_flow(experiment):
+    result = experiment("f2")
+    result.table("ISS profiling").show()
+    result.table("design-flow iterations").show()
 
-
-def bench_f2_design_flow(once):
-    profile, report = once(_flow_experiment)
-
-    hotspots = Table(
-        ["kernel", "cycles", "fraction"],
-        title="F2 step 1: ISS profiling (hotspots, 90% coverage)",
-    )
-    for entry in profile.hotspots(coverage=0.9):
-        hotspots.add_row([entry.kernel, entry.cycles, entry.fraction])
-    hotspots.show()
-
-    loop = Table(
-        ["iteration", "instr_allowed", "selected", "speedup", "gates",
-         "meets_speedup", "meets_gates"],
-        title="F2: design-flow iterations (Fig.2 loop)",
-    )
-    for it in report.iterations:
-        loop.add_row([
-            it.index, it.max_instructions_tried, it.n_selected,
-            format_ratio(it.speedup), it.gate_count,
-            it.meets_speedup, it.meets_gates,
-        ])
-    loop.show()
+    report = result.raw["report"]
     print(f"final: {format_ratio(report.speedup)} at "
           f"{report.gate_count:.0f} gates with "
           f"{len(report.processor.extensions)} custom instructions")
@@ -64,52 +23,13 @@ def bench_f2_design_flow(once):
     assert speedups == sorted(speedups)  # monotone progress
 
 
-def _customization_levels():
+def bench_f2_customization_levels(experiment):
     """§3.1's three customization levels, separately and combined."""
-    workload = voice_recognition_workload()
-    restrictions = IsaRestrictions(max_instructions=6,
-                                   gate_budget=250_000.0)
-    base = ExtensibleProcessor(restrictions=restrictions)
-    profile = IssProfiler(base).run(workload)
-    selection = select_extensions_optimal(
-        profile, workload.candidates(), restrictions,
-        extension_budget=80_000.0,
-    )
-    blocks = select_blocks(profile, STANDARD_BLOCKS,
-                           gate_budget=40_000.0)
-    params = ProcessorParameters(icache_kb=32.0, dcache_kb=32.0)
-    variants = {
-        "base core": base,
-        "a) instruction extension": base.with_customization(
-            extensions=selection.selected,
-        ),
-        "b) predefined blocks": base.with_customization(blocks=blocks),
-        "c) parameterization": base.with_customization(
-            parameters=params,
-        ),
-        "a+b+c combined": base.with_customization(
-            extensions=selection.selected, blocks=blocks,
-            parameters=params,
-        ),
-    }
-    rows = []
-    for label, processor in variants.items():
-        speedup = IssProfiler(processor).speedup_over(workload, base)
-        rows.append((label, speedup, processor.gate_count()))
-    return rows
+    result = experiment("f2")
+    result.table("customization levels").show()
 
-
-def bench_f2_customization_levels(once):
-    rows = once(_customization_levels)
-    table = Table(
-        ["customization", "speedup", "gates"],
-        title="F2 ablation: the three §3.1 customization levels",
-    )
-    for label, speedup, gates in rows:
-        table.add_row([label, format_ratio(speedup), gates])
-    table.show()
-
-    by_label = {label: speedup for label, speedup, _ in rows}
+    by_label = {label: speedup
+                for label, speedup, _ in result.raw["levels"]}
     assert by_label["base core"] == 1.0
     # Each level helps on its own; instructions are the big lever.
     assert by_label["a) instruction extension"] > 2.0

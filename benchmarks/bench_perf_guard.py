@@ -1,0 +1,72 @@
+"""Perf guard: the observability layer must be free when disabled.
+
+The kernel and subsystem hooks are single ``is None`` checks on
+pre-resolved handles, so a simulation run with no ambient tracer or
+metric registry must cost the same as one that never heard of
+``repro.obs``.  This guard times the R1 smoke workload both ways and
+fails if the disabled-instrumentation path is more than 5% slower.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import MetricRegistry, instrument
+from repro.resilience import resilience_report
+
+
+def _r1_smoke():
+    return resilience_report(
+        scenarios=("stream",), fault_rates={"stream": (0.0, 0.2)},
+        seed=0, horizon=5.0, n_frames=100,
+    )
+
+
+def _best_of(func, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_obs_disabled_overhead(once):
+    def measure():
+        # Interleaved warmup so both paths see warm caches.
+        _r1_smoke()
+        with instrument():
+            _r1_smoke()
+        plain = _best_of(_r1_smoke, 5)
+        with instrument():
+            disabled = _best_of(_r1_smoke, 5)
+        return plain, disabled
+
+    plain, disabled = once(measure)
+    overhead = disabled / plain - 1
+    print(f"R1 smoke: plain={plain * 1e3:.1f} ms  "
+          f"obs-disabled={disabled * 1e3:.1f} ms  "
+          f"overhead={overhead * 100:+.1f}%")
+    assert overhead < 0.05, (
+        f"disabled observability must be free, measured "
+        f"{overhead * 100:.1f}% overhead"
+    )
+
+
+def bench_obs_metrics_enabled_overhead(once):
+    """Live metrics may cost something, but stay in the same ballpark
+    (sanity bound, not a contract)."""
+
+    def measure():
+        _r1_smoke()
+        plain = _best_of(_r1_smoke, 3)
+        with instrument(metrics=MetricRegistry()):
+            enabled = _best_of(_r1_smoke, 3)
+        return plain, enabled
+
+    plain, enabled = once(measure)
+    overhead = enabled / plain - 1
+    print(f"R1 smoke: plain={plain * 1e3:.1f} ms  "
+          f"metrics-enabled={enabled * 1e3:.1f} ms  "
+          f"overhead={overhead * 100:+.1f}%")
+    assert overhead < 0.5

@@ -11,40 +11,14 @@ stall at the first fault).  The resilient curves must degrade
 gracefully (monotone, no cliff); the baselines collapse.
 """
 
-from repro.resilience import format_report, resilience_report
-from repro.utils import Table
+from repro.resilience import format_report
 
 
-def _run_report():
-    # Scenario-specific sizes route to the scenarios that accept them.
-    return resilience_report(
-        scenarios=("stream", "arq-streaming", "manet"),
-        fault_rates={
-            "stream": (0.0, 0.05, 0.1, 0.2, 0.4),
-            "arq-streaming": (0.0, 0.05, 0.1, 0.2, 0.4),
-            "manet": (0.0, 0.001, 0.002, 0.005, 0.01),
-        },
-        horizon=20.0, n_frames=400, n_sessions=2000,
-    )
+def bench_r1_resilience_degradation(experiment):
+    result = experiment("r1")
+    result.table("fault rate").show()
 
-
-def bench_r1_resilience_degradation(once):
-    report = once(_run_report)
-
-    table = Table(
-        ["scenario", "fault_rate", "qos_resilient", "qos_baseline",
-         "baseline_crashed"],
-        title="R1: QoS vs fault rate, resilience layer on/off (§6)",
-    )
-    for name, curves in report.items():
-        for i, rate in enumerate(curves["resilient"].fault_rates):
-            resilient = curves["resilient"].points[i]
-            baseline = curves["baseline"].points[i]
-            table.add_row([
-                name, rate, resilient.qos, baseline.qos,
-                bool(baseline.detail.get("crashed", False)),
-            ])
-    table.show()
+    report = result.raw["report"]
     print(format_report(report))
 
     for name, curves in report.items():

@@ -28,7 +28,7 @@ def main() -> None:
     for server in (FullRateServer(), FeedbackServer()):
         client = DvfsVideoClient(min_psnr=33.0)
         report = run_session(
-            server, n_frames=n_frames, source_seed=7,
+            server, n_frames=n_frames, seed=7,
             client=client, source=FgsSource(seed=7),
         )
         reports[report.policy] = report

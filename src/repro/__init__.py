@@ -20,20 +20,66 @@ rests on:
   (§3.1);
 * :mod:`repro.wireless` — modulation/coding/energy adaptation (§4);
 * :mod:`repro.streaming` — energy-aware MPEG-4 FGS streaming (§4.1);
-* :mod:`repro.manet` — power-aware ad-hoc routing (§4.2).
+* :mod:`repro.manet` — power-aware ad-hoc routing (§4.2);
+* :mod:`repro.resilience` — fault injection and graceful degradation
+  (§6);
+* :mod:`repro.obs` — tracing, metrics and run reports;
+* :mod:`repro.experiments` — the unified Experiment API every bench
+  and the CLI run through.
 
 Quickstart::
 
-    from repro.core import (ApplicationGraph, ProcessNode, ChannelSpec,
-                            Platform, ProcessingElement, QoSSpec,
-                            HolisticDesignFlow)
-    # build app + platform, then:
-    # report = HolisticDesignFlow(app, platform, QoSSpec(...)).run()
+    from repro import experiments
+    result = experiments.run("e3")        # -> ExperimentResult
+    result.show()                         # the paper tables
+    result.metrics                        # headline KPIs
+    result.report.summary_lines()         # run report
 
-See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+or, from a shell, ``python -m repro run e3 --json``.  See
+``examples/`` for runnable scenarios and ``benchmarks/`` for the
 per-claim reproduction experiments (indexed in ``DESIGN.md``).
 """
 
-__version__ = "1.0.0"
+from __future__ import annotations
 
-__all__ = ["__version__"]
+import importlib
+
+__version__ = "1.1.0"
+
+#: Subpackages resolved lazily (PEP 562) so ``import repro`` stays
+#: cheap; each appears in ``__all__`` as part of the public surface.
+_SUBPACKAGES = (
+    "ambient",
+    "analysis",
+    "asip",
+    "cli",
+    "core",
+    "des",
+    "experiments",
+    "manet",
+    "noc",
+    "obs",
+    "resilience",
+    "streaming",
+    "streams",
+    "traffic",
+    "utils",
+    "wireless",
+)
+
+__all__ = ["__version__", "run", "ExperimentResult", *_SUBPACKAGES]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
+    if name in ("run", "ExperimentResult"):
+        from repro import experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute "
+                         f"{name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

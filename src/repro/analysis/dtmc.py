@@ -120,11 +120,24 @@ class DTMC:
             h[i] = value
         return h
 
-    def simulate(self, n_steps: int, rng: np.random.Generator,
-                 start: int = 0) -> np.ndarray:
-        """Sample a trajectory of state indices of length ``n_steps``."""
+    def simulate(self, n_steps: int,
+                 rng: np.random.Generator | None = None,
+                 start: int = 0, *, seed: int | None = None
+                 ) -> np.ndarray:
+        """Sample a trajectory of state indices of length ``n_steps``.
+
+        Pass either an explicit ``rng`` (callers composing a
+        hierarchical seeding scheme) or a plain ``seed=`` — the
+        standard spelling across the repository; seeding draws the
+        generator through :func:`repro.utils.rng.spawn_rng`.
+        """
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
+        if rng is None:
+            from repro.utils.rng import spawn_rng
+            rng = spawn_rng(0 if seed is None else seed, "dtmc")
+        elif seed is not None:
+            raise TypeError("pass either rng or seed, not both")
         states = np.empty(n_steps, dtype=int)
         current = start
         cumulative = self.P.cumsum(axis=1)

@@ -1,291 +1,178 @@
-"""Command-line experiment runner.
+"""Command-line experiment runner over the unified Experiment API.
 
 Usage::
 
-    python -m repro list              # enumerate experiments
-    python -m repro run e6 e8         # run selected experiments
-    python -m repro run all           # run everything (minutes)
+    python -m repro list                  # enumerate experiments
+    python -m repro run e6 e8             # run, print paper tables
+    python -m repro run e3 --json         # machine-readable result
+    python -m repro run all --out out/    # write one JSON per id
+    python -m repro trace e14             # record a kernel event trace
+    python -m repro report e6             # run-report digest
 
-Each experiment prints the headline table of the corresponding paper
-claim (see EXPERIMENTS.md); the full assertion-checked versions live in
-``benchmarks/``.
+Every experiment goes through :func:`repro.experiments.run`, the same
+code path the ``benchmarks/`` suite asserts on, so the CLI output *is*
+the reproduced paper table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable
 
+from repro import experiments
+from repro.obs.report import sanitize_json
 from repro.utils import Table
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _run_f1() -> None:
-    from repro.streams import simulate_mpeg2_decoder
+class _LazyExperiments(dict):
+    """Compatibility view of the registry: id → (claim, runner).
 
-    table = Table(["cpu_mhz", "fps", "b3_occ", "b4_occ", "util"],
-                  title="F1: MPEG-2 decoder buffer study (Fig.1b)")
-    for freq in (400e6, 100e6, 60e6):
-        report = simulate_mpeg2_decoder(cpu_frequency=freq,
-                                        horizon=10.0, warmup=1.0)
-        table.add_row([freq / 1e6, report.throughput_fps,
-                       report.b3_mean_occupancy,
-                       report.b4_mean_occupancy,
-                       report.cpu_utilization])
+    The historical ``EXPERIMENTS`` dict mapped ids to zero-argument
+    printing functions; this keeps that shape alive on top of the
+    registry for existing callers.
+    """
+
+    def _ensure(self) -> None:
+        if not dict.__len__(self):
+            for exp_id in experiments.ids():
+                claim = experiments.get(exp_id).claim
+                dict.__setitem__(
+                    self, exp_id,
+                    (claim, _print_runner(exp_id)),
+                )
+
+    def __getitem__(self, key):
+        self._ensure()
+        return dict.__getitem__(self, key)
+
+    def __contains__(self, key) -> bool:
+        self._ensure()
+        return dict.__contains__(self, key)
+
+    def __iter__(self):
+        self._ensure()
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:
+        self._ensure()
+        return dict.__len__(self)
+
+    def keys(self):
+        self._ensure()
+        return dict.keys(self)
+
+    def items(self):
+        self._ensure()
+        return dict.items(self)
+
+    def values(self):
+        self._ensure()
+        return dict.values(self)
+
+
+def _print_runner(exp_id: str) -> Callable[[], None]:
+    def runner() -> None:
+        experiments.run(exp_id).show()
+
+    return runner
+
+
+#: Experiment registry view: id → (description, runner).
+EXPERIMENTS = _LazyExperiments()
+
+
+def _resolve_ids(requested: list[str]) -> list[str] | None:
+    """Normalize requested ids (case-insensitive, ``all``); ``None``
+    plus a stderr message when any id is unknown."""
+    known = experiments.ids()
+    if [r.lower() for r in requested] == ["all"]:
+        return known
+    resolved = [r.lower() for r in requested]
+    unknown = [r for r in resolved if r not in known]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)} "
+              f"(try 'repro list')", file=sys.stderr)
+        return None
+    return resolved
+
+
+def _cmd_list() -> int:
+    table = Table(["id", "experiment"], title="available experiments")
+    for exp_id in experiments.ids():
+        table.add_row([exp_id, experiments.get(exp_id).claim])
     table.show()
+    return 0
 
 
-def _run_f2() -> None:
-    from repro.asip import (ExtensibleProcessor, ExtensibleProcessorFlow,
-                            IsaRestrictions, voice_recognition_workload)
-
-    base = ExtensibleProcessor(
-        restrictions=IsaRestrictions(max_instructions=9,
-                                     gate_budget=200_000.0))
-    report = ExtensibleProcessorFlow(
-        base, voice_recognition_workload(), target_speedup=5.0).run()
-    table = Table(["iteration", "allowed", "speedup", "gates"],
-                  title="F2: extensible-processor design flow (Fig.2)")
-    for it in report.iterations:
-        table.add_row([it.index, it.max_instructions_tried,
-                       it.speedup, it.gate_count])
-    table.show()
-
-
-def _run_e1() -> None:
-    _run_f2()
-
-
-def _run_e2() -> None:
-    from repro.traffic import (fgn_trace, poisson_trace, queue_tail,
-                               variance_time_hurst)
-
-    table = Table(["trace", "hurst_vt", "P[Q>20]"],
-                  title="E2: self-similar vs Markovian queueing")
-    for name, trace in [
-        ("fgn H=0.85", fgn_trace(2**14, 0.85, 10.0, 0.4, seed=1)),
-        ("poisson", poisson_trace(2**14, 10.0, seed=2)),
-    ]:
-        table.add_row([name, variance_time_hurst(trace),
-                       queue_tail(trace, 12.0, [20.0])[0]])
-    table.show()
-
-
-def _run_e3() -> None:
-    from repro.noc import (Mesh2D, NocEnergyModel, adhoc_mapping,
-                           mms_apcg, random_noc_mapping,
-                           simulated_annealing_mapping)
-
-    tg, mesh, model = mms_apcg(), Mesh2D(4, 4), NocEnergyModel()
-    table = Table(["mapping", "comm_energy_uJ"],
-                  title="E3: NoC mapping energy (MMS graph)")
-    table.add_row(["random", random_noc_mapping(
-        tg, mesh, seed=3).communication_energy(tg, model) * 1e6])
-    table.add_row(["ad-hoc", adhoc_mapping(
-        tg, mesh).communication_energy(tg, model) * 1e6])
-    table.add_row(["simulated annealing", simulated_annealing_mapping(
-        tg, mesh, seed=1, n_iterations=15_000
-    ).communication_energy(tg, model) * 1e6])
-    table.show()
+def _cmd_run(args) -> int:
+    ids = _resolve_ids(args.experiments)
+    if ids is None:
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, dict] = {}
+    for exp_id in ids:
+        result = experiments.run(exp_id, seed=args.seed,
+                                 trace=args.trace)
+        if out_dir is not None and result.tracer is not None:
+            trace_path = out_dir / f"{exp_id}.trace.jsonl"
+            result.tracer.to_jsonl(trace_path)
+            if result.report is not None:
+                result.report.trace_path = str(trace_path)
+        if args.json or out_dir is not None:
+            payload[exp_id] = result.to_dict()
+        if out_dir is not None:
+            (out_dir / f"{exp_id}.json").write_text(
+                result.to_json() + "\n", encoding="utf-8")
+        if not args.json:
+            print(f"\n--- {exp_id}: {result.claim} ---")
+            result.show()
+            if result.report is not None:
+                print()
+                for line in result.report.summary_lines():
+                    print(line)
+    if args.json:
+        document = payload[ids[0]] if len(ids) == 1 else payload
+        print(json.dumps(sanitize_json(document), indent=2,
+                         sort_keys=True))
+    return 0
 
 
-def _run_e4() -> None:
-    from repro.noc import (Mesh2D, edf_schedule, energy_aware_schedule,
-                           greedy_mapping, video_surveillance_apcg)
-
-    tg = video_surveillance_apcg()
-    mapping = greedy_mapping(tg, Mesh2D(4, 3))
-    edf = edf_schedule(tg, mapping)
-    eas = energy_aware_schedule(tg, mapping)
-    table = Table(["scheduler", "energy_mJ", "feasible"],
-                  title="E4: EDF vs energy-aware scheduling")
-    table.add_row(["EDF@fmax", edf.total_energy * 1e3, edf.feasible])
-    table.add_row(["energy-aware", eas.total_energy * 1e3,
-                   eas.feasible])
-    table.show()
-    print(f"saving: {(1 - eas.total_energy / edf.total_energy) * 100:.1f}%")
-
-
-def _run_e5() -> None:
-    from repro.noc import packet_size_sweep
-
-    table = Table(["payload_bits", "latency_us", "energy_pJ_per_bit"],
-                  title="E5: packet-size trade-off")
-    for r in packet_size_sweep([256.0, 4_096.0, 65_536.0],
-                               horizon=0.02):
-        table.add_row([int(r.payload_bits),
-                       r.mean_message_latency * 1e6,
-                       r.energy_per_payload_bit * 1e12])
-    table.show()
+def _cmd_trace(args) -> int:
+    ids = _resolve_ids([args.experiment])
+    if ids is None:
+        return 2
+    exp_id = ids[0]
+    result = experiments.run(exp_id, seed=args.seed, trace=True)
+    out = Path(args.out) if args.out else Path(f"{exp_id}.trace.jsonl")
+    n_events = result.tracer.to_jsonl(out)
+    summary = result.report.trace if result.report else {}
+    print(f"{exp_id}: wrote {n_events} events to {out}")
+    if summary and summary.get("by_kind"):
+        by_kind = ", ".join(f"{kind}={n}" for kind, n
+                            in sorted(summary["by_kind"].items()))
+        print(f"  kinds: {by_kind}")
+    return 0
 
 
-def _run_e6() -> None:
-    from repro.wireless import evaluate_adaptation
-
-    result = evaluate_adaptation()
-    print(f"E6: static {result.static_energy * 1e3:.1f} mJ -> dynamic "
-          f"{result.dynamic_energy * 1e3:.1f} mJ "
-          f"({result.energy_reduction * 100:.1f}% reduction; "
-          f"paper ~12%)")
-
-
-def _run_e7() -> None:
-    from repro.wireless import evaluate_image_transmission
-
-    result = evaluate_image_transmission()
-    print(f"E7: worst-case {result.baseline_energy * 1e3:.0f} mJ -> "
-          f"adaptive {result.adaptive_energy * 1e3:.0f} mJ "
-          f"({result.energy_saving * 100:.1f}% saving; paper ~60%)")
-
-
-def _run_e8() -> None:
-    from repro.streaming import compare_streaming_policies
-
-    c = compare_streaming_policies(n_frames=1_500)
-    print(f"E8: feedback streaming saves "
-          f"{c.rx_energy_reduction * 100:.1f}% client RX energy "
-          f"(paper ~15%); normalized load "
-          f"{c.feedback.mean_normalized_load:.3f}")
-
-
-def _run_e9() -> None:
-    from repro.manet import PROTOCOLS, compare_protocols
-
-    results = compare_protocols(PROTOCOLS, n_nodes=50, seed=0,
-                                n_sessions=100_000)
-    base = results["min-power"].lifetime_sessions
-    table = Table(["protocol", "lifetime_sessions", "vs_min_power"],
-                  title="E9: MANET network lifetime")
-    for name, r in results.items():
-        table.add_row([name, r.lifetime_sessions,
-                       r.lifetime_sessions / base - 1])
-    table.show()
-
-
-def _run_e10() -> None:
-    from repro.analysis import compare_mm1k
-
-    rows, sim_s, ana_s = compare_mm1k(8.0, 10.0, 5, horizon=1_000.0,
-                                      warmup=100.0)
-    table = Table(["metric", "sim", "analytic"],
-                  title="E10: simulation vs analysis (M/M/1/5)")
-    for row in rows:
-        table.add_row([row.metric, row.simulated, row.analytical])
-    table.show()
-    print(f"analysis {sim_s / max(ana_s, 1e-9):.0f}x faster")
-
-
-def _run_e11() -> None:
-    from repro.streams import Mpeg2Workload, simulate_mpeg2_decoder
-
-    workload = Mpeg2Workload(cycles_cv=0.8)
-    table = Table(["provisioning", "cpu_mhz", "fps", "util"],
-                  title="E11: worst-case vs average provisioning")
-    for label, freq in [("worst-case", 260e6), ("1.3x average", 92e6)]:
-        r = simulate_mpeg2_decoder(workload=workload,
-                                   cpu_frequency=freq, horizon=10.0,
-                                   warmup=1.0)
-        table.add_row([label, freq / 1e6, r.throughput_fps,
-                       r.cpu_utilization])
-    table.show()
-
-
-def _run_e12() -> None:
-    from repro.noc import bus_vs_noc_sweep
-
-    table = Table(["tiles", "bus_saturation", "noc_saturation"],
-                  title="E12: bus vs NoC scaling")
-    for bus, noc in bus_vs_noc_sweep(tile_counts=(8, 16, 32),
-                                     rate_per_tile=20_000.0):
-        table.add_row([bus.n_tiles, bus.saturation, noc.saturation])
-    table.show()
-
-
-def _run_e13() -> None:
-    from repro.noc import memory_organization_study
-
-    table = Table(["organization", "latency_us", "hot_link_Mbps"],
-                  title="E13: centralized vs local memories")
-    for r in memory_organization_study(access_rate=400_000.0,
-                                       seed=1).values():
-        table.add_row([r.organization, r.mean_access_latency * 1e6,
-                       r.hot_link_bps / 1e6])
-    table.show()
-
-
-def _run_e14() -> None:
-    from repro.core import timeout_sweep
-
-    table = Table(["policy", "saving", "late_rate"],
-                  title="E14: DPM energy-QoS trade-off")
-    for r in timeout_sweep([0.02, 0.05, 0.2]):
-        table.add_row([r.policy, r.energy_saving, r.late_rate])
-    table.show()
-
-
-def _run_e15() -> None:
-    from repro.ambient import redundancy_study, user_aware_energy_study
-
-    table = Table(["nodes_per_zone", "availability"],
-                  title="E15: smart-space redundancy")
-    for r in redundancy_study(n_slots=20_000, seed=4):
-        table.add_row([r.nodes_per_zone, r.measured_availability])
-    table.show()
-    results = user_aware_energy_study(n_slots=20_000, seed=5)
-    saving = 1 - results["user-aware"].energy / \
-        results["always-on"].energy
-    print(f"user-aware ambient operation saves {saving * 100:.1f}%")
-
-
-def _run_e17() -> None:
-    from repro.analysis import state_space_study
-
-    table = Table(["stages", "states", "exact_s", "sim_s"],
-                  title="E17: exact-analysis state explosion")
-    for row in state_space_study(max_stages=4, capacity=4):
-        table.add_row([row["stages"], row["states"],
-                       row["exact_seconds"], row["sim_seconds"]])
-    table.show()
-
-
-def _run_e16() -> None:
-    from repro.streams import explore_rate_arq, pareto_points
-
-    points = explore_rate_arq(horizon=15.0)
-    front = pareto_points(points)
-    table = Table(["i_frame_bits", "retries", "loss", "energy_J"],
-                  title="E16: source-rate/ARQ Pareto front")
-    for p in front:
-        table.add_row([int(p.i_frame_bits), p.max_retries,
-                       p.report.loss_rate, p.energy])
-    table.show()
-
-
-#: Experiment registry: id → (description, runner).
-EXPERIMENTS: dict[str, tuple[str, Callable[[], None]]] = {
-    "f1": ("Fig.1 stream model & MPEG-2 decoder buffers", _run_f1),
-    "f2": ("Fig.2 extensible-processor design flow", _run_f2),
-    "e1": ("ASIP voice recognition: 5-10x, <10 instr, <200k gates",
-           _run_e1),
-    "e2": ("self-similar vs Markovian traffic & queueing", _run_e2),
-    "e3": ("energy-aware NoC mapping (>50% saving)", _run_e3),
-    "e4": ("EDF vs energy-aware scheduling (>40% saving)", _run_e4),
-    "e5": ("NoC packet-size trade-off", _run_e5),
-    "e6": ("dynamic transceiver adaptation (~12%)", _run_e6),
-    "e7": ("JSCC image transmission (~60%)", _run_e7),
-    "e8": ("feedback FGS streaming (~15% client RX energy)", _run_e8),
-    "e9": ("power-aware MANET routing (>20% lifetime)", _run_e9),
-    "e10": ("simulation vs analytical steady state", _run_e10),
-    "e11": ("worst-case vs average-case provisioning", _run_e11),
-    "e12": ("bus vs NoC scaling", _run_e12),
-    "e13": ("centralized vs local memories", _run_e13),
-    "e14": ("DPM QoS-energy trade-off", _run_e14),
-    "e15": ("ambient redundancy & user-aware energy", _run_e15),
-    "e16": ("source-rate / retransmission co-exploration", _run_e16),
-    "e17": ("exact-analysis state-space explosion", _run_e17),
-}
+def _cmd_report(args) -> int:
+    ids = _resolve_ids(args.experiments)
+    if ids is None:
+        return 2
+    for exp_id in ids:
+        result = experiments.run(exp_id, seed=args.seed)
+        if args.json:
+            print(result.report.to_json())
+        else:
+            for line in result.report.summary_lines():
+                print(line)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -298,31 +185,46 @@ def main(argv: list[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command")
     subparsers.add_parser("list", help="list available experiments")
+
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
         "experiments", nargs="+",
         help="experiment ids (e.g. e3 e8) or 'all'",
     )
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the ExperimentResult as JSON")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="base seed (default 0)")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="record a kernel event trace")
+    run_parser.add_argument("--out", default=None, metavar="DIR",
+                            help="write <id>.json (and traces) here")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run one experiment with tracing, export JSONL")
+    trace_parser.add_argument("experiment", help="experiment id")
+    trace_parser.add_argument("--seed", type=int, default=None)
+    trace_parser.add_argument("--out", default=None, metavar="FILE",
+                              help="trace path "
+                                   "(default <id>.trace.jsonl)")
+
+    report_parser = subparsers.add_parser(
+        "report", help="print the run report of experiments")
+    report_parser.add_argument("experiments", nargs="+",
+                               help="experiment ids or 'all'")
+    report_parser.add_argument("--seed", type=int, default=None)
+    report_parser.add_argument("--json", action="store_true",
+                               help="print the RunReport as JSON")
+
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
-        table = Table(["id", "experiment"],
-                      title="available experiments")
-        for exp_id, (description, _) in EXPERIMENTS.items():
-            table.add_row([exp_id, description])
-        table.show()
-        return 0
-
-    requested = args.experiments
-    if requested == ["all"]:
-        requested = list(EXPERIMENTS)
-    unknown = [e for e in requested if e not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {', '.join(unknown)} "
-              f"(try 'repro list')", file=sys.stderr)
-        return 2
-    for exp_id in requested:
-        description, runner = EXPERIMENTS[exp_id]
-        print(f"\n--- {exp_id}: {description} ---")
-        runner()
-    return 0
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2

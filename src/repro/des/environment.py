@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 import math
 from itertools import count
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.des.events import (
     NORMAL,
@@ -15,6 +15,11 @@ from repro.des.events import (
     Process,
     Timeout,
 )
+from repro.obs.context import active_metrics, active_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricRegistry
+    from repro.obs.trace import Tracer
 
 __all__ = ["Environment", "EmptySchedule"]
 
@@ -45,11 +50,25 @@ class Environment:
     [1.0, 2.0, 3.0]
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        *,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricRegistry | None" = None,
+    ):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
+        #: Optional :class:`~repro.obs.trace.Tracer`; when ``None``
+        #: (the default outside :func:`repro.obs.instrument` blocks)
+        #: every kernel hook is a single ``is None`` test.
+        self.tracer = tracer if tracer is not None else active_tracer()
+        #: Optional :class:`~repro.obs.metrics.MetricRegistry` that
+        #: resources/stores built on this environment report through.
+        self.metrics = (metrics if metrics is not None
+                        else active_metrics())
 
     @property
     def now(self) -> float:
@@ -97,6 +116,11 @@ class Environment:
             self._queue,
             (self._now + delay, priority, next(self._seq), event),
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                self._now, "schedule", type(event).__name__,
+                at=self._now + delay, priority=priority,
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -108,6 +132,11 @@ class Environment:
             raise EmptySchedule("no more events")
         event_time, _, _, event = heapq.heappop(self._queue)
         self._now = event_time
+        if self.tracer is not None:
+            self.tracer.emit(
+                event_time, "step", type(event).__name__,
+                ok=event._ok, pending=len(self._queue),
+            )
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

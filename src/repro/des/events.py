@@ -153,6 +153,14 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        tracer = env.tracer
+        if tracer is not None:
+            self._trace_id = tracer.next_id()
+            tracer.emit(
+                env.now, "process-start", self.name, id=self._trace_id,
+            )
+        else:
+            self._trace_id = None
         # Bootstrap: an urgent, already-successful event resumes the
         # generator for the first time at the current simulation instant.
         init = Event(env)
@@ -161,6 +169,12 @@ class Process(Event):
         init.callbacks.append(self._resume)
         env.schedule(init, priority=URGENT)
         self._target: Event | None = init
+
+    @property
+    def name(self) -> str:
+        """The wrapped generator's function name."""
+        return getattr(self._generator, "__name__",
+                       str(self._generator))
 
     @property
     def is_alive(self) -> bool:
@@ -202,11 +216,24 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
+                if self._trace_id is not None \
+                        and self.env.tracer is not None:
+                    self.env.tracer.emit(
+                        self.env.now, "process-end", self.name,
+                        id=self._trace_id, ok=True,
+                    )
                 self.env.schedule(self)
                 break
             except BaseException as error:
                 self._ok = False
                 self._value = error
+                if self._trace_id is not None \
+                        and self.env.tracer is not None:
+                    self.env.tracer.emit(
+                        self.env.now, "process-end", self.name,
+                        id=self._trace_id, ok=False,
+                        error=type(error).__name__,
+                    )
                 self.env.schedule(self)
                 break
 

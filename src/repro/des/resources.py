@@ -30,6 +30,7 @@ from repro.des.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.des.environment import Environment
+    from repro.obs.metrics import MetricRegistry
 
 __all__ = ["Request", "Resource", "PriorityRequest", "PriorityResource"]
 
@@ -40,6 +41,8 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        if resource._m_wait is not None:
+            self._requested_at = resource.env.now
         resource._enqueue(self)
 
     def __enter__(self) -> "Request":
@@ -69,16 +72,35 @@ class Resource:
         Requests waiting to be granted.
     """
 
-    def __init__(self, env: "Environment", capacity: int = 1):
+    def __init__(self, env: "Environment", capacity: int = 1, *,
+                 name: str | None = None,
+                 metrics: "MetricRegistry | None" = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = int(capacity)
+        self.name = name
         self.users: list[Request] = []
         self.queue: list[Request] = []
         #: While True no new grants are made (current holders finish);
         #: fault injectors toggle this via :meth:`set_out_of_service`.
         self.out_of_service = False
+        # Metric handles, resolved once; anonymous resources share the
+        # label "resource" (their wait times aggregate).
+        registry = metrics if metrics is not None \
+            else getattr(env, "metrics", None)
+        if registry is not None:
+            label = name or "resource"
+            self._m_wait = registry.histogram(
+                "resource_wait_time", resource=label)
+            self._m_queue = registry.gauge(
+                "resource_queue_len", resource=label)
+            self._m_grants = registry.counter(
+                "resource_grants", resource=label)
+        else:
+            self._m_wait = None
+            self._m_queue = None
+            self._m_grants = None
 
     @property
     def count(self) -> int:
@@ -110,6 +132,13 @@ class Resource:
         self.queue.append(request)
         self._grant_next()
 
+    def _note_grant(self, request: Request, pending: int) -> None:
+        """Record wait time and queue length for a fresh grant."""
+        now = self.env.now
+        self._m_wait.observe(now - request._requested_at)
+        self._m_grants.inc()
+        self._m_queue.set(pending, now)
+
     def _grant_next(self) -> None:
         if self.out_of_service:
             return
@@ -117,6 +146,8 @@ class Resource:
             request = self.queue.pop(0)
             self.users.append(request)
             request.succeed()
+            if self._m_wait is not None:
+                self._note_grant(request, len(self.queue))
 
 
 class PriorityRequest(Request):
@@ -134,8 +165,10 @@ class PriorityResource(Resource):
     revoked.
     """
 
-    def __init__(self, env: "Environment", capacity: int = 1):
-        super().__init__(env, capacity)
+    def __init__(self, env: "Environment", capacity: int = 1, *,
+                 name: str | None = None,
+                 metrics: "MetricRegistry | None" = None):
+        super().__init__(env, capacity, name=name, metrics=metrics)
         self._heap: list[tuple[float, int, PriorityRequest]] = []
         self._order = count()
 
@@ -168,6 +201,8 @@ class PriorityResource(Resource):
             _, _, request = heapq.heappop(self._heap)
             self.users.append(request)
             request.succeed()
+            if self._m_wait is not None:
+                self._note_grant(request, len(self._heap))
 
     @property
     def queue(self) -> list[Request]:  # type: ignore[override]

@@ -21,6 +21,7 @@ from repro.utils.stats import TimeWeightedStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.des.environment import Environment
+    from repro.obs.metrics import MetricRegistry
 
 __all__ = ["StorePut", "StoreGet", "Store", "FiniteQueue"]
 
@@ -100,11 +101,25 @@ class Store:
     [0, 1, 2]
     """
 
-    def __init__(self, env: "Environment", capacity: float = math.inf):
+    def __init__(self, env: "Environment", capacity: float = math.inf,
+                 *, name: str | None = None,
+                 metrics: "MetricRegistry | None" = None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.name = name
+        self._registry = metrics if metrics is not None \
+            else getattr(env, "metrics", None)
+        if self._registry is not None:
+            label = name or "store"
+            self._m_level = self._registry.gauge(
+                "store_level", store=label)
+            self._m_get_wait = self._registry.histogram(
+                "store_get_wait", store=label)
+        else:
+            self._m_level = None
+            self._m_get_wait = None
         self.items: list[Any] = []
         self._put_waiters: list[StorePut] = []
         self._get_waiters: list[StoreGet] = []
@@ -138,11 +153,15 @@ class Store:
         self._dispatch()
 
     def _register_get(self, event: StoreGet) -> None:
+        if self._m_get_wait is not None:
+            event._requested_at = self.env.now
         self._get_waiters.append(event)
         self._dispatch()
 
     def _record_level(self) -> None:
         self.occupancy.record(self.env.now, len(self.items))
+        if self._m_level is not None:
+            self._m_level.set(len(self.items), self.env.now)
 
     def set_out_of_service(self, flag: bool) -> None:
         """Disable (or re-enable) the store; re-enabling matches any
@@ -166,6 +185,10 @@ class Store:
             while self._get_waiters and self.items:
                 get_event = self._get_waiters.pop(0)
                 get_event.succeed(self.items.pop(0))
+                if self._m_get_wait is not None:
+                    self._m_get_wait.observe(
+                        self.env.now - get_event._requested_at
+                    )
                 progressed = True
         self._record_level()
 
@@ -183,22 +206,39 @@ class FiniteQueue(Store):
         Arrival accounting for the non-blocking path.
     """
 
-    def __init__(self, env: "Environment", capacity: float):
+    def __init__(self, env: "Environment", capacity: float, *,
+                 name: str | None = None,
+                 metrics: "MetricRegistry | None" = None):
         if not math.isfinite(capacity):
             raise ValueError("FiniteQueue requires a finite capacity")
-        super().__init__(env, capacity)
+        super().__init__(env, capacity, name=name, metrics=metrics)
         self.n_offered = 0
         self.n_accepted = 0
         self.n_dropped = 0
+        if self._registry is not None:
+            label = name or "store"
+            self._m_drops = self._registry.counter(
+                "queue_drops", store=label)
+            self._m_offers = self._registry.counter(
+                "queue_offered", store=label)
+        else:
+            self._m_drops = None
+            self._m_offers = None
 
     def offer(self, item: Any) -> bool:
         """Enqueue ``item`` if space allows; return False if dropped."""
         self.n_offered += 1
+        if self._m_offers is not None:
+            self._m_offers.inc()
         if self.out_of_service:
             self.n_dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
             return False
         if len(self.items) >= self.capacity and not self._get_waiters:
             self.n_dropped += 1
+            if self._m_drops is not None:
+                self._m_drops.inc()
             return False
         self.n_accepted += 1
         self.items.append(item)

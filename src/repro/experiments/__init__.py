@@ -1,0 +1,35 @@
+"""The unified experiment API.
+
+Every reproduction experiment registers here under a stable id and is
+run through one entry point::
+
+    from repro.experiments import run
+    result = run("e3", seed=0, trace=False)   # -> ExperimentResult
+
+``result.tables`` are the paper tables, ``result.metrics`` the scalar
+KPIs, ``result.report`` the full observability
+:class:`~repro.obs.report.RunReport`, and ``result.raw`` the native
+model objects (benchmark assertions consume those).  The ``repro``
+CLI and the ``benchmarks/`` suite are both thin layers over this
+module.
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    RunContext,
+    get,
+    ids,
+    register,
+    run,
+)
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "RunContext",
+    "get",
+    "ids",
+    "register",
+    "run",
+]

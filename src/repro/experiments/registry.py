@@ -1,0 +1,148 @@
+"""Experiment registry: one uniform ``run(id)`` for every bench.
+
+Experiments register themselves with :func:`register`; the CLI and the
+pytest benchmarks both call :func:`run`, so there is exactly one code
+path producing each paper table.  Each run gets a fresh
+:class:`~repro.obs.metrics.MetricRegistry` (and, on request, a
+:class:`~repro.obs.trace.Tracer`) installed as the ambient
+instrumentation, so every :class:`~repro.des.Environment` the
+experiment creates reports into the run's
+:class:`~repro.obs.report.RunReport` without explicit plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.experiments.result import ExperimentResult
+from repro.obs.context import instrument
+from repro.obs.metrics import MetricRegistry
+from repro.obs.report import RunReport
+from repro.obs.trace import Tracer
+from repro.utils.tables import Table
+
+__all__ = ["Experiment", "RunContext", "register", "get", "ids", "run"]
+
+
+@dataclass
+class RunContext:
+    """What an experiment runner sees: its seed and output channels.
+
+    Runners derive every RNG seed from :attr:`seed` (``ctx.seed + k``
+    for the k-th stream), build display tables via :meth:`table`, and
+    record headline KPIs via :meth:`record`; their return value becomes
+    ``ExperimentResult.raw``.
+    """
+
+    seed: int
+    metrics: MetricRegistry
+    tracer: Tracer | None = None
+    tables: list[Table] = field(default_factory=list)
+    kpis: dict[str, float] = field(default_factory=dict)
+
+    def table(self, columns: Sequence[str], title: str = "") -> Table:
+        """Create a :class:`Table` that ships with the result."""
+        out = Table(columns, title=title)
+        self.tables.append(out)
+        return out
+
+    def record(self, name: str, value: float) -> None:
+        """Record one scalar headline metric."""
+        self.kpis[name] = float(value)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: id, the paper claim, and its runner."""
+
+    id: str
+    claim: str
+    runner: Callable[[RunContext], Any]
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp_id: str, claim: str):
+    """Decorator registering ``runner`` under ``exp_id``."""
+
+    def decorator(runner: Callable[[RunContext], Any]):
+        key = exp_id.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"experiment {exp_id!r} already registered")
+        _REGISTRY[key] = Experiment(id=key, claim=claim, runner=runner)
+        return runner
+
+    return decorator
+
+
+def _ensure_defs() -> None:
+    # Experiments register on import of the definitions module.
+    from repro.experiments import defs  # noqa: F401
+
+
+def get(exp_id: str) -> Experiment:
+    """Look up an experiment by (case-insensitive) id."""
+    _ensure_defs()
+    try:
+        return _REGISTRY[exp_id.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known ids: "
+            f"{', '.join(ids())}"
+        ) from None
+
+
+def ids() -> list[str]:
+    """All registered experiment ids, in registration order."""
+    _ensure_defs()
+    return list(_REGISTRY)
+
+
+def run(
+    exp_id: str,
+    seed: int | None = None,
+    *,
+    trace: bool = False,
+) -> ExperimentResult:
+    """Run one experiment and return its :class:`ExperimentResult`.
+
+    Parameters
+    ----------
+    exp_id:
+        Experiment id (``f1``, ``e3``, ``r1``, ...; case-insensitive).
+    seed:
+        Base seed; ``None`` means the default (0), which reproduces
+        the published tables bit-for-bit.
+    trace:
+        Record a kernel event trace.  Tracing is observational only:
+        it never changes simulation results.
+    """
+    experiment = get(exp_id)
+    base_seed = 0 if seed is None else int(seed)
+    registry = MetricRegistry()
+    tracer = Tracer() if trace else None
+    ctx = RunContext(seed=base_seed, metrics=registry, tracer=tracer)
+    start = time.perf_counter()
+    with instrument(tracer=tracer, metrics=registry):
+        raw = experiment.runner(ctx)
+    wall = time.perf_counter() - start
+    report = RunReport.from_run(
+        experiment.id,
+        seed=base_seed,
+        wall_seconds=wall,
+        metrics=ctx.kpis,
+        registry=registry,
+        tracer=tracer,
+    )
+    return ExperimentResult(
+        id=experiment.id,
+        claim=experiment.claim,
+        tables=ctx.tables,
+        metrics=dict(ctx.kpis),
+        report=report,
+        raw=raw,
+        tracer=tracer,
+    )

@@ -1,0 +1,73 @@
+"""The uniform result every experiment returns.
+
+An :class:`ExperimentResult` is what ``repro.experiments.run`` hands
+back for any experiment id: the rendered tables, the scalar headline
+metrics, the full :class:`~repro.obs.report.RunReport`, and — for the
+benchmark assertions — the ``raw`` model objects the run produced.
+Only the first three serialize; ``raw`` is an in-process convenience.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.report import RunReport, sanitize_json
+from repro.utils.tables import Table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run under the unified API."""
+
+    id: str
+    claim: str
+    tables: list[Table] = field(default_factory=list)
+    #: Scalar headline metrics (KPIs) recorded by the experiment.
+    metrics: dict[str, float] = field(default_factory=dict)
+    report: RunReport | None = None
+    #: The experiment's native return value (model objects, reports,
+    #: sweep rows).  Benchmarks assert on this; it is NOT serialized.
+    raw: Any = None
+    #: The live :class:`~repro.obs.trace.Tracer` when the run was
+    #: traced (for JSONL export); NOT serialized.
+    tracer: Any = None
+
+    def table(self, fragment: str | None = None) -> Table:
+        """Return the first table whose title contains ``fragment``
+        (case-insensitive); with no fragment, the first table."""
+        if not self.tables:
+            raise LookupError(f"experiment {self.id} produced no tables")
+        if fragment is None:
+            return self.tables[0]
+        needle = fragment.lower()
+        for candidate in self.tables:
+            if needle in candidate.title.lower():
+                return candidate
+        raise LookupError(
+            f"no table of {self.id} matches {fragment!r}; titles: "
+            f"{[t.title for t in self.tables]}"
+        )
+
+    def show(self) -> None:
+        """Print every table (the human CLI view)."""
+        for rendered in self.tables:
+            rendered.show()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (``raw`` intentionally excluded)."""
+        return {
+            "id": self.id,
+            "claim": self.claim,
+            "metrics": dict(self.metrics),
+            "tables": [t.to_dict() for t in self.tables],
+            "report": (self.report.to_dict()
+                       if self.report is not None else None),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(sanitize_json(self.to_dict()), indent=indent,
+                          sort_keys=True)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.manet.network import ManetNetwork, random_network
 from repro.manet.routing import RoutingProtocol
+from repro.obs.context import active_metrics
 from repro.utils.rng import spawn_rng
 
 __all__ = ["LifetimeResult", "simulate_lifetime", "compare_protocols"]
@@ -194,7 +195,7 @@ def simulate_lifetime(
     else:
         lifetime = n_sessions
 
-    return LifetimeResult(
+    result = LifetimeResult(
         protocol=protocol.name,
         lifetime_sessions=lifetime,
         first_death_session=first_death,
@@ -206,6 +207,20 @@ def simulate_lifetime(
         n_fault_events=n_fault_events,
         stale_route_failures=stale_failures,
     )
+    registry = active_metrics()
+    if registry is not None:
+        label = protocol.name
+        registry.counter(
+            "manet_delivered", protocol=label).inc(delivered)
+        registry.counter(
+            "manet_failed", protocol=label).inc(failed)
+        registry.counter(
+            "manet_deaths", protocol=label).inc(len(deaths))
+        registry.counter(
+            "manet_energy_j", protocol=label).inc(total_energy)
+        registry.gauge(
+            "manet_lifetime_sessions", protocol=label).set(lifetime)
+    return result
 
 
 def compare_protocols(

@@ -123,6 +123,17 @@ class NocNetwork:
         }
         self._uid = itertools.count()
         self.stats = NocNetworkStats()
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            self._m_delivered = registry.counter("noc_delivered")
+            self._m_energy = registry.counter("noc_energy_j")
+            self._m_latency = registry.histogram("noc_latency")
+            self._m_hops = registry.histogram("noc_hops")
+        else:
+            self._m_delivered = None
+            self._m_energy = None
+            self._m_latency = None
+            self._m_hops = None
 
     def new_packet(self, src: Tile, dst: Tile, payload_bits: float,
                    header_bits: float = 32.0,
@@ -160,11 +171,16 @@ class NocNetwork:
         self.stats.delivered += 1
         self.stats.payload_bits += packet.payload_bits
         self.stats.total_bits += packet.size_bits
-        self.stats.energy += packet.size_bits * (
-            self.energy_model.bit_energy(hops)
-        )
-        self.stats.latency.add(self.env.now - packet.created)
+        energy = packet.size_bits * self.energy_model.bit_energy(hops)
+        self.stats.energy += energy
+        latency = self.env.now - packet.created
+        self.stats.latency.add(latency)
         self.stats.hop_count.add(hops)
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
+            self._m_energy.inc(energy)
+            self._m_latency.observe(latency)
+            self._m_hops.observe(hops)
 
     def link_utilization(self) -> float:
         """Fraction of links currently held (an instantaneous gauge)."""

@@ -1,0 +1,53 @@
+"""Observability: tracing, metrics and run reports for every subsystem.
+
+The paper's holistic thesis is that co-design decisions must be judged
+by *measured* end-to-end behaviour.  This package is the measurement
+substrate the rest of :mod:`repro` reports through:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` that records kernel
+  schedule/step/process events as structured events and spans, with
+  JSONL export and per-process timelines;
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments collected in a shared
+  :class:`MetricRegistry`;
+* :mod:`repro.obs.report` — the :class:`RunReport` summary (scalar
+  KPIs plus aggregate statistics with confidence intervals)
+  serializable to JSON;
+* :mod:`repro.obs.context` — :func:`instrument`, a context manager
+  that makes a tracer/registry the ambient default so deeply nested
+  models (every :class:`~repro.des.Environment` created inside an
+  experiment) pick them up without explicit plumbing.
+
+Instrumentation is strictly opt-in: with no tracer or registry
+attached, every hook in the kernel and the subsystem models reduces to
+a single ``is None`` check.
+"""
+
+from repro.obs.context import (
+    active_metrics,
+    active_tracer,
+    instrument,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.obs.report import RunReport, sanitize_json
+from repro.obs.trace import Span, TraceEvent, Tracer
+
+__all__ = [
+    "sanitize_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "RunReport",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "active_metrics",
+    "active_tracer",
+    "instrument",
+]

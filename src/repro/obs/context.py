@@ -1,0 +1,61 @@
+"""Ambient instrumentation context.
+
+Experiments build many :class:`~repro.des.Environment` instances deep
+inside library calls; threading an explicit tracer/registry through
+every constructor would contaminate every model signature.  Instead,
+:func:`instrument` installs the pair as the *ambient default* (a
+:mod:`contextvars` variable): any Environment — and any
+registry-aware non-DES model — created inside the ``with`` block picks
+them up automatically.
+
+The lookup happens once per entity construction, never per event, so
+the ambient mechanism adds nothing to kernel hot paths.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricRegistry
+    from repro.obs.trace import Tracer
+
+__all__ = ["instrument", "active_tracer", "active_metrics"]
+
+_ACTIVE: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_obs_active", default=(None, None)
+)
+
+
+def active_tracer() -> "Tracer | None":
+    """The ambient tracer, or ``None`` when tracing is off."""
+    return _ACTIVE.get()[0]
+
+
+def active_metrics() -> "MetricRegistry | None":
+    """The ambient metric registry, or ``None`` when metrics are off."""
+    return _ACTIVE.get()[1]
+
+
+@contextmanager
+def instrument(tracer: "Tracer | None" = None,
+               metrics: "MetricRegistry | None" = None):
+    """Make ``tracer``/``metrics`` the ambient defaults for the block.
+
+    Examples
+    --------
+    >>> from repro.obs import MetricRegistry, Tracer, instrument
+    >>> from repro.des import Environment
+    >>> tracer = Tracer()
+    >>> with instrument(tracer=tracer):
+    ...     env = Environment()
+    ...     env.tracer is tracer
+    True
+    """
+    token = _ACTIVE.set((tracer, metrics))
+    try:
+        yield (tracer, metrics)
+    finally:
+        _ACTIVE.reset(token)

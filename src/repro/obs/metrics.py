@@ -1,0 +1,243 @@
+"""Counters, gauges and histograms behind a shared registry.
+
+Entities across the stack (stores, resources, channels, NoC links,
+MANET sessions) emit through a :class:`MetricRegistry`; a run report
+then snapshots the registry into plain dictionaries.  Instruments are
+deliberately simple — everything is in-process and single-threaded,
+like the simulations they observe.
+
+Naming convention: metric names are ``snake_case`` with the measured
+unit implied by the subsystem (simulated seconds, bits, joules);
+labels distinguish entities (``registry.counter("channel_sent",
+channel="primary")``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.utils.stats import SummaryStats
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+#: Histograms stop *storing* individual observations beyond this many
+#: samples (aggregates keep folding everything in); bounds memory on
+#: packet-scale workloads.
+DEFAULT_MAX_SAMPLES = 65_536
+
+
+class Metric:
+    """Common identity of every instrument: a name plus labels."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+
+    @property
+    def key(self) -> str:
+        """Canonical ``name{k=v,...}`` identity string."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(
+            f"{k}={v}" for k, v in sorted(self.labels.items())
+        )
+        return f"{self.name}{{{inner}}}"
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.key}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing total (events, bits, joules)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, "
+                             f"got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge(Metric):
+    """An instantaneous level (queue length, alive nodes, link load).
+
+    Passing the current simulation time to :meth:`set` additionally
+    accumulates a time-weighted average of the signal, the right
+    summary for piecewise-constant quantities such as buffer levels.
+    A time *earlier* than the previous sample starts a new segment
+    (one run can create several environments, each with its own clock
+    starting at zero) — the accumulated average spans all segments.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        super().__init__(name, labels)
+        self.value = math.nan
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._last_t: float | None = None
+        self._weight = 0.0
+        self._weighted_sum = 0.0
+
+    def set(self, value: float, t: float | None = None) -> None:
+        """Record the signal taking ``value`` (from time ``t`` on)."""
+        previous = self.value
+        value = float(value)
+        self.value = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if t is None:
+            return
+        if self._last_t is not None and t >= self._last_t:
+            span = t - self._last_t
+            self._weight += span
+            self._weighted_sum += span * previous
+        self._last_t = t
+
+    @property
+    def time_mean(self) -> float:
+        """Time-weighted mean (NaN when never set with a time)."""
+        if self._weight == 0.0:
+            return math.nan
+        return self._weighted_sum / self._weight
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": self.kind,
+            "value": self.value,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        if self._weight > 0.0:
+            data["time_mean"] = self.time_mean
+        return data
+
+
+class Histogram(Metric):
+    """Distribution of observations (wait times, latencies, sizes).
+
+    Aggregates fold in every observation via
+    :class:`~repro.utils.stats.SummaryStats`; the raw values are also
+    retained up to ``max_samples`` so a report can attach confidence
+    intervals.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, str],
+                 max_samples: int = DEFAULT_MAX_SAMPLES):
+        super().__init__(name, labels)
+        self.stats = SummaryStats(name=self.key)
+        self.values: list[float] = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the distribution."""
+        self.stats.add(value)
+        if len(self.values) < self._max_samples:
+            self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    def to_dict(self) -> dict[str, Any]:
+        s = self.stats
+        return {
+            "kind": self.kind,
+            "count": s.count,
+            "total": s.total,
+            "mean": s.mean,
+            "std": s.std,
+            "min": s.minimum if s.count else math.nan,
+            "max": s.maximum if s.count else math.nan,
+        }
+
+
+class MetricRegistry:
+    """Shared collection of instruments, keyed by name and labels.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name and labels returns the same instrument, so
+    entities can resolve their handles eagerly at construction and emit
+    through plain attribute access afterwards.
+
+    Examples
+    --------
+    >>> registry = MetricRegistry()
+    >>> sent = registry.counter("channel_sent", channel="uplink")
+    >>> sent.inc()
+    >>> registry.counter("channel_sent", channel="uplink").value
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Metric] = {}
+
+    def _get_or_create(self, cls, name: str,
+                       labels: dict[str, str]) -> Metric:
+        labels = {k: str(v) for k, v in labels.items()}
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"{metric.key} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the :class:`Counter` ``name{labels}``."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the :class:`Gauge` ``name{labels}``."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create the :class:`Histogram` ``name{labels}``."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def get(self, name: str, **labels: str) -> Metric | None:
+        """Return the instrument if it exists, else ``None``."""
+        labels = {k: str(v) for k, v in labels.items()}
+        key = (name, tuple(sorted(labels.items())))
+        return self._metrics.get(key)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Serialize every instrument: ``{key: {kind, aggregates}}``."""
+        return {
+            metric.key: metric.to_dict()
+            for metric in self._metrics.values()
+        }

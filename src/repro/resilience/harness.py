@@ -196,12 +196,12 @@ def arq_streaming_qos(
     if not 0.0 <= fault_rate <= 1.0:
         raise ValueError("fault_rate is a loss probability here")
     reference = run_session(FeedbackServer(), n_frames=n_frames,
-                            source_seed=seed)
+                            seed=seed)
     link = LossyLink(p_loss=fault_rate, rtt=rtt, seed=seed)
     arq = ArqPolicy(max_retries=3, initial_timeout=rtt,
                     backoff_factor=2.0) if resilient else None
     report = run_session(FeedbackServer(), n_frames=n_frames,
-                         source_seed=seed, link=link, arq=arq)
+                         seed=seed, link=link, arq=arq)
     qos = (report.mean_psnr / reference.mean_psnr
            if reference.mean_psnr > 0 else math.nan)
     return QosPoint(fault_rate=fault_rate, qos=min(qos, 1.0), detail={

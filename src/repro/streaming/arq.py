@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs.context import active_metrics
 from repro.utils.rng import spawn_rng
 
 __all__ = ["ArqPolicy", "FrameDelivery", "LossyLink"]
@@ -106,6 +107,22 @@ class LossyLink:
         self.n_attempts = 0
         self.n_frame_losses = 0
         self.n_feedback_losses = 0
+        # Ambient metric handles (None outside instrument() blocks).
+        registry = active_metrics()
+        if registry is not None:
+            self._m_attempts = registry.counter(
+                "link_attempts", link=name)
+            self._m_delivered = registry.counter(
+                "link_delivered", link=name)
+            self._m_frame_losses = registry.counter(
+                "link_frame_losses", link=name)
+            self._m_feedback_losses = registry.counter(
+                "link_feedback_losses", link=name)
+        else:
+            self._m_attempts = None
+            self._m_delivered = None
+            self._m_frame_losses = None
+            self._m_feedback_losses = None
 
     def deliver(self, deadline: float,
                 arq: ArqPolicy | None = None) -> FrameDelivery:
@@ -119,11 +136,18 @@ class LossyLink:
         while True:
             attempts += 1
             self.n_attempts += 1
+            if self._m_attempts is not None:
+                self._m_attempts.inc()
             if self._rng.random() >= self.p_loss:
                 latency = elapsed + self.rtt / 2.0
-                return FrameDelivery(delivered=latency <= deadline,
+                delivered = latency <= deadline
+                if delivered and self._m_delivered is not None:
+                    self._m_delivered.inc()
+                return FrameDelivery(delivered=delivered,
                                      attempts=attempts, latency=latency)
             self.n_frame_losses += 1
+            if self._m_frame_losses is not None:
+                self._m_frame_losses.inc()
             if arq is None or attempts > budget:
                 return FrameDelivery(delivered=False, attempts=attempts,
                                      latency=math.nan)
@@ -137,5 +161,7 @@ class LossyLink:
         """Fate of one client → server aptitude report."""
         if self._rng.random() < self.p_feedback_loss:
             self.n_feedback_losses += 1
+            if self._m_feedback_losses is not None:
+                self._m_feedback_losses.inc()
             return False
         return True

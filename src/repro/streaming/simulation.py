@@ -17,6 +17,7 @@ from repro.streaming.arq import ArqPolicy, LossyLink
 from repro.streaming.client import DecoderModel, DvfsVideoClient
 from repro.streaming.fgs import FgsSource
 from repro.streaming.server import FeedbackServer, FullRateServer
+from repro.utils.deprecation import deprecated_alias
 
 __all__ = ["SessionReport", "run_session", "StreamingComparison",
            "compare_streaming_policies"]
@@ -54,11 +55,13 @@ class SessionReport:
 def run_session(
     server,
     n_frames: int = 1_000,
-    source_seed: int = 0,
+    seed: int | None = None,
     client: DvfsVideoClient | None = None,
     source: FgsSource | None = None,
     link: LossyLink | None = None,
     arq: ArqPolicy | None = None,
+    *,
+    source_seed: int | None = None,
 ) -> SessionReport:
     """Stream ``n_frames`` from ``server`` to a DVFS client.
 
@@ -66,10 +69,14 @@ def run_session(
     plays out (re)transmissions under ``arq``; frames that miss the
     deadline are skipped by the client, and lost feedback reports leave
     the server adapting on its previous aptitude estimate.
+
+    ``source_seed=`` is a deprecated alias of ``seed=``.
     """
+    seed = deprecated_alias("run_session", "source_seed", "seed",
+                            source_seed, seed)
     if n_frames < 1:
         raise ValueError("n_frames must be >= 1")
-    source = source or FgsSource(seed=source_seed)
+    source = source or FgsSource(seed=0 if seed is None else seed)
     client = client or DvfsVideoClient(fps=source.fps)
     period = 1.0 / client.fps
 
@@ -142,11 +149,11 @@ def compare_streaming_policies(
                                min_psnr=min_psnr)
 
     full = run_session(
-        FullRateServer(), n_frames=n_frames, source_seed=seed,
+        FullRateServer(), n_frames=n_frames, seed=seed,
         client=fresh_client(), source=FgsSource(seed=seed),
     )
     fed = run_session(
-        FeedbackServer(), n_frames=n_frames, source_seed=seed,
+        FeedbackServer(), n_frames=n_frames, seed=seed,
         client=fresh_client(), source=FgsSource(seed=seed),
     )
     return StreamingComparison(full_rate=full, feedback=fed)

@@ -258,6 +258,27 @@ class Channel:
         self.process = None
         self._active = False
         self._up_waiters: list[Event] = []
+        # Metric handles; bound in start() once the environment (and
+        # its registry, if any) is known.
+        self._m_sent = None
+        self._m_delivered = None
+        self._m_lost = None
+        self._m_retx = None
+        self._m_energy = None
+
+    def _bind_metrics(self, env: "Environment") -> None:
+        registry = getattr(env, "metrics", None)
+        if registry is None:
+            return
+        label = self.name
+        self._m_sent = registry.counter("channel_sent", channel=label)
+        self._m_delivered = registry.counter(
+            "channel_delivered", channel=label)
+        self._m_lost = registry.counter("channel_lost", channel=label)
+        self._m_retx = registry.counter(
+            "channel_retransmissions", channel=label)
+        self._m_energy = registry.counter(
+            "channel_energy_j", channel=label)
 
     def transmission_time(self, packet: Packet) -> float:
         """Seconds to serialize one packet onto the medium."""
@@ -304,6 +325,7 @@ class Channel:
     def start(self, env: "Environment", tx_buffer: "Store",
               rx_buffer: "FiniteQueue"):
         """Start the relay process moving Tx-buffer -> Rx-buffer."""
+        self._bind_metrics(env)
 
         def run():
             while True:
@@ -323,6 +345,8 @@ class Channel:
                         raise
                     continue
                 self.stats.sent += 1
+                if self._m_sent is not None:
+                    self._m_sent.inc()
                 try:
                     fate = yield from self._transmit(env, packet)
                 except Interrupt:
@@ -331,9 +355,13 @@ class Channel:
                     # The in-flight packet dies with the medium.
                     self.stats.lost += 1
                     self.stats.fault_drops += 1
+                    if self._m_lost is not None:
+                        self._m_lost.inc()
                     continue
                 if fate is PacketFate.LOST:
                     self.stats.lost += 1
+                    if self._m_lost is not None:
+                        self._m_lost.inc()
                     continue
                 if fate is PacketFate.ERROR:
                     packet.corrupted = True
@@ -342,6 +370,11 @@ class Channel:
                 self.stats.rx_energy += (
                     packet.size_bits * self.rx_energy_per_bit
                 )
+                if self._m_delivered is not None:
+                    self._m_delivered.inc()
+                    self._m_energy.inc(
+                        packet.size_bits * self.rx_energy_per_bit
+                    )
                 if self.trace_arrivals:
                     self.stats.arrival_trace.append(
                         (packet.seqno, env.now)
@@ -360,6 +393,10 @@ class Channel:
             self.stats.tx_energy += (
                 packet.size_bits * self.tx_energy_per_bit
             )
+            if self._m_energy is not None:
+                self._m_energy.inc(
+                    packet.size_bits * self.tx_energy_per_bit
+                )
             fate = self.error_model.classify(packet, self._rng)
             attempts += 1
             if fate is PacketFate.OK or attempts > self.max_retries:
@@ -367,6 +404,8 @@ class Channel:
                     extra = attempts - 1
                     packet.retransmissions += extra
                     self.stats.retransmissions += extra
+                    if self._m_retx is not None:
+                        self._m_retx.inc(extra)
                 if fate is not PacketFate.LOST:
                     yield env.timeout(self.propagation_delay)
                 return fate

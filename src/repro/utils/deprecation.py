@@ -1,0 +1,44 @@
+"""One consistent way to keep old argument spellings alive.
+
+The API audit (observability PR) standardized on ``seed=`` for RNG
+seeding and ``horizon=`` for simulated duration; renamed parameters
+stay callable under their old names for one release through
+:func:`deprecated_alias`, which warns and maps old → new.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+__all__ = ["deprecated_alias"]
+
+
+def deprecated_alias(
+    func_name: str,
+    old: str,
+    new: str,
+    old_value: Any,
+    new_value: Any,
+    sentinel: Any = None,
+) -> Any:
+    """Resolve a renamed keyword argument.
+
+    Returns ``new_value`` unless the caller supplied the old spelling
+    (``old_value is not sentinel``), in which case a
+    :class:`DeprecationWarning` is emitted and ``old_value`` wins —
+    unless both spellings were given, which is an error.
+    """
+    if old_value is sentinel:
+        return new_value
+    if new_value is not sentinel:
+        raise TypeError(
+            f"{func_name}() got both {old!r} and its replacement "
+            f"{new!r}; pass only {new!r}"
+        )
+    warnings.warn(
+        f"{func_name}({old}=...) is deprecated; use {new}=",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return old_value

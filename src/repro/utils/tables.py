@@ -101,3 +101,11 @@ class Table:
         """Print the rendered table (benchmarks call this)."""
         print()
         print(self.render())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: title, column names, formatted rows."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }

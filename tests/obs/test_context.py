@@ -1,0 +1,51 @@
+"""Tests for the ambient instrumentation context."""
+
+from repro.des import Environment
+from repro.obs import (
+    MetricRegistry,
+    Tracer,
+    active_metrics,
+    active_tracer,
+    instrument,
+)
+
+
+class TestAmbientContext:
+    def test_defaults_are_off(self):
+        assert active_tracer() is None
+        assert active_metrics() is None
+
+    def test_instrument_installs_and_restores(self):
+        tracer = Tracer()
+        registry = MetricRegistry()
+        with instrument(tracer=tracer, metrics=registry):
+            assert active_tracer() is tracer
+            assert active_metrics() is registry
+        assert active_tracer() is None
+        assert active_metrics() is None
+
+    def test_nested_blocks_shadow(self):
+        outer, inner = Tracer(), Tracer()
+        with instrument(tracer=outer):
+            with instrument(tracer=inner):
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+
+    def test_environment_resolves_ambient_handles(self):
+        tracer = Tracer()
+        registry = MetricRegistry()
+        with instrument(tracer=tracer, metrics=registry):
+            env = Environment()
+        assert env.tracer is tracer
+        assert env.metrics is registry
+
+    def test_environment_outside_block_is_uninstrumented(self):
+        env = Environment()
+        assert env.tracer is None
+        assert env.metrics is None
+
+    def test_explicit_arguments_beat_ambient(self):
+        mine = Tracer()
+        with instrument(tracer=Tracer()):
+            env = Environment(tracer=mine)
+        assert env.tracer is mine

@@ -1,0 +1,158 @@
+"""Kernel and subsystem instrumentation: hooks emit the right metrics
+and tracing is strictly observational (bit-identical results)."""
+
+import pytest
+
+from repro.des import Environment, FiniteQueue, Resource, Store, Timeout
+from repro.obs import MetricRegistry, Tracer, instrument
+from repro.streams import BernoulliModel, Channel, MpegSource, Sink, \
+    StreamPipeline
+
+
+def _contention(env):
+    cpu = Resource(env, capacity=1, name="cpu")
+
+    def worker(delay):
+        yield Timeout(env, delay)
+        with cpu.request() as req:
+            yield req
+            yield Timeout(env, 1.0)
+
+    for i in range(3):
+        env.process(worker(0.1 * i))
+    env.run()
+
+
+class TestKernelMetrics:
+    def test_resource_emits_wait_queue_grants(self):
+        registry = MetricRegistry()
+        with instrument(metrics=registry):
+            _contention(Environment())
+        wait = registry.get("resource_wait_time", resource="cpu")
+        grants = registry.get("resource_grants", resource="cpu")
+        queue = registry.get("resource_queue_len", resource="cpu")
+        assert grants.value == 3.0
+        assert wait.count == 3
+        assert wait.mean > 0.0          # two workers actually waited
+        assert queue.maximum >= 1.0
+
+    def test_store_emits_level_and_wait(self):
+        registry = MetricRegistry()
+        env = Environment(metrics=registry)
+        store = Store(env, capacity=4, name="buf")
+
+        def producer():
+            for i in range(4):
+                yield Timeout(env, 1.0)
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(4):
+                yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        level = registry.get("store_level", store="buf")
+        get_wait = registry.get("store_get_wait", store="buf")
+        assert level is not None and get_wait is not None
+        assert get_wait.count == 4
+        assert get_wait.mean > 0.0      # consumer waited on empty store
+
+    def test_queue_emits_offer_and_drop_counters(self):
+        registry = MetricRegistry()
+        env = Environment(metrics=registry)
+        queue = FiniteQueue(env, capacity=1, name="rx")
+
+        def producer():
+            for i in range(5):
+                queue.offer(i)
+                yield Timeout(env, 0.1)
+
+        env.process(producer())
+        env.run()
+        offered = registry.get("queue_offered", store="rx")
+        drops = registry.get("queue_drops", store="rx")
+        assert offered.value == 5.0
+        assert drops.value == 4.0       # capacity 1, nobody consuming
+
+    def test_uninstrumented_entities_carry_no_handles(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        store = Store(env)
+        assert resource._m_wait is None
+        assert store._m_level is None
+
+
+class TestChannelMetrics:
+    def test_channel_counters(self):
+        registry = MetricRegistry()
+        with instrument(metrics=registry):
+            pipe = StreamPipeline(
+                source=MpegSource(fps=25.0, seed=1),
+                channel=Channel(
+                    bandwidth=5e6,
+                    error_model=BernoulliModel(p_loss=0.2),
+                    max_retries=2, seed=2, name="air",
+                ),
+                sink=Sink(display_rate_hz=25.0),
+            )
+            report = pipe.run(horizon=5.0)
+        sent = registry.get("channel_sent", channel="air")
+        delivered = registry.get("channel_delivered", channel="air")
+        lost = registry.get("channel_lost", channel="air")
+        retx = registry.get("channel_retransmissions", channel="air")
+        assert sent.value == report.channel.sent
+        assert delivered.value == report.channel.delivered
+        assert lost.value == report.channel.lost
+        assert retx.value == report.channel.retransmissions
+        # A frame can still be in flight when the horizon cuts off.
+        assert delivered.value + lost.value <= sent.value
+
+
+class TestTracerParity:
+    """Tracing must never change what the simulation computes."""
+
+    def _run(self, tracer):
+        with instrument(tracer=tracer):
+            pipe = StreamPipeline(
+                source=MpegSource(fps=25.0, seed=1),
+                channel=Channel(
+                    bandwidth=5e6,
+                    error_model=BernoulliModel(p_loss=0.1),
+                    max_retries=1, seed=2,
+                ),
+                sink=Sink(display_rate_hz=25.0),
+            )
+            return pipe.run(horizon=10.0)
+
+    def test_traced_run_is_bit_identical(self):
+        plain = self._run(None)
+        tracer = Tracer()
+        traced = self._run(tracer)
+        assert traced.loss_rate == plain.loss_rate
+        assert traced.mean_latency == plain.mean_latency
+        assert traced.channel.sent == plain.channel.sent
+        assert traced.channel.energy == plain.channel.energy
+        assert len(tracer.timeline()) > 0
+
+    def test_trace_records_process_lifecycles(self):
+        tracer = Tracer()
+        self._run(tracer)
+        counts = tracer.counts()
+        assert counts["schedule"] > 0
+        assert counts["step"] > 0
+        assert counts["process-start"] > 0
+
+    def test_environment_clock_untouched_by_tracer(self):
+        # The tracer allocates its own ids, never the kernel sequence.
+        env_plain = Environment()
+        env_traced = Environment(tracer=Tracer())
+        for env in (env_plain, env_traced):
+            env.process(_noop(env))
+            env.run()
+        assert env_plain.now == env_traced.now
+
+
+def _noop(env):
+    yield Timeout(env, 1.0)

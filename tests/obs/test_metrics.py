@@ -1,0 +1,131 @@
+"""Tests for the metric instruments and their shared registry."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricRegistry()
+        sent = registry.counter("sent")
+        assert sent.value == 0.0
+        sent.inc()
+        sent.inc(2.5)
+        assert sent.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        counter = MetricRegistry().counter("sent")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_key_encodes_sorted_labels(self):
+        registry = MetricRegistry()
+        plain = registry.counter("sent")
+        labeled = registry.counter("sent", channel="up", node="a")
+        assert plain.key == "sent"
+        assert labeled.key == "sent{channel=up,node=a}"
+
+    def test_to_dict(self):
+        counter = MetricRegistry().counter("sent")
+        counter.inc(4)
+        assert counter.to_dict() == {"kind": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_tracks_value_min_max(self):
+        gauge = MetricRegistry().gauge("level")
+        gauge.set(3.0)
+        gauge.set(1.0)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+        assert gauge.minimum == 1.0
+        assert gauge.maximum == 7.0
+
+    def test_time_weighted_mean(self):
+        gauge = MetricRegistry().gauge("level")
+        # level 2 on [0, 4), level 6 on [4, 8): mean = 4.
+        gauge.set(2.0, t=0.0)
+        gauge.set(6.0, t=4.0)
+        gauge.set(6.0, t=8.0)
+        assert gauge.time_mean == pytest.approx(4.0)
+
+    def test_time_mean_nan_without_timestamps(self):
+        gauge = MetricRegistry().gauge("level")
+        gauge.set(5.0)
+        assert math.isnan(gauge.time_mean)
+        assert "time_mean" not in gauge.to_dict()
+
+    def test_clock_reset_starts_new_segment(self):
+        # Two environments reporting into one gauge: each clock starts
+        # at 0 again; the reset gap must not accumulate (or raise).
+        gauge = MetricRegistry().gauge("level")
+        gauge.set(2.0, t=0.0)
+        gauge.set(2.0, t=10.0)   # segment 1: level 2 for 10s
+        gauge.set(6.0, t=0.0)    # clock reset — new segment
+        gauge.set(6.0, t=10.0)   # segment 2: level 6 for 10s
+        assert gauge.time_mean == pytest.approx(4.0)
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        histogram = MetricRegistry().histogram("wait")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2.0)
+        data = histogram.to_dict()
+        assert data["min"] == 1.0
+        assert data["max"] == 3.0
+
+    def test_sample_cap_keeps_aggregates_exact(self):
+        histogram = Histogram("wait", {}, max_samples=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert len(histogram.values) == 10   # storage capped...
+        assert histogram.count == 100        # ...aggregates are not
+        assert histogram.mean == pytest.approx(49.5)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricRegistry()
+        a = registry.counter("sent", channel="up")
+        b = registry.counter("sent", channel="up")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricRegistry()
+        assert registry.counter("sent", channel="up") is not \
+            registry.counter("sent", channel="down")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_get_without_create(self):
+        registry = MetricRegistry()
+        assert registry.get("missing") is None
+        created = registry.counter("hit", node="a")
+        assert registry.get("hit", node="a") is created
+
+    def test_snapshot_covers_every_instrument(self):
+        registry = MetricRegistry()
+        registry.counter("sent").inc(2)
+        registry.gauge("level").set(1.0, t=0.0)
+        registry.histogram("wait").observe(0.5)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"sent", "level", "wait"}
+        assert snapshot["sent"]["value"] == 2.0
+        assert snapshot["wait"]["count"] == 1
+
+    def test_classes_exposed_for_isinstance(self):
+        registry = MetricRegistry()
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)

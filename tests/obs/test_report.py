@@ -1,0 +1,87 @@
+"""Tests for run reports and JSON sanitization."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricRegistry, RunReport, Tracer, sanitize_json
+
+
+def _registry_with_data():
+    registry = MetricRegistry()
+    registry.counter("sent", channel="up").inc(10)
+    wait = registry.histogram("wait")
+    for i in range(400):
+        # Aperiodic in the batch length, so batch means differ and
+        # the batch-means CI is strictly positive.
+        wait.observe(0.01 * ((i * 37) % 101))
+    return registry
+
+
+class TestRunReport:
+    def test_from_run_snapshots_registry(self):
+        report = RunReport.from_run(
+            "e0", seed=0, wall_seconds=1.5,
+            metrics={"kpi": 2.0}, registry=_registry_with_data(),
+        )
+        assert report.experiment == "e0"
+        assert report.metrics["kpi"] == 2.0
+        assert report.stats["sent{channel=up}"]["value"] == 10.0
+
+    def test_histograms_get_confidence_intervals(self):
+        report = RunReport.from_run("e0", registry=_registry_with_data())
+        stats = report.stats["wait"]
+        assert stats["count"] == 400
+        # Batch-means CI present and bracketing the true mean.
+        assert stats["ci_half"] > 0.0
+        assert abs(stats["ci_mean"] - stats["mean"]) <= stats["ci_half"]
+
+    def test_trace_summary_attached(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "step", "Timeout")
+        report = RunReport.from_run("e0", tracer=tracer)
+        assert report.trace["n_events"] == 1
+        untraced = RunReport.from_run("e0")
+        assert untraced.trace is None
+
+    def test_json_round_trip(self):
+        report = RunReport.from_run(
+            "e0", seed=3, wall_seconds=0.25, metrics={"kpi": 1.0},
+            registry=_registry_with_data(),
+        )
+        loaded = RunReport.from_json(report.to_json())
+        assert loaded.experiment == report.experiment
+        assert loaded.seed == 3
+        assert loaded.metrics == report.metrics
+        assert loaded.stats.keys() == report.stats.keys()
+
+    def test_summary_lines_readable(self):
+        report = RunReport.from_run("e14", seed=0,
+                                    metrics={"saving": 0.4})
+        lines = report.summary_lines()
+        assert lines[0].startswith("run report: e14")
+        assert any("saving" in line for line in lines)
+
+
+class TestSanitizeJson:
+    def test_nan_and_inf_become_null(self):
+        payload = sanitize_json({"a": math.nan, "b": math.inf,
+                                 "c": [1.0, -math.inf]})
+        assert payload == {"a": None, "b": None, "c": [1.0, None]}
+        json.dumps(payload, allow_nan=False)  # strict-JSON safe
+
+    def test_numpy_scalars_collapse(self):
+        np = pytest.importorskip("numpy")
+        payload = sanitize_json({"n": np.int64(3), "x": np.float64(0.5)})
+        assert payload == {"n": 3, "x": 0.5}
+
+    def test_unknown_objects_stringify(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert sanitize_json({"o": Opaque()}) == {"o": "<opaque>"}
+
+    def test_tuples_become_lists_and_keys_strings(self):
+        assert sanitize_json({1: (2, 3)}) == {"1": [2, 3]}

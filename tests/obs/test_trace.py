@@ -1,0 +1,88 @@
+"""Tests for the event tracer and its JSONL export."""
+
+import json
+
+from repro.obs import Tracer
+
+
+def _populate(tracer):
+    pid = tracer.next_id()
+    tracer.emit(0.0, "process-start", "worker", id=pid)
+    tracer.emit(0.5, "schedule", "Timeout", at=1.5)
+    tracer.emit(1.5, "step", "Timeout", ok=True)
+    tracer.emit(1.5, "process-end", "worker", id=pid, ok=True)
+    return pid
+
+
+class TestTracer:
+    def test_counts_by_kind(self):
+        tracer = Tracer()
+        _populate(tracer)
+        counts = tracer.counts()
+        assert counts["process-start"] == 1
+        assert counts["schedule"] == 1
+
+    def test_timeline_groups_events_by_name(self):
+        tracer = Tracer()
+        _populate(tracer)
+        timeline = tracer.timeline()
+        assert set(timeline) == {"worker", "Timeout"}
+        assert len(timeline["worker"]) == 2
+        steps = tracer.timeline(kind="step")
+        assert list(steps) == ["Timeout"]
+        assert [e.kind for e in steps["Timeout"]] == ["step"]
+
+    def test_spans_pair_start_and_end(self):
+        tracer = Tracer()
+        _populate(tracer)
+        spans = tracer.spans()
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.name == "worker"
+        assert span.start == 0.0
+        assert span.end == 1.5
+
+    def test_summary(self):
+        tracer = Tracer()
+        _populate(tracer)
+        summary = tracer.summary()
+        assert summary["n_events"] == 4
+        assert summary["t_first"] == 0.0
+        assert summary["t_last"] == 1.5
+
+    def test_max_events_drops_and_counts(self):
+        tracer = Tracer(max_events=2)
+        _populate(tracer)
+        assert len(tracer) == 2
+        assert tracer.summary()["n_dropped"] == 2
+
+    def test_ids_are_unique(self):
+        tracer = Tracer()
+        assert len({tracer.next_id() for _ in range(100)}) == 100
+
+
+class TestJsonlRoundTrip:
+    def test_to_jsonl_and_back(self, tmp_path):
+        tracer = Tracer()
+        _populate(tracer)
+        path = tmp_path / "run.trace.jsonl"
+        n_written = tracer.to_jsonl(path)
+        assert n_written == 4
+
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        first = json.loads(lines[0])
+        assert first["kind"] == "process-start"
+        assert first["t"] == 0.0
+
+        loaded = Tracer.from_jsonl(path)
+        assert loaded.counts() == tracer.counts()
+        assert [e.to_dict() for e in loaded] == \
+            [e.to_dict() for e in tracer]
+
+    def test_dumps_matches_file_content(self, tmp_path):
+        tracer = Tracer()
+        _populate(tracer)
+        path = tmp_path / "run.trace.jsonl"
+        tracer.to_jsonl(path)
+        assert tracer.dumps() == path.read_text()

@@ -1,5 +1,7 @@
 """Tests for the command-line experiment runner."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -25,6 +27,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "E6" in out
         assert "reduction" in out
+        assert "run report: e6" in out
 
     def test_run_multiple(self, capsys):
         assert main(["run", "e2", "e14"]) == 0
@@ -32,9 +35,60 @@ class TestCli:
         assert "E2" in out and "E14" in out
 
     def test_registry_covers_every_benchmark_experiment(self):
-        # one CLI entry per experiment id of DESIGN.md
-        expected = {"f1", "f2"} | {f"e{i}" for i in range(1, 18)}
+        # one CLI entry per experiment id of DESIGN.md, plus r1
+        expected = {"f1", "f2", "r1"} | {f"e{i}" for i in range(1, 18)}
         assert set(EXPERIMENTS) == expected
+
+    def test_experiments_dict_entries_are_claim_runner_pairs(self):
+        claim, runner = EXPERIMENTS["e6"]
+        assert "adaptation" in claim
+        assert callable(runner)
+
+    def test_ids_are_case_insensitive(self, capsys):
+        assert main(["run", "E6"]) == 0
+        assert "E6" in capsys.readouterr().out
+
+    def test_run_json_is_machine_readable(self, capsys):
+        assert main(["run", "e6", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["id"] == "e6"
+        assert document["metrics"]["energy_reduction"] > 0
+        assert document["report"]["seed"] == 0
+        titles = [t["title"] for t in document["tables"]]
+        assert any("transceiver" in t for t in titles)
+
+    def test_run_json_multiple_keyed_by_id(self, capsys):
+        assert main(["run", "e6", "e14", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) == {"e6", "e14"}
+        assert document["e14"]["metrics"]["oracle_saving"] > 0.3
+
+    def test_run_seed_changes_report(self, capsys):
+        assert main(["run", "e14", "--seed", "3", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["report"]["seed"] == 3
+
+    def test_run_out_writes_json_files(self, tmp_path, capsys):
+        out = tmp_path / "reports"
+        assert main(["run", "e6", "--out", str(out), "--json"]) == 0
+        document = json.loads((out / "e6.json").read_text())
+        assert document["id"] == "e6"
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "f1.trace.jsonl"
+        assert main(["trace", "f1", "--out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        lines = trace_path.read_text().strip().splitlines()
+        assert lines
+        event = json.loads(lines[0])
+        assert {"t", "kind", "name"} <= set(event)
+
+    def test_report_subcommand(self, capsys):
+        assert main(["report", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "run report: e6" in out
+        assert "energy_reduction" in out
 
     @pytest.mark.parametrize("exp_id", ["f2", "e5", "e13"])
     def test_selected_runners_produce_tables(self, exp_id, capsys):

@@ -1,0 +1,76 @@
+"""Deprecation shims: old keyword spellings keep working, warn once,
+and reject ambiguous calls."""
+
+import pytest
+
+from repro.utils.deprecation import deprecated_alias
+
+
+class TestDeprecatedAlias:
+    def test_new_value_passes_through(self):
+        assert deprecated_alias("f", "old", "new", None, 5) == 5
+
+    def test_old_value_warns_and_wins(self):
+        with pytest.warns(DeprecationWarning, match="old.*new"):
+            assert deprecated_alias("f", "old", "new", 7, None) == 7
+
+    def test_both_given_is_an_error(self):
+        with pytest.raises(TypeError, match="both"):
+            deprecated_alias("f", "old", "new", 7, 5)
+
+
+class TestRunSessionSeedAlias:
+    def test_source_seed_still_works(self):
+        from repro.streaming import FeedbackServer, run_session
+
+        with pytest.warns(DeprecationWarning, match="source_seed"):
+            old = run_session(FeedbackServer(), n_frames=50,
+                              source_seed=3)
+        new = run_session(FeedbackServer(), n_frames=50, seed=3)
+        assert old.mean_psnr == new.mean_psnr
+        assert old.rx_energy == new.rx_energy
+
+
+class TestPipelineDurationAlias:
+    def _pipeline(self):
+        from repro.streams import Channel, MpegSource, Sink, \
+            StreamPipeline
+
+        return StreamPipeline(
+            source=MpegSource(fps=25.0, seed=1),
+            channel=Channel(bandwidth=5e6, seed=2),
+            sink=Sink(display_rate_hz=25.0),
+        )
+
+    def test_duration_still_works(self):
+        with pytest.warns(DeprecationWarning, match="duration"):
+            old = self._pipeline().run(duration=5.0)
+        new = self._pipeline().run(horizon=5.0)
+        assert old.loss_rate == new.loss_rate
+        assert old.throughput == new.throughput
+
+    def test_no_horizon_is_an_error(self):
+        with pytest.raises(TypeError, match="horizon"):
+            self._pipeline().run()
+
+
+class TestDtmcSeedKeyword:
+    def test_seed_replaces_manual_rng(self):
+        import numpy as np
+
+        from repro.analysis import DTMC
+        from repro.utils.rng import spawn_rng
+
+        chain = DTMC(np.array([[0.5, 0.5], [0.2, 0.8]]))
+        by_seed = chain.simulate(100, seed=11)
+        by_rng = chain.simulate(100, rng=spawn_rng(11, "dtmc"))
+        assert list(by_seed) == list(by_rng)
+
+    def test_rng_and_seed_together_rejected(self):
+        import numpy as np
+
+        from repro.analysis import DTMC
+
+        chain = DTMC(np.array([[0.5, 0.5], [0.2, 0.8]]))
+        with pytest.raises(TypeError, match="not both"):
+            chain.simulate(10, rng=np.random.default_rng(0), seed=1)

@@ -1,0 +1,54 @@
+"""Public-API audit: every package declares what it exports, and every
+declared export resolves.  Guards against silently widening (or
+breaking) the surface that ``docs/`` and downstream code rely on."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = sorted(repro._SUBPACKAGES)
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_top_level_covers_every_subpackage():
+    found = {
+        module.name
+        for module in pkgutil.iter_modules(repro.__path__)
+        if module.ispkg
+    }
+    assert found <= set(repro.__all__)
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.no_such_subsystem
+
+
+def test_run_shortcut_is_the_experiment_api():
+    from repro.experiments import run
+
+    assert repro.run is run
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_declares_all(name):
+    module = importlib.import_module(f"repro.{name}")
+    assert hasattr(module, "__all__"), f"repro.{name} lacks __all__"
+    assert module.__all__, f"repro.{name}.__all__ is empty"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_all_resolves(name):
+    module = importlib.import_module(f"repro.{name}")
+    for export in module.__all__:
+        assert getattr(module, export, None) is not None, (
+            f"repro.{name}.__all__ lists {export!r} but it does not "
+            f"resolve"
+        )
