@@ -23,6 +23,8 @@ rests on:
 * :mod:`repro.manet` — power-aware ad-hoc routing (§4.2);
 * :mod:`repro.resilience` — fault injection and graceful degradation
   (§6);
+* :mod:`repro.check` — static model verification and simulation lint
+  (``repro check``);
 * :mod:`repro.obs` — tracing, metrics and run reports;
 * :mod:`repro.experiments` — the unified Experiment API every bench
   and the CLI run through.
@@ -52,6 +54,7 @@ _SUBPACKAGES = (
     "ambient",
     "analysis",
     "asip",
+    "check",
     "cli",
     "core",
     "des",

@@ -11,7 +11,7 @@ one per kernel), plus a greedy benefit-density heuristic for contrast.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.asip.isa import CustomInstruction, IsaRestrictions
 from repro.asip.profiler import Profile

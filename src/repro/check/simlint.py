@@ -1,0 +1,386 @@
+"""Layer 2: "simlint" — AST lint for discrete-event simulation code.
+
+Simulation code has discipline rules ordinary linters do not know:
+every random draw must come from a seeded, named stream; simulated
+time must never mix with the host's wall clock; kernel events created
+inside a generator process must be yielded; and the simulated clock
+must never be compared with ``==``.  This module enforces them with a
+stdlib-:mod:`ast` pass (no third-party dependencies).
+
+Rules (catalog in :mod:`repro.check.diagnostics`):
+
+* ``SL201`` — unseeded or global RNG (``random.*``, legacy
+  ``numpy.random.*`` module calls, ``default_rng()`` without a seed).
+* ``SL202`` — wall-clock calls (``time.time``, ``datetime.now``,
+  ``time.sleep``, ...); ``time.perf_counter`` stays allowed for
+  measuring the cost of a run.
+* ``SL203`` — a kernel event (``env.timeout(...)``, ``queue.get()``,
+  ...) created as a bare statement inside a generator process instead
+  of being yielded.
+* ``SL204`` — mutable default arguments.
+* ``SL205`` — ``==``/``!=`` against simulated time (``env.now``).
+
+Intentional violations are whitelisted inline::
+
+    t0 = time.time()  # simlint: ignore[SL202]
+
+A bare ``# simlint: ignore`` suppresses every rule on that line; the
+pragma is also honored on the line directly above the finding, and
+``# simlint: skip-file`` anywhere in a file skips it entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.check.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = ["lint_source", "lint_file", "lint_paths"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+
+#: random.* members that are constructors/introspection, not draws
+#: from the hidden global generator.
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+#: numpy.random members of the modern, explicitly-seeded API.
+_NUMPY_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: Wall-clock reads and blocking sleeps (SL202).  time.perf_counter /
+#: process_time stay legal: they measure the cost of the run itself.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.sleep",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Method names that create kernel events which must be yielded when
+#: called inside a generator process (SL203).
+_EVENT_METHODS = {"timeout", "request", "get", "put", "hold", "wait"}
+
+#: Names that denote the simulated clock in SL205 comparisons.
+_TIME_NAMES = {"now"}
+
+
+def _collect_pragmas(
+    source: str,
+) -> tuple[bool, dict[int, set[str] | None]]:
+    """Parse suppression pragmas out of ``source``.
+
+    Returns ``(skip_file, pragmas)`` where ``pragmas`` maps a line
+    number to the set of suppressed rule ids (``None`` = all rules).
+    """
+    pragmas: dict[int, set[str] | None] = {}
+    skip_file = False
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "simlint" not in line:
+            continue
+        if _SKIP_FILE_RE.search(line):
+            skip_file = True
+        match = _PRAGMA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            pragmas[lineno] = None
+        else:
+            ids = {r.strip() for r in rules.split(",") if r.strip()}
+            previous = pragmas.get(lineno)
+            if previous is None and lineno in pragmas:
+                continue  # bare ignore already covers everything
+            pragmas[lineno] = (ids if previous is None
+                               else previous | ids)
+    return skip_file, pragmas
+
+
+def _suppressed(
+    diag: Diagnostic, pragmas: dict[int, set[str] | None]
+) -> bool:
+    if diag.line is None:
+        return False
+    for lineno in (diag.line, diag.line - 1):
+        if lineno not in pragmas:
+            continue
+        rules = pragmas[lineno]
+        if rules is None or diag.rule in rules:
+            return True
+    return False
+
+
+class _ImportTable:
+    """Resolve local names to the dotted module paths they came from."""
+
+    def __init__(self) -> None:
+        self._names: dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(
+                ".")[0]
+            self._names[local] = target
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never shadow stdlib rng/clock
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of an attribute chain, through import aliases.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``"numpy.random.rand"``; unresolvable chains give ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._names.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)])
+
+
+def _mentions_simulated_time(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in _TIME_NAMES:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in _TIME_NAMES:
+            return True
+    return False
+
+
+def _is_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when ``func`` itself yields (nested defs excluded)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.imports = _ImportTable()
+        self.diagnostics: list[Diagnostic] = []
+        self._generator_depth = 0
+
+    # -- bookkeeping ---------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.add_import_from(node)
+        self.generic_visit(node)
+
+    def _emit(self, rule_id: str, message: str,
+              node: ast.AST) -> None:
+        self.diagnostics.append(make_diagnostic(
+            rule_id, message, self.path,
+            line=getattr(node, "lineno", None),
+        ))
+
+    # -- SL204: mutable defaults --------------------------------------
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                 ast.DictComp, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set"}
+            )
+            if mutable:
+                self._emit(
+                    "SL204",
+                    f"function {node.name!r} has a mutable default "
+                    f"argument",
+                    default,
+                )
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._check_defaults(node)
+        saved = self._generator_depth
+        # A nested def opens a fresh scope: bare event calls inside a
+        # plain helper are not in generator context even when the
+        # helper is defined inside a process.
+        self._generator_depth = 1 if _is_generator(node) else 0
+        self.generic_visit(node)
+        self._generator_depth = saved
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- SL203: bare kernel events in generator processes -------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if (self._generator_depth > 0
+                and isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _EVENT_METHODS):
+            self._emit(
+                "SL203",
+                f".{call.func.attr}(...) creates a kernel event that "
+                f"is never yielded",
+                node,
+            )
+        self.generic_visit(node)
+
+    # -- SL201 / SL202: calls ------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.imports.resolve(node.func)
+        if dotted is not None:
+            self._check_rng(dotted, node)
+            self._check_wall_clock(dotted, node)
+        self.generic_visit(node)
+
+    def _check_rng(self, dotted: str, node: ast.Call) -> None:
+        if dotted.startswith("random."):
+            member = dotted.split(".", 1)[1]
+            if member not in _RANDOM_ALLOWED:
+                self._emit(
+                    "SL201",
+                    f"{dotted}() draws from the global random module "
+                    f"state",
+                    node,
+                )
+            elif not node.args and not node.keywords:
+                self._emit(
+                    "SL201",
+                    f"{dotted}() without a seed is irreproducible",
+                    node,
+                )
+            return
+        if dotted.startswith("numpy.random."):
+            member = dotted.split(".", 2)[2].split(".")[0]
+            if member not in _NUMPY_RANDOM_ALLOWED:
+                self._emit(
+                    "SL201",
+                    f"{dotted}() uses numpy's legacy global RNG",
+                    node,
+                )
+            elif (member == "default_rng" and not node.args
+                  and not node.keywords):
+                self._emit(
+                    "SL201",
+                    "numpy.random.default_rng() without a seed is "
+                    "irreproducible",
+                    node,
+                )
+
+    def _check_wall_clock(self, dotted: str, node: ast.Call) -> None:
+        if dotted in _WALL_CLOCK:
+            self._emit(
+                "SL202",
+                f"{dotted}() reads (or blocks on) the host wall "
+                f"clock",
+                node,
+            )
+
+    # -- SL205: float == simulated time --------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq))
+                     for op in node.ops)
+        if has_eq:
+            operands = [node.left, *node.comparators]
+            if any(_mentions_simulated_time(op) for op in operands):
+                self._emit(
+                    "SL205",
+                    "equality comparison against simulated time "
+                    "(env.now) is unreliable for floats",
+                    node,
+                )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> list[Diagnostic]:
+    """Lint Python ``source``; ``path`` labels the diagnostics."""
+    skip_file, pragmas = _collect_pragmas(source)
+    if skip_file:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [make_diagnostic(
+            "SL200", f"file does not parse: {exc.msg}", path,
+            line=exc.lineno,
+        )]
+    linter = _Linter(path)
+    linter.visit(tree)
+    return [d for d in linter.diagnostics
+            if not _suppressed(d, pragmas)]
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    """Lint one file."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(
+    paths: Iterable[str | Path], root: str | Path | None = None
+) -> list[Diagnostic]:
+    """Lint files and directories (recursing into ``*.py``).
+
+    ``root``, when given, relativizes diagnostic subjects so output is
+    stable across machines.
+    """
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    diagnostics: list[Diagnostic] = []
+    for file in files:
+        label = file
+        if root is not None:
+            try:
+                label = file.relative_to(root)
+            except ValueError:
+                label = file
+        diagnostics.extend(
+            lint_source(file.read_text(encoding="utf-8"),
+                        str(label))
+        )
+    return diagnostics

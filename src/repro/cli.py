@@ -8,6 +8,7 @@ Usage::
     python -m repro run all --out out/    # write one JSON per id
     python -m repro trace e14             # record a kernel event trace
     python -m repro report e6             # run-report digest
+    python -m repro check --strict        # static model + sim lint
 
 Every experiment goes through :func:`repro.experiments.run`, the same
 code path the ``benchmarks/`` suite asserts on, so the CLI output *is*
@@ -175,6 +176,49 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro import check as repro_check
+    from repro.check import (
+        Severity,
+        diagnostics_to_dict,
+        diagnostics_to_json,
+        format_diagnostic,
+    )
+
+    # Neither layer selected explicitly means both.
+    do_models = args.models or not (args.models or args.lint)
+    do_lint = args.lint or not (args.models or args.lint)
+    lint_targets = [Path(p) for p in args.paths] if args.paths else None
+    if lint_targets is not None:
+        missing = [p for p in lint_targets if not p.exists()]
+        if missing:
+            print("no such path: "
+                  + ", ".join(str(p) for p in missing),
+                  file=sys.stderr)
+            return 2
+    diagnostics = repro_check.check_repository(
+        models=do_models, lint=do_lint, lint_targets=lint_targets)
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    failing = [d for d in diagnostics if d.severity >= threshold]
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(diagnostics_to_json(diagnostics) + "\n",
+                            encoding="utf-8")
+    if args.json:
+        print(diagnostics_to_json(diagnostics))
+    else:
+        for diag in sorted(
+                diagnostics,
+                key=lambda d: (d.subject, d.line or 0, d.rule)):
+            print(format_diagnostic(diag))
+        counts = diagnostics_to_dict(diagnostics)["counts"]
+        print(f"checked: {counts['error']} error(s), "
+              f"{counts['warning']} warning(s), "
+              f"{counts['info']} info")
+    return 1 if failing else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -208,6 +252,28 @@ def main(argv: list[str] | None = None) -> int:
                               help="trace path "
                                    "(default <id>.trace.jsonl)")
 
+    check_parser = subparsers.add_parser(
+        "check",
+        help="static model verification + simulation lint")
+    check_parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src/ benchmarks/)")
+    check_parser.add_argument(
+        "--models", action="store_true",
+        help="run only the Layer-1 model verifier")
+    check_parser.add_argument(
+        "--lint", action="store_true",
+        help="run only the Layer-2 simulation lint")
+    check_parser.add_argument(
+        "--json", action="store_true",
+        help="print diagnostics as a stable JSON document")
+    check_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on warnings too, not just errors")
+    check_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON diagnostics document here")
+
     report_parser = subparsers.add_parser(
         "report", help="print the run report of experiments")
     report_parser.add_argument("experiments", nargs="+",
@@ -224,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "report":
         return _cmd_report(args)
     parser.error(f"unknown command {args.command!r}")

@@ -13,8 +13,7 @@ designs).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.power import DvfsModel

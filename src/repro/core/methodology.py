@@ -11,7 +11,7 @@ loop over a candidate mapping set and reports the outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.application import ApplicationGraph
 from repro.core.architecture import Platform

@@ -14,7 +14,7 @@ energy for a computation of ``n`` cycles at operating point ``(V, f)`` is
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "OperatingPoint",

@@ -12,7 +12,7 @@ values, and :meth:`QoSSpec.check` produces the list of violations.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.application import MediaType
 

@@ -19,6 +19,7 @@ from repro.experiments.registry import (
     RunContext,
     get,
     ids,
+    preflight,
     register,
     run,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "RunContext",
     "get",
     "ids",
+    "preflight",
     "register",
     "run",
 ]

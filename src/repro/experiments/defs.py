@@ -304,10 +304,23 @@ def _e2(ctx: RunContext):
             "queue": (queue_rows, levels)}
 
 
+def _apcg_models():
+    """Design models behind E3/E4: the two NoC benchmark task graphs.
+
+    Returned to the :func:`repro.experiments.preflight` hook so
+    ``run("e3")``/``run("e4")`` statically verify the graphs before
+    simulating (and ``repro check --models`` covers them in CI).
+    """
+    from repro.noc import mms_apcg, video_surveillance_apcg
+
+    return [video_surveillance_apcg(), mms_apcg()]
+
+
 # ----------------------------------------------------------------------
 # E3 — §3.3: energy-aware NoC mapping
 # ----------------------------------------------------------------------
-@register("e3", "energy-aware NoC mapping (>50% saving)")
+@register("e3", "energy-aware NoC mapping (>50% saving)",
+          models=_apcg_models)
 def _e3(ctx: RunContext):
     from repro.noc import (Mesh2D, NocEnergyModel, adhoc_mapping,
                            branch_and_bound_mapping, greedy_mapping,
@@ -379,7 +392,8 @@ def _e3(ctx: RunContext):
 # ----------------------------------------------------------------------
 # E4 — §3.3: EDF vs energy-aware scheduling
 # ----------------------------------------------------------------------
-@register("e4", "EDF vs energy-aware scheduling (>40% saving)")
+@register("e4", "EDF vs energy-aware scheduling (>40% saving)",
+          models=_apcg_models)
 def _e4(ctx: RunContext):
     from repro.core.application import TaskGraph
     from repro.noc import (Mesh2D, edf_schedule, energy_aware_schedule,

@@ -23,7 +23,8 @@ from repro.obs.report import RunReport
 from repro.obs.trace import Tracer
 from repro.utils.tables import Table
 
-__all__ = ["Experiment", "RunContext", "register", "get", "ids", "run"]
+__all__ = ["Experiment", "RunContext", "register", "get", "ids",
+           "preflight", "run"]
 
 
 @dataclass
@@ -55,24 +56,39 @@ class RunContext:
 
 @dataclass(frozen=True)
 class Experiment:
-    """A registered experiment: id, the paper claim, and its runner."""
+    """A registered experiment: id, the paper claim, and its runner.
+
+    ``models`` is the optional pre-flight hook: a zero-argument
+    callable returning the design models the experiment simulates
+    (:class:`~repro.core.ApplicationGraph` / ``TaskGraph`` /
+    ``Platform`` objects, or ``verify_design`` kwargs dicts).  When
+    present, :func:`run` verifies them with the Layer-1 checker of
+    :mod:`repro.check` before simulating anything.
+    """
 
     id: str
     claim: str
     runner: Callable[[RunContext], Any]
+    models: Callable[[], Any] | None = None
 
 
 _REGISTRY: dict[str, Experiment] = {}
 
 
-def register(exp_id: str, claim: str):
-    """Decorator registering ``runner`` under ``exp_id``."""
+def register(exp_id: str, claim: str,
+             models: Callable[[], Any] | None = None):
+    """Decorator registering ``runner`` under ``exp_id``.
+
+    ``models`` optionally supplies the experiment's design models for
+    static verification (see :class:`Experiment`).
+    """
 
     def decorator(runner: Callable[[RunContext], Any]):
         key = exp_id.lower()
         if key in _REGISTRY:
             raise ValueError(f"experiment {exp_id!r} already registered")
-        _REGISTRY[key] = Experiment(id=key, claim=claim, runner=runner)
+        _REGISTRY[key] = Experiment(id=key, claim=claim, runner=runner,
+                                    models=models)
         return runner
 
     return decorator
@@ -101,11 +117,33 @@ def ids() -> list[str]:
     return list(_REGISTRY)
 
 
+def preflight(exp_id: str) -> list:
+    """Statically verify an experiment's declared design models.
+
+    Returns the :class:`~repro.check.Diagnostic` list of the Layer-1
+    model verifier, with subjects prefixed by the experiment id.
+    Experiments without a ``models`` hook verify vacuously (empty
+    list).
+    """
+    from repro.check import verify_model
+
+    experiment = get(exp_id)
+    if experiment.models is None:
+        return []
+    diagnostics = []
+    for model in experiment.models():
+        for diag in verify_model(model):
+            diag.subject = f"experiment:{experiment.id}/{diag.subject}"
+            diagnostics.append(diag)
+    return diagnostics
+
+
 def run(
     exp_id: str,
     seed: int | None = None,
     *,
     trace: bool = False,
+    verify: bool = True,
 ) -> ExperimentResult:
     """Run one experiment and return its :class:`ExperimentResult`.
 
@@ -119,8 +157,20 @@ def run(
     trace:
         Record a kernel event trace.  Tracing is observational only:
         it never changes simulation results.
+    verify:
+        Pre-flight the experiment's declared models through the
+        Layer-1 static verifier (:mod:`repro.check`); error-severity
+        findings raise
+        :class:`~repro.check.ModelVerificationError` before any
+        simulation starts.  ``False`` skips the check.
     """
     experiment = get(exp_id)
+    if verify and experiment.models is not None:
+        from repro.check import ModelVerificationError, has_errors
+
+        diagnostics = preflight(exp_id)
+        if has_errors(diagnostics):
+            raise ModelVerificationError(diagnostics)
     base_seed = 0 if seed is None else int(seed)
     registry = MetricRegistry()
     tracer = Tracer() if trace else None

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import networkx as nx
 
 from repro.manet.energy import RadioModel

@@ -19,8 +19,6 @@ modeled as a per-discovery energy surcharge on the route's nodes.
 
 from __future__ import annotations
 
-import math
-
 import networkx as nx
 
 from repro.manet.network import ManetNetwork

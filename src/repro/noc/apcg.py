@@ -124,7 +124,11 @@ def mms_apcg() -> TaskGraph:
         ("frame_store", "motion_comp", 0.0),  # ordering only
         ("audio_enc", "mux", 16 * _KB),
         ("video_enc", "mux", 96 * _KB),
-        ("mux", "demux", 0.0),  # ordering only (loopback control)
+        # The muxed bitstream (audio + video) looped back into the
+        # decoder side; this is the edge that joins the encode and
+        # decode halves of the graph, so it carries the full stream
+        # volume rather than being an ordering-only placeholder.
+        ("mux", "demux", 112 * _KB),
     ]
     for src, dst, bits in edges:
         try:

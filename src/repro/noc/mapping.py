@@ -25,8 +25,6 @@ from __future__ import annotations
 import math
 from typing import Mapping as TMapping
 
-import numpy as np
-
 from repro.core.application import TaskGraph
 from repro.noc.energy import NocEnergyModel
 from repro.noc.topology import Mesh2D, Tile

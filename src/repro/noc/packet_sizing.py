@@ -17,8 +17,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.des import Environment
 from repro.noc.energy import NocEnergyModel
 from repro.noc.network import NocNetwork

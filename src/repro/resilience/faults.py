@@ -18,7 +18,7 @@ fault-injected run is exactly as reproducible as a fault-free one.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.des.events import Interrupt

@@ -13,8 +13,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.utils.rng import spawn_rng
 
 __all__ = ["FgsFrame", "FgsSource", "fgs_psnr"]

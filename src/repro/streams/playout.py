@@ -13,7 +13,6 @@ returns the sized delay, ready to plug back into a
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np

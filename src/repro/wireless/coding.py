@@ -12,7 +12,6 @@ logarithmically with constraint length K while decoder work grows as
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.wireless.modulation import db_to_linear

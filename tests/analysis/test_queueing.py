@@ -1,9 +1,7 @@
 """Tests for queueing formulas and the sim-vs-analysis harness."""
 
-import math
-
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis import (

@@ -1,7 +1,5 @@
 """Tests for the ASIP substrate: ISA, profiler, selection, design flow."""
 
-import math
-
 import pytest
 
 from repro.asip import (

@@ -1,0 +1,1 @@
+"""Tests for repro.check, the static-analysis subsystem."""

@@ -1,0 +1,233 @@
+"""Layer-2 simlint: one positive and one negative fixture per rule,
+plus the suppression-pragma contract."""
+
+import textwrap
+
+from repro.check import lint_paths, lint_source
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), "fixture.py")
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+class TestSL200Parse:
+    def test_syntax_error_reports_sl200(self):
+        diags = lint("def broken(:\n")
+        assert rules_of(diags) == {"SL200"}
+        assert diags[0].line == 1
+
+    def test_valid_file_is_clean(self):
+        assert lint("x = 1\n") == []
+
+
+class TestSL201Rng:
+    def test_global_random_module(self):
+        diags = lint("""
+            import random
+            x = random.random()
+        """)
+        assert "SL201" in rules_of(diags)
+
+    def test_random_from_import(self):
+        diags = lint("""
+            from random import gauss
+            x = gauss(0, 1)
+        """)
+        assert "SL201" in rules_of(diags)
+
+    def test_numpy_legacy_global(self):
+        diags = lint("""
+            import numpy as np
+            x = np.random.rand(4)
+        """)
+        assert "SL201" in rules_of(diags)
+
+    def test_unseeded_default_rng(self):
+        diags = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert "SL201" in rules_of(diags)
+
+    def test_seeded_default_rng_is_clean(self):
+        diags = lint("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+        """)
+        assert diags == []
+
+    def test_seeded_random_instance_is_clean(self):
+        diags = lint("""
+            import random
+            rng = random.Random(7)
+        """)
+        assert diags == []
+
+    def test_spawn_rng_is_clean(self):
+        diags = lint("""
+            from repro.utils.rng import spawn_rng
+            rng = spawn_rng(0, "traffic")
+            x = rng.normal()
+        """)
+        assert diags == []
+
+
+class TestSL202WallClock:
+    def test_time_time(self):
+        diags = lint("""
+            import time
+            t = time.time()
+        """)
+        assert "SL202" in rules_of(diags)
+
+    def test_time_sleep(self):
+        diags = lint("""
+            import time
+            time.sleep(1)
+        """)
+        assert "SL202" in rules_of(diags)
+
+    def test_datetime_now(self):
+        diags = lint("""
+            from datetime import datetime
+            t = datetime.now()
+        """)
+        assert "SL202" in rules_of(diags)
+
+    def test_perf_counter_is_allowed(self):
+        diags = lint("""
+            import time
+            t0 = time.perf_counter()
+        """)
+        assert diags == []
+
+
+class TestSL203BareEvents:
+    def test_bare_timeout_in_generator(self):
+        diags = lint("""
+            def proc(env):
+                env.timeout(5)
+                yield env.timeout(1)
+        """)
+        assert "SL203" in rules_of(diags)
+        assert [d.line for d in diags] == [3]
+
+    def test_yielded_events_are_clean(self):
+        diags = lint("""
+            def proc(env, queue):
+                yield env.timeout(1)
+                token = yield queue.get()
+                yield queue.put(token)
+        """)
+        assert diags == []
+
+    def test_bare_call_outside_generator_is_clean(self):
+        # Not a process: nothing to yield to.
+        diags = lint("""
+            def setup(env):
+                env.timeout(5)
+        """)
+        assert diags == []
+
+    def test_nested_helper_resets_generator_context(self):
+        diags = lint("""
+            def proc(env):
+                def helper():
+                    env.timeout(5)
+                yield env.timeout(1)
+        """)
+        assert diags == []
+
+
+class TestSL204MutableDefaults:
+    def test_list_default(self):
+        diags = lint("""
+            def build(streams=[]):
+                return streams
+        """)
+        assert "SL204" in rules_of(diags)
+
+    def test_dict_call_default(self):
+        diags = lint("""
+            def build(opts=dict()):
+                return opts
+        """)
+        assert "SL204" in rules_of(diags)
+
+    def test_none_default_is_clean(self):
+        diags = lint("""
+            def build(streams=None):
+                return streams or []
+        """)
+        assert diags == []
+
+
+class TestSL205TimeEquality:
+    def test_eq_against_env_now(self):
+        diags = lint("""
+            def check(env, t):
+                return t == env.now
+        """)
+        assert "SL205" in rules_of(diags)
+
+    def test_ordered_comparison_is_clean(self):
+        diags = lint("""
+            def check(env, t):
+                return t <= env.now
+        """)
+        assert diags == []
+
+
+class TestPragmas:
+    def test_ignore_specific_rule_on_line(self):
+        diags = lint("""
+            import time
+            t = time.time()  # simlint: ignore[SL202]
+        """)
+        assert diags == []
+
+    def test_ignore_on_line_above(self):
+        diags = lint("""
+            import time
+            # simlint: ignore[SL202]
+            t = time.time()
+        """)
+        assert diags == []
+
+    def test_bare_ignore_suppresses_everything(self):
+        diags = lint("""
+            import time
+            t = time.time()  # simlint: ignore
+        """)
+        assert diags == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        diags = lint("""
+            import time
+            t = time.time()  # simlint: ignore[SL201]
+        """)
+        assert "SL202" in rules_of(diags)
+
+    def test_skip_file(self):
+        diags = lint("""
+            # simlint: skip-file
+            import time
+            t = time.time()
+        """)
+        assert diags == []
+
+
+class TestLintPaths:
+    def test_directory_recursion_and_relative_subjects(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8")
+        (pkg / "good.py").write_text("x = 1\n", encoding="utf-8")
+        diags = lint_paths([tmp_path], root=tmp_path)
+        assert [d.subject for d in diags] == ["pkg/bad.py"]
+        assert rules_of(diags) == {"SL202"}

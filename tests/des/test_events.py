@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import AllOf, AnyOf, Environment, Interrupt
+from repro.des import AnyOf, Environment, Interrupt
 
 
 class TestEventLifecycle:

@@ -1,7 +1,5 @@
 """Integration tests: scenarios that span several subsystems."""
 
-import pytest
-
 from repro.analysis import MM1K
 from repro.core import (
     ApplicationGraph,

@@ -1,7 +1,5 @@
 """Cross-cutting property-based tests (hypothesis) on system invariants."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Tests for the DES NoC network, scheduling (E4) and packet sizing (E5)."""
 
-import math
-
 import pytest
 
 from repro.core.application import Dependency, Task, TaskGraph

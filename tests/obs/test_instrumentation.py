@@ -1,8 +1,6 @@
 """Kernel and subsystem instrumentation: hooks emit the right metrics
 and tracing is strictly observational (bit-identical results)."""
 
-import pytest
-
 from repro.des import Environment, FiniteQueue, Resource, Store, Timeout
 from repro.obs import MetricRegistry, Tracer, instrument
 from repro.streams import BernoulliModel, Channel, MpegSource, Sink, \

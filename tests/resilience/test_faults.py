@@ -1,14 +1,12 @@
 """Fault injectors: models, adapters, windows, reproducibility."""
 
-import math
-
 import pytest
 
 from repro.core.architecture import (
     PointToPointInterconnect,
     ProcessingElement,
 )
-from repro.des import Environment, FiniteQueue, Store
+from repro.des import Environment, Store
 from repro.des.events import Interrupt
 from repro.des.resources import Resource
 from repro.resilience import (

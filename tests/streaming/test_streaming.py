@@ -1,7 +1,5 @@
 """Tests for the FGS streaming substrate (E8)."""
 
-import math
-
 import pytest
 
 from repro.streaming import (

@@ -94,3 +94,44 @@ class TestCli:
     def test_selected_runners_produce_tables(self, exp_id, capsys):
         assert main(["run", exp_id]) == 0
         assert "===" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_check_repo_is_clean_strict(self, capsys):
+        assert main(["check", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_check_json_document_shape(self, capsys):
+        assert main(["check", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert set(document["counts"]) == {"error", "warning", "info"}
+        assert document["diagnostics"] == []
+
+    def test_check_lint_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["check", "--lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "SL202" in out
+
+    def test_check_strict_fails_on_warnings(self, tmp_path, capsys):
+        warn_only = tmp_path / "warn.py"
+        warn_only.write_text("def f(x=[]):\n    return x\n")
+        assert main(["check", "--lint", str(warn_only)]) == 0
+        assert main(["check", "--lint", "--strict",
+                     str(warn_only)]) == 1
+        capsys.readouterr()
+
+    def test_check_out_writes_diagnostics_file(self, tmp_path,
+                                               capsys):
+        out_file = tmp_path / "reports" / "check.json"
+        assert main(["check", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        document = json.loads(out_file.read_text())
+        assert document["version"] == 1
+
+    def test_check_missing_path_is_usage_error(self, capsys):
+        assert main(["check", "--lint", "does/not/exist.py"]) == 2
+        assert "no such path" in capsys.readouterr().err

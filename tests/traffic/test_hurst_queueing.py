@@ -1,7 +1,5 @@
 """Tests for Hurst estimators and the trace-driven queue (E2 core)."""
 
-import math
-
 import numpy as np
 import pytest
 

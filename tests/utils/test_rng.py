@@ -1,7 +1,6 @@
 """Tests for reproducible RNG stream management."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

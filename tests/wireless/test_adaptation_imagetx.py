@@ -1,7 +1,5 @@
 """Tests for transceiver adaptation (E6) and image transmission (E7)."""
 
-import math
-
 import pytest
 
 from repro.wireless import (

@@ -1,7 +1,5 @@
 """Tests for modulation BER curves, channel codes and the channel model."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
