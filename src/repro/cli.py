@@ -9,6 +9,9 @@ Usage::
     python -m repro trace e14             # record a kernel event trace
     python -m repro report e6             # run-report digest
     python -m repro check --strict        # static model + sim lint
+    python -m repro bench e3 --repeat 3 --out BENCH_perf.json
+    python -m repro bench e3 --profile    # hotspots + flamegraph file
+    python -m repro bench --compare benchmarks/baseline/BENCH_perf.json
 
 Every experiment goes through :func:`repro.experiments.run`, the same
 code path the ``benchmarks/`` suite asserts on, so the CLI output *is*
@@ -219,6 +222,84 @@ def _cmd_check(args) -> int:
     return 1 if failing else 0
 
 
+#: Default location of the current bench document (what ``--compare``
+#: reads when no experiment ids are given on the command line).
+DEFAULT_BENCH_OUT = "BENCH_perf.json"
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import perf
+
+    if args.experiments:
+        ids = _resolve_ids(args.experiments)
+        if ids is None:
+            return 2
+        document = perf.run_bench(
+            ids, repeat=args.repeat, seed=args.seed,
+            progress=lambda exp_id: print(
+                f"bench: {exp_id} (repeat={args.repeat})",
+                file=sys.stderr),
+        )
+        if args.out:
+            path = perf.write_document(document, args.out)
+            print(f"wrote {path}", file=sys.stderr)
+        perf.summary_table(document).show()
+        if args.profile:
+            profile_dir = Path(args.profile_dir)
+            profile_dir.mkdir(parents=True, exist_ok=True)
+            for exp_id in ids:
+                profiler = perf.Profiler(mode=args.profile_mode)
+                with profiler:
+                    experiments.run(exp_id, seed=args.seed,
+                                    trace=profiler.tracer)
+                report = profiler.report
+                print()
+                report.hotspot_table(args.top).show()
+                if report.wall_by_owner:
+                    report.owner_table(args.top).show()
+                collapsed = profile_dir / f"{exp_id}.collapsed.txt"
+                n_lines = report.write_collapsed(collapsed)
+                print(f"{exp_id}: wrote {n_lines} collapsed stacks "
+                      f"to {collapsed}")
+    else:
+        if not args.compare:
+            print("bench: give experiment ids to measure, or "
+                  "--compare OLD.json to gate an existing document",
+                  file=sys.stderr)
+            return 2
+        current = Path(args.out or DEFAULT_BENCH_OUT)
+        if not current.is_file():
+            print(f"bench: no current document at {current} "
+                  f"(run 'repro bench <ids> --out {current}' first)",
+                  file=sys.stderr)
+            return 2
+        try:
+            document = perf.load_document(current)
+        except ValueError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+
+    if args.compare:
+        try:
+            baseline = perf.load_document(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"bench: cannot load baseline: {error}",
+                  file=sys.stderr)
+            return 2
+        report = perf.compare_documents(
+            baseline, document, threshold_pct=args.threshold)
+        print()
+        report.table().show()
+        if report.any_regression:
+            ids_ = ", ".join(d.id for d in report.regressions)
+            print(f"REGRESSION: {ids_} slower than baseline by more "
+                  f"than {args.threshold:g}%", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.threshold:g}% "
+              f"against {args.compare}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -274,6 +355,45 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, metavar="FILE",
         help="also write the JSON diagnostics document here")
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="measure experiments, write/compare BENCH_perf.json")
+    bench_parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids to measure (or 'all'); omit together "
+             "with --compare to gate an existing document")
+    bench_parser.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="repetitions per experiment (default 3)")
+    bench_parser.add_argument("--seed", type=int, default=0,
+                              help="base seed (default 0)")
+    bench_parser.add_argument(
+        "--profile", action="store_true",
+        help="also profile each experiment: print hotspot/process "
+             "tables, write <id>.collapsed.txt flamegraph input")
+    bench_parser.add_argument(
+        "--profile-dir", default=".", metavar="DIR",
+        help="directory for collapsed-stack files (default .)")
+    bench_parser.add_argument(
+        "--profile-mode", choices=("sample", "cprofile"),
+        default="sample",
+        help="profiler engine: statistical sampling (cheap, exact "
+             "stacks) or cProfile (exact counts, 3-5x slower)")
+    bench_parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the profile tables (default 15)")
+    bench_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help=f"write the bench document here; with no ids, the "
+             f"document --compare reads (default {DEFAULT_BENCH_OUT})")
+    bench_parser.add_argument(
+        "--compare", default=None, metavar="OLD",
+        help="baseline BENCH_perf.json to diff against; exits 1 on "
+             "regression beyond --threshold")
+    bench_parser.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="regression threshold in percent (default 10)")
+
     report_parser = subparsers.add_parser(
         "report", help="print the run report of experiments")
     report_parser.add_argument("experiments", nargs="+",
@@ -292,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "report":
         return _cmd_report(args)
     parser.error(f"unknown command {args.command!r}")

@@ -17,7 +17,12 @@ advances a global clock and resumes them deterministically.
 [3.0]
 """
 
-from repro.des.environment import EmptySchedule, Environment
+from repro.des.environment import (
+    EmptySchedule,
+    Environment,
+    KernelCounters,
+    kernel_counters,
+)
 from repro.des.events import (
     AllOf,
     AnyOf,
@@ -42,6 +47,8 @@ from repro.des.stores import FiniteQueue, Store, StoreGet, StorePut
 __all__ = [
     "Environment",
     "EmptySchedule",
+    "KernelCounters",
+    "kernel_counters",
     "Event",
     "Timeout",
     "Process",

@@ -21,11 +21,63 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricRegistry
     from repro.obs.trace import Tracer
 
-__all__ = ["Environment", "EmptySchedule"]
+__all__ = ["Environment", "EmptySchedule", "KernelCounters",
+           "kernel_counters"]
 
 
 class EmptySchedule(Exception):
     """Raised when ``run(until=event)`` drains the queue before the event."""
+
+
+class KernelCounters:
+    """Cheap, always-on kernel performance counters.
+
+    One instance (:func:`kernel_counters`) accumulates totals across
+    every :class:`Environment` in the process; each environment also
+    keeps its own copy, surfaced as :meth:`Environment.perf_stats`.
+    The counters are plain integer increments on the schedule/step hot
+    paths — no branches on instrumentation state — so they cost the
+    same whether or not observability is enabled, and the perf guard
+    (``benchmarks/bench_perf_guard.py``) can normalise wall time to a
+    per-event cost instead of trusting raw timings.
+    """
+
+    __slots__ = ("events_scheduled", "events_executed",
+                 "peak_heap_depth", "environments")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (bench harnesses call this per run)."""
+        self.events_scheduled = 0
+        self.events_executed = 0
+        self.peak_heap_depth = 0
+        self.environments = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict copy of the current totals."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_executed": self.events_executed,
+            "peak_heap_depth": self.peak_heap_depth,
+            "environments": self.environments,
+        }
+
+    def __repr__(self) -> str:
+        return (f"KernelCounters(scheduled={self.events_scheduled}, "
+                f"executed={self.events_executed}, "
+                f"peak_heap={self.peak_heap_depth}, "
+                f"environments={self.environments})")
+
+
+#: Process-wide totals; single-threaded like the simulations themselves.
+_KERNEL = KernelCounters()
+
+
+def kernel_counters() -> KernelCounters:
+    """The process-wide :class:`KernelCounters` accumulator."""
+    return _KERNEL
 
 
 class Environment:
@@ -61,6 +113,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
+        self._n_scheduled = 0
+        self._n_executed = 0
+        self._peak_heap = 0
+        _KERNEL.environments += 1
         #: Optional :class:`~repro.obs.trace.Tracer`; when ``None``
         #: (the default outside :func:`repro.obs.instrument` blocks)
         #: every kernel hook is a single ``is None`` test.
@@ -116,7 +172,14 @@ class Environment:
             self._queue,
             (self._now + delay, priority, next(self._seq), event),
         )
-        if self.tracer is not None:
+        self._n_scheduled += 1
+        _KERNEL.events_scheduled += 1
+        depth = len(self._queue)
+        if depth > self._peak_heap:
+            self._peak_heap = depth
+            if depth > _KERNEL.peak_heap_depth:
+                _KERNEL.peak_heap_depth = depth
+        if self.tracer is not None and self.tracer.wants_schedule:
             self.tracer.emit(
                 self._now, "schedule", type(event).__name__,
                 at=self._now + delay, priority=priority,
@@ -132,11 +195,28 @@ class Environment:
             raise EmptySchedule("no more events")
         event_time, _, _, event = heapq.heappop(self._queue)
         self._now = event_time
+        self._n_executed += 1
+        _KERNEL.events_executed += 1
         if self.tracer is not None:
-            self.tracer.emit(
-                event_time, "step", type(event).__name__,
-                ok=event._ok, pending=len(self._queue),
-            )
+            # Attribute the step to the process the event will resume
+            # (its _resume bound method sits in the callback list), so
+            # profilers can charge wall time to simulated processes.
+            owner = None
+            for callback in event.callbacks or ():
+                bound = getattr(callback, "__self__", None)
+                if isinstance(bound, Process):
+                    owner = bound.name
+                    break
+            if owner is None:
+                self.tracer.emit(
+                    event_time, "step", type(event).__name__,
+                    ok=event._ok, pending=len(self._queue),
+                )
+            else:
+                self.tracer.emit(
+                    event_time, "step", type(event).__name__,
+                    ok=event._ok, pending=len(self._queue), proc=owner,
+                )
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -181,6 +261,22 @@ class Environment:
             self.step()
         self._now = horizon
         return None
+
+    def perf_stats(self) -> dict[str, int | float]:
+        """This environment's kernel performance counters.
+
+        Always on and observation-free: the counters are incremented
+        unconditionally on the schedule/step paths, so reading them
+        never changes a seeded result.  Process-wide totals across all
+        environments are available from :func:`kernel_counters`.
+        """
+        return {
+            "events_scheduled": self._n_scheduled,
+            "events_executed": self._n_executed,
+            "peak_heap_depth": self._peak_heap,
+            "pending": len(self._queue),
+            "now": self._now,
+        }
 
     def __repr__(self) -> str:
         return f"Environment(now={self._now}, pending={len(self._queue)})"

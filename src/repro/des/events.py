@@ -153,6 +153,7 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        self._name = getattr(generator, "__name__", str(generator))
         tracer = env.tracer
         if tracer is not None:
             self._trace_id = tracer.next_id()
@@ -172,9 +173,9 @@ class Process(Event):
 
     @property
     def name(self) -> str:
-        """The wrapped generator's function name."""
-        return getattr(self._generator, "__name__",
-                       str(self._generator))
+        """The wrapped generator's function name (cached: profilers
+        read it on every kernel step)."""
+        return self._name
 
     @property
     def is_alive(self) -> bool:

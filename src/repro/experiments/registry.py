@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.experiments.result import ExperimentResult
-from repro.obs.context import instrument
+from repro.obs.context import active_tracer, instrument
 from repro.obs.metrics import MetricRegistry
 from repro.obs.report import RunReport
 from repro.obs.trace import Tracer
@@ -142,7 +142,7 @@ def run(
     exp_id: str,
     seed: int | None = None,
     *,
-    trace: bool = False,
+    trace: bool | Tracer = False,
     verify: bool = True,
 ) -> ExperimentResult:
     """Run one experiment and return its :class:`ExperimentResult`.
@@ -155,8 +155,15 @@ def run(
         Base seed; ``None`` means the default (0), which reproduces
         the published tables bit-for-bit.
     trace:
-        Record a kernel event trace.  Tracing is observational only:
-        it never changes simulation results.
+        Record a kernel event trace.  ``True`` creates a fresh
+        unbounded :class:`~repro.obs.trace.Tracer`; passing a tracer
+        instance uses it instead (e.g. a capped ``Tracer(max_events=)``
+        or a profiler's attributing tracer).  ``False`` (the default)
+        inherits the ambient tracer when one is installed via
+        :func:`repro.obs.instrument` — so profiling a whole
+        ``experiments.run`` call attributes its processes — and
+        records nothing otherwise.  Tracing is observational only: it
+        never changes simulation results.
     verify:
         Pre-flight the experiment's declared models through the
         Layer-1 static verifier (:mod:`repro.check`); error-severity
@@ -173,7 +180,15 @@ def run(
             raise ModelVerificationError(diagnostics)
     base_seed = 0 if seed is None else int(seed)
     registry = MetricRegistry()
-    tracer = Tracer() if trace else None
+    if isinstance(trace, Tracer):
+        tracer = trace
+    elif trace:
+        tracer = Tracer()
+    else:
+        # No trace requested: inherit any ambient tracer (e.g. a
+        # profiler's) instead of shadowing it — the same semantics as
+        # Environment picking up the ambient default.
+        tracer = active_tracer()
     ctx = RunContext(seed=base_seed, metrics=registry, tracer=tracer)
     start = time.perf_counter()
     with instrument(tracer=tracer, metrics=registry):

@@ -16,7 +16,13 @@ substrate the rest of :mod:`repro` reports through:
 * :mod:`repro.obs.context` — :func:`instrument`, a context manager
   that makes a tracer/registry the ambient default so deeply nested
   models (every :class:`~repro.des.Environment` created inside an
-  experiment) pick them up without explicit plumbing.
+  experiment) pick them up without explicit plumbing;
+* :mod:`repro.obs.perf` — performance observability on top of the
+  above: the :class:`~repro.obs.perf.Profiler` (cProfile hotspots +
+  wall-clock attribution to simulated processes + flamegraph export),
+  the ``repro bench`` harness producing the versioned
+  ``BENCH_perf.json`` trajectory artifact, and regression gates
+  (:func:`~repro.obs.perf.compare_documents`).
 
 Instrumentation is strictly opt-in: with no tracer or registry
 attached, every hook in the kernel and the subsystem models reduces to
@@ -34,11 +40,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricRegistry,
 )
+from repro.obs.perf import Profiler
 from repro.obs.report import RunReport, sanitize_json
 from repro.obs.trace import Span, TraceEvent, Tracer
 
 __all__ = [
     "sanitize_json",
+    "Profiler",
     "Counter",
     "Gauge",
     "Histogram",

@@ -163,6 +163,60 @@ class Histogram(Metric):
     def mean(self) -> float:
         return self.stats.mean
 
+    @property
+    def capped(self) -> bool:
+        """True once observations were folded but no longer stored."""
+        return self.stats.count > len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated ``q``-th percentile of the *retained*
+        samples (``q`` in [0, 100]; NaN when empty).
+
+        Notes
+        -----
+        **Capping bias.**  A histogram stops *storing* samples after
+        ``max_samples`` observations (aggregates keep folding
+        everything in), so once :attr:`capped` is true the percentile
+        describes only the earliest ``max_samples`` observations of
+        the run and is biased toward its early, possibly transient,
+        phase.  :meth:`merge` concatenates retained samples and
+        re-caps, which compounds the effect: the merged percentile
+        over-weights the first operand's early samples.  Compare
+        ``count`` with ``len(values)`` (or check :attr:`capped`) to
+        detect the bias; aggregate statistics (``mean``, ``std``,
+        ``min``, ``max``) remain exact over all observations.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], "
+                             f"got {q}")
+        if not self.values:
+            return math.nan
+        data = sorted(self.values)
+        if len(data) == 1:
+            return data[0]
+        position = (len(data) - 1) * q / 100.0
+        lower = int(position)
+        fraction = position - lower
+        if fraction == 0.0:
+            return data[lower]
+        return data[lower] + fraction * (data[lower + 1] - data[lower])
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram equivalent to both inputs combined.
+
+        Aggregates merge exactly (Welford accumulators fold without
+        loss); retained samples are concatenated, self first, and
+        re-capped at this histogram's ``max_samples`` — see the
+        capping-bias note on :meth:`percentile`.  The result keeps
+        this histogram's name and labels.
+        """
+        merged = Histogram(self.name, self.labels,
+                           max_samples=self._max_samples)
+        merged.stats = self.stats.merge(other.stats)
+        merged.values = (self.values
+                         + other.values)[:self._max_samples]
+        return merged
+
     def to_dict(self) -> dict[str, Any]:
         s = self.stats
         return {

@@ -1,0 +1,168 @@
+"""Regression gates over two ``BENCH_perf.json`` documents.
+
+:func:`compare_documents` matches experiments by id and judges each on
+its **median wall time**: a positive delta beyond the threshold is a
+regression, a negative one an improvement.  When the executed-event
+counts differ between the documents the workload itself changed (new
+code simulates more or less), so the wall-time verdict is advisory
+and the row is flagged ``workload_changed`` — the delta report still
+shows the throughput change (events/sec) for those rows.
+
+``repro bench --compare OLD.json`` prints the delta table and exits
+non-zero when any regression exceeds the threshold, which is what the
+CI soft gate runs against ``benchmarks/baseline/BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.tables import Table
+
+__all__ = ["Delta", "CompareReport", "compare_documents"]
+
+#: Default regression threshold in percent of median wall time.
+DEFAULT_THRESHOLD_PCT = 10.0
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Per-experiment comparison of old vs new measurements."""
+
+    id: str
+    old_median: float
+    new_median: float
+    delta_pct: float
+    old_events: int
+    new_events: int
+    workload_changed: bool
+    regressed: bool
+    improved: bool
+    rate_delta_pct: float | None = None
+
+
+@dataclass
+class CompareReport:
+    """Outcome of comparing two bench documents."""
+
+    threshold_pct: float
+    deltas: list[Delta] = field(default_factory=list)
+    #: Ids present in only one of the documents (not gated, reported).
+    missing_in_new: list[str] = field(default_factory=list)
+    missing_in_old: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def any_regression(self) -> bool:
+        return bool(self.regressions)
+
+    def table(self) -> Table:
+        table = Table(
+            ["id", "old_s", "new_s", "delta", "verdict"],
+            title=f"perf delta (threshold ±{self.threshold_pct:g}%)",
+        )
+        for delta in self.deltas:
+            if delta.regressed:
+                verdict = "REGRESSED"
+            elif delta.improved:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            if delta.workload_changed:
+                verdict += " (workload changed)"
+            table.add_row([
+                delta.id,
+                round(delta.old_median, 4),
+                round(delta.new_median, 4),
+                f"{delta.delta_pct:+.1f}%",
+                verdict,
+            ])
+        for exp_id in self.missing_in_new:
+            table.add_row([exp_id, "-", "-", "-", "missing in new"])
+        for exp_id in self.missing_in_old:
+            table.add_row([exp_id, "-", "-", "-", "missing in old"])
+        return table
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "threshold_pct": self.threshold_pct,
+            "any_regression": self.any_regression,
+            "deltas": [
+                {
+                    "id": d.id,
+                    "old_median": d.old_median,
+                    "new_median": d.new_median,
+                    "delta_pct": d.delta_pct,
+                    "workload_changed": d.workload_changed,
+                    "regressed": d.regressed,
+                    "improved": d.improved,
+                }
+                for d in self.deltas
+            ],
+            "missing_in_new": list(self.missing_in_new),
+            "missing_in_old": list(self.missing_in_old),
+        }
+
+
+def _rate_median(record: dict[str, Any]) -> float | None:
+    rate = record.get("events_per_sec")
+    if isinstance(rate, dict):
+        return rate.get("median")
+    return None
+
+
+def compare_documents(old: dict[str, Any], new: dict[str, Any], *,
+                      threshold_pct: float = DEFAULT_THRESHOLD_PCT
+                      ) -> CompareReport:
+    """Compare two bench documents experiment by experiment."""
+    old_by_id = {r["id"]: r for r in old.get("experiments", [])}
+    new_by_id = {r["id"]: r for r in new.get("experiments", [])}
+    report = CompareReport(threshold_pct=float(threshold_pct))
+    for exp_id, new_record in new_by_id.items():
+        old_record = old_by_id.get(exp_id)
+        if old_record is None:
+            report.missing_in_old.append(exp_id)
+            continue
+        old_median = float(old_record["wall_seconds"]["median"])
+        new_median = float(new_record["wall_seconds"]["median"])
+        delta_pct = (
+            (new_median - old_median) / old_median * 100.0
+            if old_median > 0.0 else 0.0
+        )
+        old_events = int(old_record.get("events_executed", 0))
+        new_events = int(new_record.get("events_executed", 0))
+        workload_changed = old_events != new_events
+        old_rate = _rate_median(old_record)
+        new_rate = _rate_median(new_record)
+        rate_delta = (
+            (new_rate - old_rate) / old_rate * 100.0
+            if old_rate and new_rate else None
+        )
+        # A changed workload makes raw wall time incomparable; gate on
+        # throughput when both sides report it, else advisory only.
+        if workload_changed:
+            regressed = (rate_delta is not None
+                         and -rate_delta > threshold_pct)
+            improved = (rate_delta is not None
+                        and rate_delta > threshold_pct)
+        else:
+            regressed = delta_pct > threshold_pct
+            improved = -delta_pct > threshold_pct
+        report.deltas.append(Delta(
+            id=exp_id,
+            old_median=old_median,
+            new_median=new_median,
+            delta_pct=delta_pct,
+            old_events=old_events,
+            new_events=new_events,
+            workload_changed=workload_changed,
+            regressed=regressed,
+            improved=improved,
+            rate_delta_pct=rate_delta,
+        ))
+    report.missing_in_new = sorted(set(old_by_id) - set(new_by_id))
+    return report

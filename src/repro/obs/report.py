@@ -134,15 +134,30 @@ class RunReport:
         return lines
 
 
+def _sanitize_key(key: Any) -> str:
+    """Dictionary keys must be strings; non-finite and numpy keys get
+    the same treatment as values before stringification."""
+    if isinstance(key, str):
+        return key
+    return str(sanitize_json(key))
+
+
 def sanitize_json(value: Any) -> Any:
     """Recursively make a payload strict-JSON safe.
 
-    NaN/inf become ``None`` (strict JSON has no spelling for them),
-    numpy scalars collapse to Python numbers, and unknown objects fall
-    back to ``str``.
+    The guarantee holds at **every nesting depth**, not just the top
+    level: NaN/±inf become ``None`` (strict JSON has no spelling for
+    them) wherever they appear — including inside nested KPI dicts,
+    lists, tuples and numpy containers; numpy scalars (including the
+    float32/float16 flavours that are *not* ``isinstance(..., float)``)
+    collapse to Python numbers; numpy arrays become (sanitized)
+    lists; dictionary keys become strings; and unknown objects fall
+    back to ``str``.  The result round-trips through
+    ``json.dumps(..., allow_nan=False)``.
     """
     if isinstance(value, dict):
-        return {str(k): sanitize_json(v) for k, v in value.items()}
+        return {_sanitize_key(k): sanitize_json(v)
+                for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [sanitize_json(v) for v in value]
     if isinstance(value, bool) or value is None:
@@ -153,6 +168,10 @@ def sanitize_json(value: Any) -> Any:
         return value if math.isfinite(value) else None
     if isinstance(value, str):
         return value
-    if hasattr(value, "item"):  # numpy scalar
+    # numpy: arrays and scalars both expose tolist(), which maps to
+    # (nested) Python builtins; recurse so NaN/inf inside are caught.
+    if hasattr(value, "tolist"):
+        return sanitize_json(value.tolist())
+    if hasattr(value, "item"):  # non-numpy scalar wrappers
         return sanitize_json(value.item())
     return str(value)

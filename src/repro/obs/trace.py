@@ -86,6 +86,11 @@ class Tracer:
         runs.
     """
 
+    #: Kernel hint: tracers that set this to ``False`` skip the
+    #: (hot, per-event) ``schedule`` emits entirely — the wall-clock
+    #: profiler does, since it attributes at step granularity.
+    wants_schedule = True
+
     def __init__(self, max_events: int | None = None):
         self.events: list[TraceEvent] = []
         self.max_events = max_events

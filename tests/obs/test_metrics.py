@@ -129,3 +129,76 @@ class TestMetricRegistry:
         assert isinstance(registry.counter("c"), Counter)
         assert isinstance(registry.gauge("g"), Gauge)
         assert isinstance(registry.histogram("h"), Histogram)
+
+
+class TestHistogramPercentile:
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("wait", {})
+        assert math.isnan(histogram.percentile(50))
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram("wait", {})
+        histogram.observe(3.5)
+        for q in (0, 25, 50, 99, 100):
+            assert histogram.percentile(q) == 3.5
+
+    def test_q0_and_q100_are_extremes(self):
+        histogram = Histogram("wait", {})
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 5.0
+
+    def test_linear_interpolation(self):
+        histogram = Histogram("wait", {})
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(50) == pytest.approx(2.5)
+        assert histogram.percentile(25) == pytest.approx(1.75)
+
+    def test_out_of_range_q_raises(self):
+        histogram = Histogram("wait", {})
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            histogram.percentile(-0.1)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            histogram.percentile(100.5)
+
+    def test_capped_flag_marks_the_bias(self):
+        histogram = Histogram("wait", {}, max_samples=5)
+        for value in range(5):
+            histogram.observe(float(value))
+        assert not histogram.capped
+        histogram.observe(100.0)
+        assert histogram.capped
+        # The documented bias: the late outlier is invisible to the
+        # percentile but exact in the aggregates.
+        assert histogram.percentile(100) == 4.0
+        assert histogram.stats.maximum == 100.0
+
+    def test_merge_of_capped_histograms(self):
+        a = Histogram("wait", {}, max_samples=4)
+        b = Histogram("wait", {}, max_samples=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            a.observe(value)
+        for value in (10.0, 20.0):
+            b.observe(value)
+        merged = a.merge(b)
+        # Aggregates are exact over all 7 observations...
+        assert merged.stats.count == 7
+        assert merged.stats.maximum == 20.0
+        # ...but retained samples re-cap at a's max_samples, keeping
+        # self's earliest samples (the documented compounding bias).
+        assert merged.values == [1.0, 2.0, 3.0, 4.0]
+        assert merged.capped
+        assert merged.percentile(100) == 4.0
+        assert merged.name == "wait"
+
+    def test_merge_uncapped_is_unbiased(self):
+        a = Histogram("wait", {})
+        b = Histogram("wait", {})
+        a.observe(1.0)
+        b.observe(3.0)
+        merged = a.merge(b)
+        assert merged.percentile(50) == pytest.approx(2.0)
+        assert not merged.capped

@@ -85,3 +85,48 @@ class TestSanitizeJson:
 
     def test_tuples_become_lists_and_keys_strings(self):
         assert sanitize_json({1: (2, 3)}) == {"1": [2, 3]}
+
+    def test_nested_nan_inf_at_any_depth(self):
+        payload = sanitize_json({
+            "kpis": {"loss": math.nan,
+                     "levels": {"deep": [math.inf, {"x": -math.inf}]}},
+            "rows": [(math.nan, 1.0)],
+        })
+        assert payload == {
+            "kpis": {"loss": None, "levels": {"deep": [None,
+                                                       {"x": None}]}},
+            "rows": [[None, 1.0]],
+        }
+        json.dumps(payload, allow_nan=False)
+
+    def test_numpy_nan_inside_nested_dict(self):
+        np = pytest.importorskip("numpy")
+        payload = sanitize_json(
+            {"kpi": {"a": np.float64("nan"), "b": np.float64("inf"),
+                     "c": np.float32(1.5)}})
+        assert payload == {"kpi": {"a": None, "b": None, "c": 1.5}}
+        json.dumps(payload, allow_nan=False)
+
+    def test_numpy_arrays_become_lists(self):
+        np = pytest.importorskip("numpy")
+        payload = sanitize_json({
+            "vec": np.array([1.0, math.nan, 3.0]),
+            "mat": np.array([[1, 2], [3, 4]]),
+            "scalar0d": np.array(2.5),
+        })
+        assert payload == {"vec": [1.0, None, 3.0],
+                           "mat": [[1, 2], [3, 4]],
+                           "scalar0d": 2.5}
+        json.dumps(payload, allow_nan=False)
+
+    def test_numpy_bool_and_keys(self):
+        np = pytest.importorskip("numpy")
+        payload = sanitize_json({np.int64(7): np.bool_(True)})
+        assert payload == {"7": True}
+        assert type(payload["7"]) is bool
+
+    def test_round_trip_through_strict_json(self):
+        original = {"a": [math.nan, {"b": (math.inf, 2)}], 3: "x"}
+        sanitized = sanitize_json(original)
+        assert json.loads(json.dumps(sanitized,
+                                     allow_nan=False)) == sanitized
