@@ -1,0 +1,65 @@
+"""The CI ``parallel`` gate: fan-out must not change the science.
+
+Two assertions per heavyweight experiment (e3, e14, r1):
+
+1. **Equivalence** — a replicated run merged from 4 worker processes
+   is byte-identical (after :meth:`ExperimentResult.strip_timings`)
+   to the same replication merged from a single worker.  This is the
+   end-to-end form of the determinism matrix in
+   ``tests/parallel/test_determinism.py``, on the experiments the
+   paper tables actually come from.
+2. **Consistency** — the pooled KPI means stay inside the min/max
+   envelope of the replicas, and every replica's seed matches the
+   pure derivation :func:`repro.parallel.replica_seed`.
+
+A speedup assertion deliberately does **not** live here: wall-clock
+ratios depend on the runner's core count, so the CI job records the
+measured speedup in its log (see ``repro bench --replicas``) instead
+of gating on it where a loaded 2-core host would flake.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.parallel import replica_seed, run_replicated
+
+#: The experiments whose published tables the gate protects.
+_GATED = ("e3", "e14", "r1")
+_REPLICAS = 3
+
+
+def _stripped(result) -> str:
+    return json.dumps(result.strip_timings(), sort_keys=True)
+
+
+def bench_parallel_equivalence_e3():
+    _assert_equivalent("e3")
+
+
+def bench_parallel_equivalence_e14():
+    _assert_equivalent("e14")
+
+
+def bench_parallel_equivalence_r1():
+    _assert_equivalent("r1")
+
+
+def _assert_equivalent(exp_id: str) -> None:
+    assert exp_id in _GATED
+    serial = run_replicated(exp_id, replicas=_REPLICAS, workers=1)
+    fanned = run_replicated(exp_id, replicas=_REPLICAS, workers=4)
+    assert _stripped(serial) == _stripped(fanned), (
+        f"{exp_id}: workers=4 merge differs from workers=1"
+    )
+
+    replication = fanned.report.replication
+    assert replication["seeds"] == [
+        replica_seed(0, i) for i in range(_REPLICAS)
+    ]
+    for name, stats in replication["kpis"].items():
+        assert stats["min"] <= stats["mean"] <= stats["max"], (
+            f"{exp_id}: pooled mean of {name} outside replica "
+            f"envelope"
+        )
+        assert fanned.metrics[name] == stats["mean"]

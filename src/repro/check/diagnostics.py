@@ -364,6 +364,18 @@ RULES: Mapping[str, Rule] = _catalog([
         "Compare with a tolerance (math.isclose) or use ordered "
         "comparisons (<=, >=).",
     ),
+    Rule(
+        "SL206", "bare multiprocessing outside repro.parallel",
+        Severity.WARNING,
+        "Ad-hoc process pools bypass the replication engine's "
+        "contracts: per-replica seed derivation, kernel-counter "
+        "snapshot merging, and the deterministic completion-order-"
+        "independent merge all live in repro.parallel; a bare pool "
+        "silently loses cross-process counters and reproducibility.",
+        "Fan work out with repro.parallel.parallel_map or "
+        "run_replicated instead of importing multiprocessing / "
+        "concurrent.futures directly.",
+    ),
 ])
 
 

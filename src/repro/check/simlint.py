@@ -19,6 +19,9 @@ Rules (catalog in :mod:`repro.check.diagnostics`):
   of being yielded.
 * ``SL204`` — mutable default arguments.
 * ``SL205`` — ``==``/``!=`` against simulated time (``env.now``).
+* ``SL206`` — ``multiprocessing`` / ``concurrent.futures`` imported
+  outside :mod:`repro.parallel`, the one sanctioned home for process
+  pools (ad-hoc pools bypass seed derivation and counter merging).
 
 Intentional violations are whitelisted inline::
 
@@ -77,6 +80,13 @@ _EVENT_METHODS = {"timeout", "request", "get", "put", "hold", "wait"}
 
 #: Names that denote the simulated clock in SL205 comparisons.
 _TIME_NAMES = {"now"}
+
+#: Top-level modules whose import marks ad-hoc process parallelism
+#: (SL206).  ``repro.parallel`` itself is exempt by path.
+_PARALLEL_MODULES = {"multiprocessing", "concurrent"}
+
+#: Path fragments identifying the sanctioned home of process pools.
+_PARALLEL_EXEMPT_FRAGMENT = "repro/parallel"
 
 
 def _collect_pragmas(
@@ -191,15 +201,35 @@ class _Linter(ast.NodeVisitor):
         self.imports = _ImportTable()
         self.diagnostics: list[Diagnostic] = []
         self._generator_depth = 0
+        self._pool_exempt = (
+            _PARALLEL_EXEMPT_FRAGMENT in path.replace("\\", "/")
+        )
 
     # -- bookkeeping ---------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
         self.imports.add_import(node)
+        for alias in node.names:
+            self._check_pool_import(alias.name, node)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         self.imports.add_import_from(node)
+        if not node.level and node.module is not None:
+            self._check_pool_import(node.module, node)
         self.generic_visit(node)
+
+    # -- SL206: process pools outside repro.parallel -------------------
+    def _check_pool_import(self, module: str, node: ast.AST) -> None:
+        if self._pool_exempt:
+            return
+        if module.split(".")[0] in _PARALLEL_MODULES:
+            self._emit(
+                "SL206",
+                f"import of {module!r} outside repro.parallel — "
+                f"ad-hoc process pools bypass seed derivation and "
+                f"kernel-counter merging",
+                node,
+            )
 
     def _emit(self, rule_id: str, message: str,
               node: ast.AST) -> None:

@@ -6,6 +6,7 @@ Usage::
     python -m repro run e6 e8             # run, print paper tables
     python -m repro run e3 --json         # machine-readable result
     python -m repro run all --out out/    # write one JSON per id
+    python -m repro run e14 --replicas 8 --workers 4   # pooled CIs
     python -m repro trace e14             # record a kernel event trace
     python -m repro report e6             # run-report digest
     python -m repro check --strict        # static model + sim lint
@@ -117,13 +118,26 @@ def _cmd_run(args) -> int:
     ids = _resolve_ids(args.experiments)
     if ids is None:
         return 2
+    if args.replicas > 1 and args.trace:
+        print("run: --trace is incompatible with --replicas > 1 "
+              "(replicas run in worker processes; trace one replica "
+              "with 'repro trace <id> --seed <replica seed>')",
+              file=sys.stderr)
+        return 2
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     payload: dict[str, dict] = {}
     for exp_id in ids:
-        result = experiments.run(exp_id, seed=args.seed,
-                                 trace=args.trace)
+        if args.replicas > 1:
+            from repro.parallel import run_replicated
+
+            result = run_replicated(exp_id, replicas=args.replicas,
+                                    workers=args.workers,
+                                    seed=args.seed)
+        else:
+            result = experiments.run(exp_id, seed=args.seed,
+                                     trace=args.trace)
         if out_dir is not None and result.tracer is not None:
             trace_path = out_dir / f"{exp_id}.trace.jsonl"
             result.tracer.to_jsonl(trace_path)
@@ -236,6 +250,7 @@ def _cmd_bench(args) -> int:
             return 2
         document = perf.run_bench(
             ids, repeat=args.repeat, seed=args.seed,
+            workers=args.workers, replicas=args.replicas,
             progress=lambda exp_id: print(
                 f"bench: {exp_id} (repeat={args.repeat})",
                 file=sys.stderr),
@@ -324,6 +339,14 @@ def main(argv: list[str] | None = None) -> int:
                             help="record a kernel event trace")
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="write <id>.json (and traces) here")
+    run_parser.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="run N independent replicas (derived seeds) and pool "
+             "them with across-replica confidence intervals")
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="K",
+        help="worker processes for --replicas (default: cpu count); "
+             "results are identical for any K")
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one experiment with tracing, export JSONL")
@@ -367,6 +390,14 @@ def main(argv: list[str] | None = None) -> int:
         help="repetitions per experiment (default 3)")
     bench_parser.add_argument("--seed", type=int, default=0,
                               help="base seed (default 0)")
+    bench_parser.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="measure replicated runs: each repetition fans N "
+             "replicas over --workers processes (default 1)")
+    bench_parser.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="worker processes: parallelises repetitions "
+             "(replicas=1) or each replicated run (default 1)")
     bench_parser.add_argument(
         "--profile", action="store_true",
         help="also profile each experiment: print hotspot/process "

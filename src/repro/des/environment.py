@@ -40,6 +40,21 @@ class KernelCounters:
     same whether or not observability is enabled, and the perf guard
     (``benchmarks/bench_perf_guard.py``) can normalise wall time to a
     per-event cost instead of trusting raw timings.
+
+    The counters are process-local: worker processes of
+    :mod:`repro.parallel` accumulate into their *own* ``_KERNEL`` and
+    ship :meth:`snapshot` dictionaries back to the parent, which folds
+    them in with :meth:`merge` — without that, a fanned-out run would
+    report near-zero kernel activity in the parent.
+
+    **Reset semantics.**  Every counter — ``environments`` included —
+    counts occurrences *since the last* :meth:`reset`.  An
+    :class:`Environment` constructed before a ``reset()`` is not
+    re-counted even if it is still alive and stepping afterwards (its
+    post-reset schedule/step activity still counts; only the one-shot
+    construction increment is forgotten).  Bench harnesses rely on
+    exactly this: ``reset()`` then run then :meth:`snapshot` yields
+    the cost of that run alone.
     """
 
     __slots__ = ("events_scheduled", "events_executed",
@@ -63,6 +78,22 @@ class KernelCounters:
             "peak_heap_depth": self.peak_heap_depth,
             "environments": self.environments,
         }
+
+    def merge(self, snapshot: dict[str, int]) -> None:
+        """Fold a :meth:`snapshot` (e.g. shipped back from a worker
+        process) into these totals.
+
+        Additive counters (events scheduled/executed, environments)
+        sum; ``peak_heap_depth`` is a high-water mark, so the merged
+        value is the maximum of the two — a pool of shallow heaps is
+        not one deep heap.
+        """
+        self.events_scheduled += int(snapshot.get("events_scheduled", 0))
+        self.events_executed += int(snapshot.get("events_executed", 0))
+        self.environments += int(snapshot.get("environments", 0))
+        depth = int(snapshot.get("peak_heap_depth", 0))
+        if depth > self.peak_heap_depth:
+            self.peak_heap_depth = depth
 
     def __repr__(self) -> str:
         return (f"KernelCounters(scheduled={self.events_scheduled}, "
@@ -198,24 +229,33 @@ class Environment:
         self._n_executed += 1
         _KERNEL.events_executed += 1
         if self.tracer is not None:
-            # Attribute the step to the process the event will resume
-            # (its _resume bound method sits in the callback list), so
-            # profilers can charge wall time to simulated processes.
-            owner = None
+            # Attribute the step to every process the event resumes
+            # (their _resume bound methods sit in the callback list),
+            # so profilers can charge wall time to simulated
+            # processes.  Fan-in events (two processes waiting on one
+            # event, AnyOf/AllOf joins) resume several at once; the
+            # step belongs to all of them, not just the first.
+            owners: list[str] = []
             for callback in event.callbacks or ():
                 bound = getattr(callback, "__self__", None)
                 if isinstance(bound, Process):
-                    owner = bound.name
-                    break
-            if owner is None:
+                    owners.append(bound.name)
+            if not owners:
                 self.tracer.emit(
                     event_time, "step", type(event).__name__,
                     ok=event._ok, pending=len(self._queue),
                 )
+            elif len(owners) == 1:
+                self.tracer.emit(
+                    event_time, "step", type(event).__name__,
+                    ok=event._ok, pending=len(self._queue),
+                    proc=owners[0],
+                )
             else:
                 self.tracer.emit(
                     event_time, "step", type(event).__name__,
-                    ok=event._ok, pending=len(self._queue), proc=owner,
+                    ok=event._ok, pending=len(self._queue),
+                    proc=owners[0], procs=tuple(owners),
                 )
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -235,6 +275,24 @@ class Environment:
               time, then set the clock to it.
             * an :class:`~repro.des.events.Event` — run until that event
               has been processed and return its value.
+
+        Notes
+        -----
+        **Numeric horizons are closed (inclusive).**  ``run(until=t)``
+        executes every event with timestamp ``<= t`` — including events
+        scheduled *exactly at* ``t``, and events that executing them
+        schedules at ``t`` — then sets the clock to exactly ``t``.
+        This deliberately diverges from SimPy, whose stop event at
+        ``t`` preempts same-time normal events (effectively a strict
+        ``< t`` horizon): a multimedia model told to "simulate 100
+        seconds" should see the frame that arrives at 100.0.  The
+        choice makes the horizon **idempotent and compositional**:
+        calling ``run(until=t)`` again is a no-op (everything at ``t``
+        already ran), and ``run(until=a); run(until=b)`` processes the
+        same events as ``run(until=b)`` for ``a <= b``.  An event one
+        ulp after the horizon (``math.nextafter(t, inf)``) stays
+        queued.  See ``docs/des_kernel.md`` ("Horizon boundary") and
+        ``tests/des/test_run_until_boundary.py`` for the contract.
         """
         if until is None:
             while self._queue:
@@ -242,6 +300,11 @@ class Environment:
             return None
 
         if isinstance(until, Event):
+            if until.env is not self:
+                raise ValueError(
+                    "run(until=event) got an event from a different "
+                    "environment"
+                )
             if until.processed:
                 return until.value
             while self._queue:

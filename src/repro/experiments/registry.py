@@ -210,4 +210,5 @@ def run(
         report=report,
         raw=raw,
         tracer=tracer,
+        registry=registry,
     )

@@ -35,6 +35,11 @@ class ExperimentResult:
     #: The live :class:`~repro.obs.trace.Tracer` when the run was
     #: traced (for JSONL export); NOT serialized.
     tracer: Any = None
+    #: The run's live :class:`~repro.obs.metrics.MetricRegistry`
+    #: (instrument objects, not just the snapshot in ``report``) —
+    #: what :mod:`repro.parallel` merges across replicas; NOT
+    #: serialized.
+    registry: Any = None
 
     def table(self, fragment: str | None = None) -> Table:
         """Return the first table whose title contains ``fragment``
@@ -71,3 +76,28 @@ class ExperimentResult:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(sanitize_json(self.to_dict()), indent=indent,
                           sort_keys=True)
+
+    def strip_timings(self) -> dict[str, Any]:
+        """The serialized result minus every timing / execution-
+        geometry field.
+
+        What remains is the **determinism contract** of a run: two
+        runs of the same (experiment, seed) — or two replicated runs
+        of the same (experiment, master seed, replicas) on *any*
+        worker count — must produce byte-identical stripped payloads
+        (``json.dumps(..., sort_keys=True)`` equal).  Removed:
+        ``report.wall_seconds`` (host timing) and, for replicated
+        results, ``report.replication.workers`` and
+        ``report.replication.wall_seconds`` (execution geometry and
+        per-replica host timings; the pooled *simulated* statistics
+        all stay).
+        """
+        data = json.loads(self.to_json())
+        report = data.get("report")
+        if report:
+            report.pop("wall_seconds", None)
+            replication = report.get("replication")
+            if replication:
+                replication.pop("workers", None)
+                replication.pop("wall_seconds", None)
+        return data

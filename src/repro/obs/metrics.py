@@ -49,6 +49,11 @@ class Metric:
     def to_dict(self) -> dict[str, Any]:
         raise NotImplementedError
 
+    def merge_from(self, other: "Metric") -> None:
+        """Fold ``other`` (same kind, e.g. from a replica) into this
+        instrument in place.  Subclasses define the fold."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.key}>"
 
@@ -68,6 +73,10 @@ class Counter(Metric):
             raise ValueError(f"counter increment must be >= 0, "
                              f"got {amount}")
         self.value += amount
+
+    def merge_from(self, other: "Metric") -> None:
+        """Totals from independent runs sum."""
+        self.value += other.value
 
     def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "value": self.value}
@@ -118,6 +127,25 @@ class Gauge(Metric):
         if self._weight == 0.0:
             return math.nan
         return self._weighted_sum / self._weight
+
+    def merge_from(self, other: "Metric") -> None:
+        """Fold an independent run's gauge into this one.
+
+        Extremes combine; the time-weighted accumulators add (the
+        merged ``time_mean`` weights each run by its own observed
+        span, exactly the across-replica pooling a replicated
+        experiment wants).  ``value`` — the *last* level seen — takes
+        the other gauge's when it was ever set: replicas fold in
+        replica order, so the merged last-value is deterministic.
+        """
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        self._weight += other._weight
+        self._weighted_sum += other._weighted_sum
+        if not math.isnan(other.value):
+            self.value = other.value
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -217,6 +245,14 @@ class Histogram(Metric):
                          + other.values)[:self._max_samples]
         return merged
 
+    def merge_from(self, other: "Metric") -> None:
+        """In-place :meth:`merge` (same aggregates-exact, samples
+        re-capped contract)."""
+        self.stats = self.stats.merge(other.stats)
+        room = self._max_samples - len(self.values)
+        if room > 0:
+            self.values.extend(other.values[:room])
+
     def to_dict(self) -> dict[str, Any]:
         s = self.stats
         return {
@@ -288,6 +324,31 @@ class MetricRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold every instrument of ``other`` into this registry.
+
+        Instruments are matched by (name, labels); a key present only
+        in ``other`` is adopted as a fresh instrument of the same
+        kind.  Counters sum, gauges pool extremes and time-weighted
+        accumulators, histograms merge exactly in the aggregates and
+        re-cap retained samples (:meth:`Histogram.merge`).  Folding
+        replicas in a fixed order makes the merged snapshot
+        deterministic regardless of which worker finished first.
+        Returns ``self`` so folds chain.
+        """
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                mine = type(metric)(metric.name, metric.labels)
+                self._metrics[key] = mine
+            elif type(mine) is not type(metric):
+                raise TypeError(
+                    f"cannot merge {metric.kind} {metric.key} into "
+                    f"{mine.kind} of the same key"
+                )
+            mine.merge_from(metric)
+        return self
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Serialize every instrument: ``{key: {kind, aggregates}}``."""

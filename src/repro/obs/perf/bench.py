@@ -80,41 +80,87 @@ def _timing_stats(samples: Sequence[float]) -> dict[str, Any]:
     }
 
 
-def measure_experiment(exp_id: str, *, repeat: int = 3,
-                       seed: int = 0,
-                       warmup: bool = True) -> dict[str, Any]:
-    """Measure one experiment; returns its per-experiment record.
+def _timed_run(payload: tuple) -> tuple:
+    """One timed repetition (also the process-pool worker body).
 
-    ``warmup`` runs the experiment once untimed first, so lazy imports
-    and allocator/caching warm-up never pollute the first sample.
+    Resets the (process-local) kernel counters, runs the experiment,
+    and returns ``(wall, counter_snapshot, kpis)`` — everything the
+    parent needs, since a worker's counters are invisible to it.
     """
     from repro import experiments
     from repro.des import kernel_counters
 
+    exp_id, seed = payload
+    counters = kernel_counters()
+    counters.reset()
+    start = perf_counter()
+    result = experiments.run(exp_id, seed=seed)
+    wall = perf_counter() - start
+    return wall, counters.snapshot(), dict(result.metrics)
+
+
+def measure_experiment(exp_id: str, *, repeat: int = 3,
+                       seed: int = 0,
+                       warmup: bool = True,
+                       workers: int = 1,
+                       replicas: int = 1) -> dict[str, Any]:
+    """Measure one experiment; returns its per-experiment record.
+
+    ``warmup`` runs the experiment once untimed first, so lazy imports
+    and allocator/caching warm-up never pollute the first sample.
+
+    ``replicas > 1`` measures *replicated* runs: each repetition is
+    one :func:`repro.parallel.run_replicated` call fanning ``replicas``
+    seeds over ``workers`` processes — what the scaling gate times.
+    With ``replicas == 1`` and ``workers > 1``, the repetitions
+    themselves spread over the pool (each in a fresh process, via
+    :func:`repro.parallel.parallel_map`); kernel counters and KPIs
+    ship back in the worker's return value.
+    """
+    from repro import experiments
+
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
     experiment = experiments.get(exp_id)
     if warmup:
         experiments.run(exp_id, seed=seed)
-    counters = kernel_counters()
     walls: list[float] = []
     rates: list[float] = []
     kernel: dict[str, int] = {}
     deterministic = True
     kpis: dict[str, float] = {}
-    for rep in range(repeat):
-        counters.reset()
-        start = perf_counter()
-        result = experiments.run(exp_id, seed=seed)
-        wall = perf_counter() - start
-        snap = counters.snapshot()
+    if replicas > 1:
+        from repro.des import kernel_counters
+        from repro.parallel import run_replicated
+
+        counters = kernel_counters()
+        samples = []
+        for _ in range(repeat):
+            counters.reset()
+            start = perf_counter()
+            result = run_replicated(exp_id, replicas=replicas,
+                                    workers=workers, seed=seed)
+            wall = perf_counter() - start
+            # run_replicated merged the workers' counter snapshots
+            # into this process's counters, so the usual snapshot
+            # sees the cross-process kernel activity.
+            samples.append((wall, counters.snapshot(),
+                            dict(result.metrics)))
+    else:
+        from repro.parallel import parallel_map
+
+        samples = parallel_map(
+            _timed_run, [(exp_id, seed)] * repeat, workers=workers)
+    for rep, (wall, snap, rep_kpis) in enumerate(samples):
         walls.append(wall)
         if snap["events_executed"]:
             rates.append(snap["events_executed"] / wall)
         if rep == 0:
             kernel = snap
-            kpis = dict(result.metrics)
-        elif snap != kernel:
+            kpis = rep_kpis
+        elif snap != kernel or rep_kpis != kpis:
             deterministic = False
     record: dict[str, Any] = {
         "id": experiment.id,
@@ -131,10 +177,19 @@ def measure_experiment(exp_id: str, *, repeat: int = 3,
         "peak_rss_kb": _peak_rss_kb(),
         "kpis": sanitize_json(kpis),
     }
+    # Replica count is part of the measured workload; worker count is
+    # execution geometry (stripped by :func:`strip_timings`).  Neither
+    # appears at its default, so single-run documents keep their
+    # pre-replication byte layout.
+    if replicas > 1:
+        record["replicas"] = replicas
+    if workers > 1:
+        record["workers"] = workers
     return record
 
 
 def run_bench(ids: Sequence[str], *, repeat: int = 3, seed: int = 0,
+              workers: int = 1, replicas: int = 1,
               progress: Callable[[str], None] | None = None
               ) -> dict[str, Any]:
     """Measure ``ids`` and assemble the full bench document."""
@@ -143,18 +198,24 @@ def run_bench(ids: Sequence[str], *, repeat: int = 3, seed: int = 0,
         if progress is not None:
             progress(exp_id)
         records.append(
-            measure_experiment(exp_id, repeat=repeat, seed=seed))
+            measure_experiment(exp_id, repeat=repeat, seed=seed,
+                               workers=workers, replicas=replicas))
+    meta: dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "repeat": repeat,
+        "seed": seed,
+        "ids": [r["id"] for r in records],
+    }
+    if replicas > 1:
+        meta["replicas"] = replicas
+    if workers > 1:
+        meta["workers"] = workers
     return {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
-        "meta": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "machine": platform.machine(),
-            "repeat": repeat,
-            "seed": seed,
-            "ids": [r["id"] for r in records],
-        },
+        "meta": meta,
         "experiments": records,
     }
 
@@ -243,9 +304,17 @@ def strip_timings(document: dict[str, Any]) -> dict[str, Any]:
     """Copy of the document with every timing field removed — the
     byte-stable remainder two runs of the same code must agree on."""
     stripped = json.loads(json.dumps(sanitize_json(document)))
+    # Worker count is execution geometry, not workload: documents
+    # measured with different pool sizes must agree byte-for-byte
+    # after stripping (``replicas`` stays — it changes the measured
+    # workload).
+    meta = stripped.get("meta")
+    if isinstance(meta, dict):
+        meta.pop("workers", None)
     for record in stripped.get("experiments", []):
         for field in TIMING_FIELDS:
             record.pop(field, None)
+        record.pop("workers", None)
     return stripped
 
 

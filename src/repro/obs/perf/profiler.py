@@ -75,21 +75,28 @@ class WallAttributionTracer(Tracer):
         super().__init__(max_events=max_events)
         self.wall_by_owner: dict[str, float] = {}
         self._last_wall: float | None = None
-        self._owner: str | None = None
+        self._owners: tuple[str, ...] = ()
         self._store = max_events is None or max_events > 0
 
     def emit(self, time: float, kind: str, name: str,
              **attrs: Any) -> None:
         if kind == "step":
             now = perf_counter()
-            if self._owner is not None:
+            if self._owners:
+                # A fan-in step resumes several processes at once
+                # (the kernel's `procs` attribute); the host time of
+                # that step is split evenly between them rather than
+                # charged wholesale to the first.
                 bucket = self.wall_by_owner
-                bucket[self._owner] = (
-                    bucket.get(self._owner, 0.0)
-                    + (now - self._last_wall)
-                )
-            owner = attrs.get("proc")
-            self._owner = owner if owner is not None else f"event:{name}"
+                share = (now - self._last_wall) / len(self._owners)
+                for owner in self._owners:
+                    bucket[owner] = bucket.get(owner, 0.0) + share
+            owners = attrs.get("procs")
+            if owners is None:
+                single = attrs.get("proc")
+                owners = ((single,) if single is not None
+                          else (f"event:{name}",))
+            self._owners = tuple(owners)
             self._last_wall = now
         if self._store:
             super().emit(time, kind, name, **attrs)

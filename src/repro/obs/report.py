@@ -51,6 +51,11 @@ class RunReport:
     #: ``Tracer.summary()`` when the run was traced, else ``None``.
     trace: dict[str, Any] | None = None
     trace_path: str | None = None
+    #: Replication metadata when the report pools several replicas
+    #: (:func:`repro.parallel.run_replicated`): replica count, worker
+    #: count, per-replica seeds and across-replica KPI statistics.
+    #: ``None`` for ordinary single runs.
+    replication: dict[str, Any] | None = None
 
     @classmethod
     def from_run(
@@ -98,6 +103,8 @@ class RunReport:
             data["trace"] = self.trace
         if self.trace_path is not None:
             data["trace_path"] = self.trace_path
+        if self.replication is not None:
+            data["replication"] = self.replication
         return data
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -114,6 +121,7 @@ class RunReport:
             stats=dict(data.get("stats", {})),
             trace=data.get("trace"),
             trace_path=data.get("trace_path"),
+            replication=data.get("replication"),
         )
 
     @classmethod
@@ -124,6 +132,11 @@ class RunReport:
         """Human-readable digest (the CLI ``report`` view)."""
         lines = [f"run report: {self.experiment} "
                  f"(seed={self.seed}, {self.wall_seconds:.3f}s wall)"]
+        if self.replication is not None:
+            lines.append(
+                f"  replication: {self.replication.get('replicas')} "
+                f"replicas x {self.replication.get('workers')} "
+                f"worker(s)")
         for key in sorted(self.metrics):
             lines.append(f"  {key} = {self.metrics[key]:.6g}")
         if self.trace is not None:

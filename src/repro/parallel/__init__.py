@@ -1,0 +1,30 @@
+"""Parallel replication of experiments across worker processes.
+
+The engine fans one experiment over ``replicas`` independent seeds
+onto ``workers`` OS processes and merges the results
+deterministically — the merged payload is byte-identical (modulo
+timing fields) whether run with 1 or 16 workers, in any completion
+order.  See :mod:`repro.parallel.engine` for the contracts and
+``docs/parallel.md`` for the design discussion.
+
+    >>> from repro.parallel import run_replicated  # doctest: +SKIP
+    >>> result = run_replicated("e14", replicas=8, workers=4)  # doctest: +SKIP
+"""
+
+from repro.parallel.engine import (
+    fork_seed,
+    parallel_map,
+    replica_seed,
+    run_replicated,
+)
+from repro.parallel.merge import ReplicaResult, merge_replicas, pool_kpis
+
+__all__ = [
+    "fork_seed",
+    "replica_seed",
+    "parallel_map",
+    "run_replicated",
+    "ReplicaResult",
+    "merge_replicas",
+    "pool_kpis",
+]

@@ -1,0 +1,240 @@
+"""Multiprocessing replication engine.
+
+:func:`run_replicated` fans one experiment out over ``replicas``
+independent replicas onto ``workers`` OS processes and merges the
+results deterministically:
+
+* replica *i* runs with seed ``replica_seed(master_seed, i)`` —
+  derived through :meth:`RandomStreams.fork`, whose ``"fork:"``-
+  prefixed hashing guarantees the replica's streams can never collide
+  with the parent run's plain streams (see
+  :func:`repro.utils.rng.derive_seed`);
+* workers ship back plain picklable :class:`~repro.parallel.merge.
+  ReplicaResult` records — including a kernel-counter snapshot, since
+  the process-global :func:`~repro.des.kernel_counters` of a worker
+  is invisible to the parent — and the parent merges them in replica-
+  index order regardless of completion order;
+* the merged payload is byte-identical (modulo the timing and
+  execution-geometry fields removed by
+  :meth:`ExperimentResult.strip_timings`) for any worker count.
+
+:func:`parallel_map` is the underlying generic primitive, also used
+by the SA mapper's multi-start mode
+(:func:`repro.noc.parallel_annealing_mapping`) and ``repro bench
+--workers``.
+
+This module is the **only** sanctioned home for ``multiprocessing``
+in the repository: the SL206 lint rule flags process-pool usage
+anywhere else, because ad-hoc pools silently break the seed-derivation
+and counter-merging contracts centralised here.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import time
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro import experiments
+from repro.des import kernel_counters
+from repro.parallel.merge import ReplicaResult, merge_replicas
+from repro.utils.rng import RandomStreams
+
+__all__ = ["fork_seed", "replica_seed", "parallel_map",
+           "run_replicated"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def fork_seed(master_seed: int, name: str) -> int:
+    """The master seed of ``RandomStreams(master_seed).fork(name)``.
+
+    Forked seeds hash under a ``"fork:"`` prefix, so streams drawn
+    from a fork can never collide with streams drawn from the parent
+    by plain :meth:`~repro.utils.rng.RandomStreams.get`.
+    """
+    return RandomStreams(master_seed).fork(name).master_seed
+
+
+def replica_seed(master_seed: int, index: int) -> int:
+    """Deterministic per-replica seed: a pure function of the master
+    seed and the replica index, independent of worker count and
+    scheduling order."""
+    if index < 0:
+        raise ValueError(f"replica index must be >= 0, got {index}")
+    return fork_seed(master_seed, f"replica/{index}")
+
+
+def _context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    # fork is dramatically cheaper (no re-import of the repro stack
+    # per worker) and available on the platforms we target (Linux).
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _call_indexed(payload: tuple) -> tuple:
+    fn, index, item = payload
+    return index, fn(item)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    workers: int | None = None,
+    start_method: str | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``items`` on a process pool, order-preserving.
+
+    Results come back in **input order** no matter which worker
+    finishes first: each item travels with its index and the output
+    is sorted by it.  ``workers=None`` uses ``os.cpu_count()``;
+    the effective pool size never exceeds the number of items.
+    ``workers<=1`` maps inline in this process — only safe for *pure*
+    functions; anything touching process-global state (like
+    experiment replicas, which reset kernel counters) must go through
+    :func:`run_replicated`, which always isolates work in child
+    processes.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    workers = max(1, min(int(workers), len(items)))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    payloads = [(fn, i, item) for i, item in enumerate(items)]
+    ctx = _context(start_method)
+    with ctx.Pool(processes=workers) as pool:
+        indexed = list(
+            pool.imap_unordered(_call_indexed, payloads, chunksize=1)
+        )
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]
+
+
+def _run_replica(payload: tuple) -> ReplicaResult:
+    """Worker body: run one replica and ship back a plain record.
+
+    Runs in a child process; resetting the (process-local) kernel
+    counters first makes the shipped snapshot exactly this replica's
+    kernel activity.
+    """
+    exp_id, index, seed, verify = payload
+    # Finalize any objects inherited from the parent (or a previous
+    # task in this process) *before* resetting the counters: suspended
+    # simulation generators schedule cleanup events when collected,
+    # which would otherwise leak into this replica's snapshot.
+    gc.collect()
+    counters = kernel_counters()
+    counters.reset()
+    start = time.perf_counter()
+    result = experiments.run(exp_id, seed=seed, verify=verify)
+    wall = time.perf_counter() - start
+    return ReplicaResult(
+        index=index,
+        seed=seed,
+        kpis=dict(result.metrics),
+        tables=list(result.tables),
+        report=result.report,
+        registry=result.registry,
+        kernel=counters.snapshot(),
+        wall_seconds=wall,
+    )
+
+
+def run_replicated(
+    exp_id: str,
+    *,
+    replicas: int,
+    workers: int | None = None,
+    seed: int | None = None,
+    verify: bool = True,
+    start_method: str | None = None,
+):
+    """Run ``replicas`` independent replicas of one experiment and
+    merge them into a pooled :class:`ExperimentResult`.
+
+    Parameters
+    ----------
+    exp_id:
+        Experiment id (case-insensitive), as for
+        :func:`repro.experiments.run`.
+    replicas:
+        Number of independent replicas; replica *i* runs with
+        :func:`replica_seed(master, i) <replica_seed>`.
+    workers:
+        Worker processes (default ``os.cpu_count()``, capped at
+        ``replicas``).  **Every** worker count — including 1 — runs
+        replicas in child processes: a replica resets its process-
+        global kernel counters, so running it inline would clobber
+        the parent's, and keeping one code path is what makes the
+        workers=1 and workers=16 payloads byte-identical.
+    seed:
+        Master seed (default 0, matching ``experiments.run``).
+    verify:
+        Pre-flight the experiment's models in the **parent** before
+        any worker starts (fail fast, once) and skip re-verification
+        in the workers.
+    start_method:
+        Multiprocessing start method override (default: ``fork``
+        where available, else ``spawn``).
+
+    Returns the pooled :class:`~repro.experiments.result.
+    ExperimentResult`; ``result.report.replication`` carries the
+    across-replica KPI statistics, per-replica seeds, summed kernel
+    counters and per-replica wall times.  The parent's own
+    :func:`~repro.des.kernel_counters` are advanced by the merged
+    worker totals, so cross-process kernel activity is visible
+    exactly once.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    experiment = experiments.get(exp_id)
+    if verify and experiment.models is not None:
+        from repro.check import ModelVerificationError, has_errors
+
+        diagnostics = experiments.preflight(exp_id)
+        if has_errors(diagnostics):
+            raise ModelVerificationError(diagnostics)
+    master = 0 if seed is None else int(seed)
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    workers = max(1, min(int(workers), replicas))
+
+    payloads = [
+        (experiment.id, index, replica_seed(master, index), False)
+        for index in range(replicas)
+    ]
+    start = time.perf_counter()
+    ctx = _context(start_method)
+    # maxtasksperchild=1: every replica gets a *fresh* process, so a
+    # replica never observes interpreter state (warm caches, pending
+    # garbage) left behind by a previous replica that happened to land
+    # on the same worker — a worker-count-dependent effect that would
+    # break the byte-identical merge contract.
+    with ctx.Pool(processes=workers, maxtasksperchild=1) as pool:
+        results = list(
+            pool.imap_unordered(_run_replica, payloads, chunksize=1)
+        )
+    wall = time.perf_counter() - start
+    results.sort(key=lambda r: r.index)
+
+    parent_counters = kernel_counters()
+    for replica in results:
+        parent_counters.merge(replica.kernel)
+
+    return merge_replicas(
+        experiment.id,
+        experiment.claim,
+        results,
+        master_seed=master,
+        workers=workers,
+        wall_seconds=wall,
+    )

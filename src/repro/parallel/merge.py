@@ -1,0 +1,222 @@
+"""Deterministic merging of replicated experiment results.
+
+A replicated run produces one :class:`ReplicaResult` per (seed,
+replica index).  :func:`merge_replicas` folds them — **always in
+replica-index order**, never in completion order — into a single
+pooled :class:`~repro.experiments.result.ExperimentResult`:
+
+* headline KPIs become across-replica means, with Student-t
+  confidence intervals (:func:`repro.utils.stats.confidence_interval`)
+  and min/max/std in ``report.replication["kpis"]``;
+* the per-replica :class:`~repro.obs.metrics.MetricRegistry` objects
+  fold via :meth:`MetricRegistry.merge` (counters sum, gauges pool,
+  histograms merge exactly in the aggregates);
+* per-replica kernel-counter snapshots sum into
+  ``report.replication["kernel"]``.
+
+Because the fold order is the replica index and every replica's seed
+is a pure function of ``(master_seed, index)``, the merged payload is
+byte-identical for any worker count and any completion order — the
+determinism contract asserted by
+:meth:`ExperimentResult.strip_timings`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.experiments.result import ExperimentResult
+from repro.obs.metrics import MetricRegistry
+from repro.obs.report import RunReport
+from repro.utils.stats import confidence_interval
+from repro.utils.tables import Table
+
+__all__ = ["ReplicaResult", "pool_kpis", "merge_replicas"]
+
+
+@dataclass
+class ReplicaResult:
+    """What one worker ships back for one replica.
+
+    Deliberately a plain picklable record: the parent never receives
+    live tracers or process handles, only data.  ``kernel`` is the
+    worker-local :class:`~repro.des.KernelCounters` snapshot for this
+    replica (the worker resets its process-global counters before the
+    run), so the parent can :meth:`~repro.des.KernelCounters.merge`
+    what would otherwise be invisible cross-process activity.
+    """
+
+    index: int
+    seed: int
+    kpis: dict[str, float] = field(default_factory=dict)
+    tables: list[Table] = field(default_factory=list)
+    report: RunReport | None = None
+    registry: MetricRegistry | None = None
+    kernel: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+
+def pool_kpis(
+    replicas: Sequence[ReplicaResult],
+) -> dict[str, dict[str, float]]:
+    """Across-replica statistics for every headline KPI.
+
+    Returns ``{kpi: {mean, ci_half, min, max, std, n}}`` with KPI
+    names in first-seen replica order.  ``ci_half`` is the half-width
+    of the 95% Student-t interval (NaN for fewer than two replicas —
+    a single replica has no across-replica variance to estimate).
+    """
+    names: list[str] = []
+    for replica in replicas:
+        for name in replica.kpis:
+            if name not in names:
+                names.append(name)
+    pooled: dict[str, dict[str, float]] = {}
+    for name in names:
+        values = [r.kpis[name] for r in replicas if name in r.kpis]
+        mean, half = confidence_interval(values)
+        if math.isinf(half):
+            half = math.nan  # one replica: no variance to estimate
+        arr_mean = sum(values) / len(values)
+        if len(values) > 1:
+            variance = sum((v - arr_mean) ** 2 for v in values) / (
+                len(values) - 1
+            )
+            std = math.sqrt(variance)
+        else:
+            std = math.nan
+        pooled[name] = {
+            "mean": mean,
+            "ci_half": half,
+            "min": min(values),
+            "max": max(values),
+            "std": std,
+            "n": len(values),
+        }
+    return pooled
+
+
+def _replication_table(
+    pooled: dict[str, dict[str, float]], n_replicas: int
+) -> Table:
+    table = Table(
+        ["kpi", "mean", "ci_half", "min", "max"],
+        title=f"pooled KPIs across {n_replicas} replicas "
+              f"(95% CI half-width)",
+    )
+    for name, stats in pooled.items():
+        table.add_row([
+            name,
+            f"{stats['mean']:.6g}",
+            ("n/a" if math.isnan(stats["ci_half"])
+             else f"{stats['ci_half']:.3g}"),
+            f"{stats['min']:.6g}",
+            f"{stats['max']:.6g}",
+        ])
+    return table
+
+
+def _per_replica_table(replicas: Sequence[ReplicaResult]) -> Table:
+    names: list[str] = []
+    for replica in replicas:
+        for name in replica.kpis:
+            if name not in names:
+                names.append(name)
+    table = Table(["replica", "seed"] + names,
+                  title="per-replica KPIs")
+    for replica in replicas:
+        row = [str(replica.index), str(replica.seed)]
+        for name in names:
+            value = replica.kpis.get(name)
+            row.append("n/a" if value is None else f"{value:.6g}")
+        table.add_row(row)
+    return table
+
+
+def _merged_kernel(
+    replicas: Sequence[ReplicaResult],
+) -> dict[str, int]:
+    merged = {
+        "events_scheduled": 0,
+        "events_executed": 0,
+        "environments": 0,
+        "peak_heap_depth": 0,
+    }
+    for replica in replicas:
+        for key in ("events_scheduled", "events_executed",
+                    "environments"):
+            merged[key] += int(replica.kernel.get(key, 0))
+        depth = int(replica.kernel.get("peak_heap_depth", 0))
+        if depth > merged["peak_heap_depth"]:
+            merged["peak_heap_depth"] = depth
+    return merged
+
+
+def merge_replicas(
+    exp_id: str,
+    claim: str,
+    replicas: Sequence[ReplicaResult],
+    *,
+    master_seed: int,
+    workers: int,
+    wall_seconds: float = 0.0,
+) -> ExperimentResult:
+    """Fold replica results into one pooled :class:`ExperimentResult`.
+
+    ``replicas`` must already be sorted by :attr:`ReplicaResult.index`
+    (``run_replicated`` guarantees this); the fold order **is** the
+    determinism contract, so this function refuses unsorted input
+    rather than silently reordering differently from the caller's
+    expectation.
+    """
+    if not replicas:
+        raise ValueError("merge_replicas needs at least one replica")
+    indices = [r.index for r in replicas]
+    if indices != sorted(indices):
+        raise ValueError(
+            f"replicas must be sorted by index, got {indices}"
+        )
+    pooled = pool_kpis(replicas)
+    metrics = {name: stats["mean"] for name, stats in pooled.items()}
+
+    merged_registry = MetricRegistry()
+    for replica in replicas:
+        if replica.registry is not None:
+            merged_registry.merge(replica.registry)
+
+    report = RunReport.from_run(
+        exp_id,
+        seed=master_seed,
+        wall_seconds=wall_seconds,
+        metrics=metrics,
+        registry=merged_registry,
+    )
+    report.replication = {
+        "replicas": len(replicas),
+        "workers": workers,
+        "seeds": [r.seed for r in replicas],
+        "kpis": pooled,
+        "kernel": _merged_kernel(replicas),
+        "wall_seconds": [r.wall_seconds for r in replicas],
+    }
+
+    tables = [
+        _replication_table(pooled, len(replicas)),
+        _per_replica_table(replicas),
+    ]
+    # Replica 0's native tables show what one run looks like; every
+    # replica produces the same table *shapes*, so one sample is
+    # representative without bloating the payload.
+    tables.extend(replicas[0].tables)
+
+    return ExperimentResult(
+        id=exp_id,
+        claim=claim,
+        tables=tables,
+        metrics=metrics,
+        report=report,
+        raw=list(replicas),
+        registry=merged_registry,
+    )

@@ -13,17 +13,25 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RandomStreams", "spawn_rng"]
+__all__ = ["RandomStreams", "spawn_rng", "derive_seed"]
 
 
-def _seed_for(master_seed: int, name: str) -> int:
+def derive_seed(master_seed: int, name: str) -> int:
     """Derive a 64-bit child seed from ``master_seed`` and a stream name.
 
     Uses SHA-256 so that similar names ("src0", "src1") map to unrelated
-    seeds, unlike simple additive schemes.
+    seeds, unlike simple additive schemes.  This is also the primitive
+    behind :meth:`RandomStreams.fork`: forked namespaces hash under a
+    ``"fork:"`` prefix, so a fork's streams can never collide with the
+    parent's plain :meth:`RandomStreams.get` streams — the property
+    :mod:`repro.parallel` relies on when deriving per-replica seeds.
     """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+#: Backwards-compatible private alias (pre-1.3 internal name).
+_seed_for = derive_seed
 
 
 def spawn_rng(master_seed: int, name: str) -> np.random.Generator:

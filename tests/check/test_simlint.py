@@ -182,6 +182,47 @@ class TestSL205TimeEquality:
         assert diags == []
 
 
+class TestSL206BareMultiprocessing:
+    def test_import_multiprocessing(self):
+        diags = lint("""
+            import multiprocessing
+            pool = multiprocessing.Pool(4)
+        """)
+        assert "SL206" in rules_of(diags)
+
+    def test_from_import(self):
+        diags = lint("""
+            from multiprocessing import Pool
+        """)
+        assert "SL206" in rules_of(diags)
+
+    def test_concurrent_futures(self):
+        diags = lint("""
+            from concurrent.futures import ProcessPoolExecutor
+        """)
+        assert "SL206" in rules_of(diags)
+
+    def test_repro_parallel_is_exempt(self):
+        source = textwrap.dedent("""
+            import multiprocessing
+        """)
+        diags = lint_source(source, "src/repro/parallel/engine.py")
+        assert diags == []
+
+    def test_repro_parallel_helper_is_clean(self):
+        diags = lint("""
+            from repro.parallel import parallel_map
+            out = parallel_map(abs, [-1, 2], workers=2)
+        """)
+        assert diags == []
+
+    def test_pragma_suppresses(self):
+        diags = lint("""
+            import multiprocessing  # simlint: ignore[SL206]
+        """)
+        assert diags == []
+
+
 class TestPragmas:
     def test_ignore_specific_rule_on_line(self):
         diags = lint("""

@@ -1,0 +1,133 @@
+"""Boundary contract of ``Environment.run(until=t)``.
+
+The kernel uses a **closed (inclusive) horizon**: events scheduled at
+exactly ``t`` run, events one ulp later stay queued, and re-running to
+the same horizon is a no-op.  These tests pin that choice (documented
+in ``docs/des_kernel.md``) so a refactor cannot silently drift toward
+SimPy's strict-``<`` stop semantics and change every seeded result.
+"""
+
+import math
+
+import pytest
+
+from repro.des import EmptySchedule, Environment
+
+
+def fire_at(env, at, log, tag="x"):
+    def proc(env):
+        yield env.timeout(at - env.now)
+        log.append((tag, env.now))
+
+    return env.process(proc(env))
+
+
+class TestClosedHorizon:
+    def test_event_exactly_at_horizon_executes(self):
+        env, log = Environment(), []
+        fire_at(env, 5.0, log)
+        env.run(until=5.0)
+        assert log == [("x", 5.0)]
+        assert env.now == 5.0
+
+    def test_event_one_ulp_after_horizon_stays_queued(self):
+        env, log = Environment(), []
+        later = math.nextafter(5.0, math.inf)
+        fire_at(env, later, log)
+        env.run(until=5.0)
+        assert log == []
+        assert env.now == 5.0
+        assert env.peek() == later
+        env.run(until=later)
+        assert log == [("x", later)]
+
+    def test_event_one_ulp_before_horizon_executes(self):
+        env, log = Environment(), []
+        fire_at(env, math.nextafter(5.0, -math.inf), log)
+        env.run(until=5.0)
+        assert len(log) == 1
+        assert env.now == 5.0
+
+    def test_chained_event_at_horizon_executes_same_run(self):
+        # An event at t that schedules another event at t (zero
+        # delay): the closed horizon includes the chained event too.
+        env, log = Environment(), []
+
+        def chain(env):
+            yield env.timeout(5.0)
+            log.append(("first", env.now))
+            yield env.timeout(0.0)
+            log.append(("second", env.now))
+
+        env.process(chain(env))
+        env.run(until=5.0)
+        assert log == [("first", 5.0), ("second", 5.0)]
+
+
+class TestReentrancy:
+    def test_rerun_to_same_horizon_is_a_noop(self):
+        env, log = Environment(), []
+        fire_at(env, 5.0, log)
+        env.run(until=5.0)
+        env.run(until=5.0)  # idempotent: nothing runs twice
+        assert log == [("x", 5.0)]
+        assert env.now == 5.0
+
+    def test_split_horizons_match_single_run(self):
+        def periodic(env, log):
+            while env.now < 10.0:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        split_env, split_log = Environment(), []
+        split_env.process(periodic(split_env, split_log))
+        split_env.run(until=5.0)
+        split_env.run(until=10.0)
+
+        one_env, one_log = Environment(), []
+        one_env.process(periodic(one_env, one_log))
+        one_env.run(until=10.0)
+
+        assert split_log == one_log
+        assert split_env.now == one_env.now == 10.0
+
+    def test_run_until_now_is_legal_and_runs_due_events(self):
+        env, log = Environment(), []
+        fire_at(env, 5.0, log)
+        env.run(until=5.0)
+        # New work scheduled at the current instant is picked up by
+        # another run to the same horizon.
+        fire_at(env, 5.0, log, tag="y")
+        env.run(until=5.0)
+        assert log == [("x", 5.0), ("y", 5.0)]
+
+    def test_horizon_in_the_past_raises(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(ValueError, match="clock already at"):
+            env.run(until=math.nextafter(5.0, -math.inf))
+
+
+class TestEventHorizon:
+    def test_until_event_stops_at_that_event(self):
+        env, log = Environment(), []
+        target = fire_at(env, 5.0, log)
+        fire_at(env, 7.0, log, tag="late")
+        env.run(until=target)
+        assert log == [("x", 5.0)]
+        # The later event is untouched; a numeric run picks it up.
+        env.run(until=7.0)
+        assert log == [("x", 5.0), ("late", 7.0)]
+
+    def test_until_event_from_other_environment_raises(self):
+        env, other = Environment(), Environment()
+        foreign = other.event()
+        with pytest.raises(ValueError, match="different environment"):
+            env.run(until=foreign)
+
+    def test_drained_queue_before_event_raises(self):
+        env = Environment()
+        never = env.event()
+        fire_at(env, 1.0, [])
+        with pytest.raises(EmptySchedule):
+            env.run(until=never)

@@ -1,0 +1,115 @@
+"""Step-owner attribution and kernel-counter merge semantics.
+
+* ``Environment.step`` must attribute a step to *every* process the
+  event resumes (fan-in: several processes waiting on one event) —
+  the profiler splits the step's wall time between them instead of
+  charging it all to the first callback.
+* ``KernelCounters.merge`` folds worker snapshots into parent totals
+  (additive counters sum, the heap high-water mark maxes), and
+  ``reset()`` forgets live environments by design.
+"""
+
+from repro.des import Environment, KernelCounters, kernel_counters
+from repro.obs import Tracer
+from repro.obs.perf import WallAttributionTracer
+
+
+def two_waiters_on_one_event(env):
+    gate = env.event()
+    woken = []
+
+    def waiter_a(env):
+        yield gate
+        woken.append("a")
+
+    def waiter_b(env):
+        yield gate
+        woken.append("b")
+
+    def releaser(env):
+        yield env.timeout(1.0)
+        gate.succeed()
+
+    env.process(waiter_a(env))
+    env.process(waiter_b(env))
+    env.process(releaser(env))
+    return woken
+
+
+class TestStepOwners:
+    def test_fan_in_step_lists_every_resumed_process(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+        woken = two_waiters_on_one_event(env)
+        env.run()
+        assert woken == ["a", "b"]
+        fan_in = [e for e in tracer.events
+                  if e.kind == "step" and "procs" in e.attrs]
+        assert len(fan_in) == 1
+        assert fan_in[0].attrs["procs"] == ("waiter_a", "waiter_b")
+        # `proc` stays populated (first owner) for consumers that
+        # only understand single attribution.
+        assert fan_in[0].attrs["proc"] == "waiter_a"
+
+    def test_single_owner_steps_have_no_procs_attribute(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+
+        def lone(env):
+            yield env.timeout(1.0)
+
+        env.process(lone(env))
+        env.run()
+        owned = [e for e in tracer.events
+                 if e.kind == "step" and "proc" in e.attrs]
+        assert owned
+        assert all("procs" not in e.attrs for e in owned)
+
+    def test_wall_attribution_charges_both_waiters(self):
+        tracer = WallAttributionTracer()
+        env = Environment(tracer=tracer)
+        woken = two_waiters_on_one_event(env)
+        env.run()
+        assert woken == ["a", "b"]
+        assert "waiter_a" in tracer.wall_by_owner
+        assert "waiter_b" in tracer.wall_by_owner
+        assert all(v >= 0.0 for v in tracer.wall_by_owner.values())
+
+
+class TestKernelCountersMerge:
+    def test_merge_sums_counts_and_maxes_peak(self):
+        counters = KernelCounters()
+        counters.merge({"events_scheduled": 10, "events_executed": 8,
+                        "peak_heap_depth": 4, "environments": 1})
+        counters.merge({"events_scheduled": 5, "events_executed": 5,
+                        "peak_heap_depth": 9, "environments": 2})
+        snap = counters.snapshot()
+        assert snap == {"events_scheduled": 15, "events_executed": 13,
+                        "peak_heap_depth": 9, "environments": 3}
+
+    def test_merge_tolerates_partial_snapshots(self):
+        counters = KernelCounters()
+        counters.merge({"events_executed": 3})
+        assert counters.events_executed == 3
+        assert counters.events_scheduled == 0
+        assert counters.peak_heap_depth == 0
+
+    def test_reset_forgets_live_environments_by_design(self):
+        counters = kernel_counters()
+        env = Environment()  # counted at construction
+        counters.reset()
+        # The live environment built before the reset is gone from
+        # the tally — `environments` counts constructions since the
+        # last reset, not the population of live environments ...
+        assert counters.environments == 0
+        # ... but post-reset activity of that environment still
+        # counts: the counters are about work done, not object
+        # lifetimes.
+        def tick(env):
+            yield env.timeout(1.0)
+
+        env.process(tick(env))
+        env.run()
+        assert counters.events_executed > 0
+        Environment()  # new construction after reset is counted
+        assert counters.environments == 1

@@ -1,0 +1,99 @@
+"""The cross-process determinism matrix.
+
+The engine's headline contract: a replicated run's merged payload is
+byte-identical — after :meth:`ExperimentResult.strip_timings` removes
+host timings and execution geometry — for **any** worker count.  The
+matrix here runs cheap experiments with workers 1 and 4; the CI
+``parallel`` job extends the same assertion to the heavyweight
+experiments (see ``benchmarks/bench_parallel_equivalence.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.noc import (
+    Mesh2D,
+    NocEnergyModel,
+    mms_apcg,
+    parallel_annealing_mapping,
+)
+from repro.obs import perf
+from repro.parallel import run_replicated
+
+
+def _stripped(result) -> str:
+    return json.dumps(result.strip_timings(), sort_keys=True)
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("exp_id", ["e14", "e1", "f1"])
+    def test_workers_1_vs_4_byte_identical(self, exp_id):
+        serial = run_replicated(exp_id, replicas=3, workers=1)
+        fanned = run_replicated(exp_id, replicas=3, workers=4)
+        assert _stripped(serial) == _stripped(fanned)
+
+    def test_master_seed_changes_payload(self):
+        base = run_replicated("e14", replicas=2, workers=1)
+        other = run_replicated("e14", replicas=2, workers=1, seed=1)
+        assert _stripped(base) != _stripped(other)
+
+    def test_stripped_payload_drops_geometry_only(self):
+        result = run_replicated("e14", replicas=2, workers=2)
+        stripped = result.strip_timings()
+        replication = stripped["report"]["replication"]
+        assert "workers" not in replication
+        assert "wall_seconds" not in replication
+        assert "wall_seconds" not in stripped["report"]
+        # The simulated content all stays.
+        assert replication["replicas"] == 2
+        assert replication["seeds"]
+        assert replication["kpis"]
+
+    def test_repeated_run_same_workers_identical(self):
+        first = run_replicated("e14", replicas=2, workers=2)
+        second = run_replicated("e14", replicas=2, workers=2)
+        assert _stripped(first) == _stripped(second)
+
+
+class TestBenchWorkerInvariance:
+    def test_parallel_repeats_match_serial(self):
+        serial = perf.run_bench(["e14"], repeat=2, workers=1)
+        fanned = perf.run_bench(["e14"], repeat=2, workers=4)
+        assert (json.dumps(perf.strip_timings(serial), sort_keys=True)
+                == json.dumps(perf.strip_timings(fanned),
+                              sort_keys=True))
+
+    def test_replicated_bench_records_geometry(self):
+        document = perf.run_bench(["e14"], repeat=1, replicas=2,
+                                  workers=2)
+        record = document["experiments"][0]
+        assert record["replicas"] == 2
+        assert record["workers"] == 2
+        assert document["meta"]["replicas"] == 2
+        stripped = perf.strip_timings(document)
+        assert "workers" not in stripped["experiments"][0]
+        assert "workers" not in stripped["meta"]
+        assert stripped["experiments"][0]["replicas"] == 2
+
+
+class TestAnnealingMultiStart:
+    def test_workers_do_not_change_the_winner(self):
+        tg, mesh = mms_apcg(), Mesh2D(4, 4)
+        serial = parallel_annealing_mapping(
+            tg, mesh, n_starts=3, workers=1, n_iterations=1500)
+        fanned = parallel_annealing_mapping(
+            tg, mesh, n_starts=3, workers=4, n_iterations=1500)
+        assert serial == fanned
+
+    def test_more_starts_never_worse(self):
+        tg, mesh = mms_apcg(), Mesh2D(4, 4)
+        energy = NocEnergyModel()
+        one = parallel_annealing_mapping(
+            tg, mesh, energy=energy, n_starts=1, workers=1,
+            n_iterations=1500)
+        four = parallel_annealing_mapping(
+            tg, mesh, energy=energy, n_starts=4, workers=2,
+            n_iterations=1500)
+        assert (four.communication_energy(tg, energy)
+                <= one.communication_energy(tg, energy))
