@@ -12,6 +12,12 @@ Two assertions per heavyweight experiment (e3, e14, r1):
    envelope of the replicas, and every replica's seed matches the
    pure derivation :func:`repro.parallel.replica_seed`.
 
+A third, chaos-flavoured assertion rides along: a replicated run with
+**injected worker faults** (a crash and a raise, retried by the
+supervisor on the same derived seeds) merges byte-identically to the
+fault-free single-worker run — the end-to-end form of the chaos
+determinism matrix in ``tests/parallel/test_chaos.py``.
+
 A speedup assertion deliberately does **not** live here: wall-clock
 ratios depend on the runner's core count, so the CI job records the
 measured speedup in its log (see ``repro bench --replicas``) instead
@@ -22,7 +28,7 @@ from __future__ import annotations
 
 import json
 
-from repro.parallel import replica_seed, run_replicated
+from repro.parallel import FaultPlan, replica_seed, run_replicated
 
 #: The experiments whose published tables the gate protects.
 _GATED = ("e3", "e14", "r1")
@@ -43,6 +49,25 @@ def bench_parallel_equivalence_e14():
 
 def bench_parallel_equivalence_r1():
     _assert_equivalent("r1")
+
+
+def bench_parallel_equivalence_injected_crash():
+    """Supervisor gate: a sweep surviving an injected worker crash
+    (plus a raised fault) merges byte-identically to a clean run."""
+    clean = run_replicated("e14", replicas=_REPLICAS, workers=1)
+    chaotic = run_replicated(
+        "e14", replicas=_REPLICAS, workers=4,
+        fault_plan=FaultPlan().crash(0).raise_(2),
+        backoff_base=0.01)
+    assert _stripped(chaotic) == _stripped(clean), (
+        "e14: merge with injected crash/raise differs from the "
+        "fault-free run"
+    )
+    replication = chaotic.report.replication
+    assert replication["attempts"][0] == 2, (
+        "crashed replica 0 was not retried"
+    )
+    assert replication["failed_replicas"] == []
 
 
 def _assert_equivalent(exp_id: str) -> None:

@@ -22,6 +22,12 @@ Rules (catalog in :mod:`repro.check.diagnostics`):
 * ``SL206`` — ``multiprocessing`` / ``concurrent.futures`` imported
   outside :mod:`repro.parallel`, the one sanctioned home for process
   pools (ad-hoc pools bypass seed derivation and counter merging).
+* ``SL207`` — a silently swallowed exception: an ``except`` catching
+  ``Exception``/``BaseException`` (or nothing at all), or any
+  :class:`~repro.resilience.PolicyError` subclass, whose body only
+  ``pass``/``...``/``continue``-s.  Silent fault-masking defeats the
+  resilience layer — injected chaos faults and real policy failures
+  alike disappear without a trace.
 
 Intentional violations are whitelisted inline::
 
@@ -87,6 +93,16 @@ _PARALLEL_MODULES = {"multiprocessing", "concurrent"}
 
 #: Path fragments identifying the sanctioned home of process pools.
 _PARALLEL_EXEMPT_FRAGMENT = "repro/parallel"
+
+#: Exception names that are too broad to swallow silently (SL207).
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: The resilience layer's policy-failure types (SL207): swallowing one
+#: hides exactly the fault signal the layer exists to propagate.
+_POLICY_ERRORS = {
+    "PolicyError", "DeadlineExceeded", "RetryBudgetExceeded",
+    "CircuitOpen",
+}
 
 
 def _collect_pragmas(
@@ -179,6 +195,39 @@ def _mentions_simulated_time(node: ast.expr) -> bool:
         if isinstance(sub, ast.Name) and sub.id in _TIME_NAMES:
             return True
     return False
+
+
+def _handler_type_names(node: ast.expr | None) -> set[str]:
+    """Terminal names an ``except`` clause catches.
+
+    ``except resilience.PolicyError`` yields ``{"PolicyError"}``;
+    tuples contribute every member; a bare ``except`` yields the
+    empty set (the caller treats ``None`` as catch-everything).
+    """
+    if node is None:
+        return set()
+    members = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for member in members:
+        if isinstance(member, ast.Attribute):
+            names.add(member.attr)
+        elif isinstance(member, ast.Name):
+            names.add(member.id)
+    return names
+
+
+def _body_swallows(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing with the exception:
+    every statement is ``pass``, ``...``, or ``continue``."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
 
 
 def _is_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -343,6 +392,26 @@ class _Linter(ast.NodeVisitor):
                 f"clock",
                 node,
             )
+
+    # -- SL207: silently swallowed exceptions --------------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            names = _handler_type_names(handler.type)
+            broad = (handler.type is None
+                     or bool(names & _BROAD_EXCEPTIONS))
+            policy = bool(names & _POLICY_ERRORS)
+            if (broad or policy) and _body_swallows(handler.body):
+                caught = ("everything" if handler.type is None
+                          else ", ".join(sorted(names)))
+                self._emit(
+                    "SL207",
+                    f"except block catches {caught} and silently "
+                    f"swallows it — faults (including injected chaos "
+                    f"faults and resilience-policy failures) vanish "
+                    f"without a trace",
+                    handler,
+                )
+        self.generic_visit(node)
 
     # -- SL205: float == simulated time --------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:

@@ -7,6 +7,8 @@ Usage::
     python -m repro run e3 --json         # machine-readable result
     python -m repro run all --out out/    # write one JSON per id
     python -m repro run e14 --replicas 8 --workers 4   # pooled CIs
+    python -m repro run e14 --replicas 64 --replica-timeout 120 \
+        --retries 3 --resume sweep.jsonl   # survivable sweep
     python -m repro trace e14             # record a kernel event trace
     python -m repro report e6             # run-report digest
     python -m repro check --strict        # static model + sim lint
@@ -124,17 +126,46 @@ def _cmd_run(args) -> int:
               "with 'repro trace <id> --seed <replica seed>')",
               file=sys.stderr)
         return 2
+    supervised = (args.replica_timeout is not None
+                  or args.retries is not None
+                  or args.checkpoint or args.resume
+                  or args.allow_partial)
+    if supervised and args.replicas <= 1:
+        print("run: --replica-timeout/--retries/--checkpoint/--resume/"
+              "--allow-partial apply only to replicated sweeps; add "
+              "--replicas N", file=sys.stderr)
+        return 2
+    if supervised and len(ids) > 1 and (args.checkpoint or args.resume):
+        print("run: --checkpoint/--resume journal one sweep; give a "
+              "single experiment id", file=sys.stderr)
+        return 2
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     payload: dict[str, dict] = {}
     for exp_id in ids:
         if args.replicas > 1:
-            from repro.parallel import run_replicated
+            from repro.parallel import ReplicaFailedError, run_replicated
 
-            result = run_replicated(exp_id, replicas=args.replicas,
-                                    workers=args.workers,
-                                    seed=args.seed)
+            try:
+                result = run_replicated(
+                    exp_id, replicas=args.replicas,
+                    workers=args.workers, seed=args.seed,
+                    replica_timeout=args.replica_timeout,
+                    retries=(2 if args.retries is None
+                             else args.retries),
+                    partial=args.allow_partial,
+                    checkpoint=args.checkpoint,
+                    resume=args.resume)
+            except ReplicaFailedError as error:
+                print(f"run: {exp_id}: {error}", file=sys.stderr)
+                if args.checkpoint or args.resume:
+                    journal = args.checkpoint or args.resume
+                    print(f"run: completed replicas are journaled in "
+                          f"{journal}; rerun with --resume {journal} "
+                          f"to continue, or --allow-partial to merge "
+                          f"the survivors", file=sys.stderr)
+                return 1
         else:
             result = experiments.run(exp_id, seed=args.seed,
                                      trace=args.trace)
@@ -347,6 +378,27 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None, metavar="K",
         help="worker processes for --replicas (default: cpu count); "
              "results are identical for any K")
+    run_parser.add_argument(
+        "--replica-timeout", type=float, default=None, metavar="SEC",
+        help="wall-clock budget per replica attempt; a hung replica "
+             "is terminated and retried (default: wait forever)")
+    run_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for a crashed/hung/erroring replica "
+             "(default 2; the retry reruns the same derived seed, so "
+             "the merged payload never changes)")
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="append each completed replica to this JSONL journal")
+    run_parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="skip replicas already completed in this journal "
+             "(from an interrupted sweep) and keep appending to it")
+    run_parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="merge surviving replicas when some exhaust every "
+             "attempt, with failed_replicas accounting in the report "
+             "(default: fail the sweep)")
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one experiment with tracing, export JSONL")

@@ -84,13 +84,18 @@ class ExperimentResult:
         What remains is the **determinism contract** of a run: two
         runs of the same (experiment, seed) — or two replicated runs
         of the same (experiment, master seed, replicas) on *any*
-        worker count — must produce byte-identical stripped payloads
-        (``json.dumps(..., sort_keys=True)`` equal).  Removed:
-        ``report.wall_seconds`` (host timing) and, for replicated
-        results, ``report.replication.workers`` and
-        ``report.replication.wall_seconds`` (execution geometry and
-        per-replica host timings; the pooled *simulated* statistics
-        all stay).
+        worker count, with or without injected worker faults, retries,
+        or a checkpoint resume — must produce byte-identical stripped
+        payloads (``json.dumps(..., sort_keys=True)`` equal).
+        Removed: ``report.wall_seconds`` (host timing) and, for
+        replicated results, ``report.replication.workers``,
+        ``report.replication.wall_seconds``,
+        ``report.replication.attempts`` and
+        ``report.replication.resumed`` (execution geometry, host
+        timings, and retry/resume history — a retried replica reruns
+        the same seed, so attempts are bookkeeping, not science; the
+        pooled *simulated* statistics all stay, as does the explicit
+        ``failed_replicas`` accounting of a partial merge).
         """
         data = json.loads(self.to_json())
         report = data.get("report")
@@ -100,4 +105,6 @@ class ExperimentResult:
             if replication:
                 replication.pop("workers", None)
                 replication.pop("wall_seconds", None)
+                replication.pop("attempts", None)
+                replication.pop("resumed", None)
         return data

@@ -137,6 +137,17 @@ class RunReport:
                 f"  replication: {self.replication.get('replicas')} "
                 f"replicas x {self.replication.get('workers')} "
                 f"worker(s)")
+            failed = self.replication.get("failed_replicas") or []
+            if failed:
+                indices = ", ".join(str(f["index"]) for f in failed)
+                lines.append(
+                    f"  PARTIAL: {len(failed)} replica(s) failed "
+                    f"every attempt (indices {indices})")
+            resumed = self.replication.get("resumed") or 0
+            if resumed:
+                lines.append(
+                    f"  resumed: {resumed} replica(s) loaded from "
+                    f"checkpoint journal")
         for key in sorted(self.metrics):
             lines.append(f"  {key} = {self.metrics[key]:.6g}")
         if self.trace is not None:

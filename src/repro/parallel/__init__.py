@@ -4,11 +4,17 @@ The engine fans one experiment over ``replicas`` independent seeds
 onto ``workers`` OS processes and merges the results
 deterministically — the merged payload is byte-identical (modulo
 timing fields) whether run with 1 or 16 workers, in any completion
-order.  See :mod:`repro.parallel.engine` for the contracts and
-``docs/parallel.md`` for the design discussion.
+order.  Execution is supervised for fault tolerance: hung replicas
+time out and requeue, crashed workers retry with backoff on the same
+derived seed, completed replicas checkpoint to a journal a sweep can
+``resume=`` from, and a :class:`FaultPlan` chaos harness proves the
+merge survives all of it byte-identically.  See
+:mod:`repro.parallel.engine` / :mod:`repro.parallel.supervisor` for
+the contracts and ``docs/parallel.md`` for the design discussion.
 
     >>> from repro.parallel import run_replicated  # doctest: +SKIP
-    >>> result = run_replicated("e14", replicas=8, workers=4)  # doctest: +SKIP
+    >>> result = run_replicated("e14", replicas=8, workers=4,
+    ...                         replica_timeout=60.0)  # doctest: +SKIP
 """
 
 from repro.parallel.engine import (
@@ -18,6 +24,18 @@ from repro.parallel.engine import (
     run_replicated,
 )
 from repro.parallel.merge import ReplicaResult, merge_replicas, pool_kpis
+from repro.parallel.supervisor import (
+    FAULT_PLAN_ENV,
+    CheckpointJournal,
+    FaultPlan,
+    InjectedFault,
+    JournalMismatchError,
+    ParallelItemError,
+    ReplicaFailedError,
+    ReplicaFailure,
+    SupervisorPolicy,
+    supervise,
+)
 
 __all__ = [
     "fork_seed",
@@ -27,4 +45,14 @@ __all__ = [
     "ReplicaResult",
     "merge_replicas",
     "pool_kpis",
+    "FAULT_PLAN_ENV",
+    "CheckpointJournal",
+    "FaultPlan",
+    "InjectedFault",
+    "JournalMismatchError",
+    "ParallelItemError",
+    "ReplicaFailedError",
+    "ReplicaFailure",
+    "SupervisorPolicy",
+    "supervise",
 ]

@@ -18,6 +18,14 @@ results deterministically:
   execution-geometry fields removed by
   :meth:`ExperimentResult.strip_timings`) for any worker count.
 
+Execution is **fault tolerant**: replicas run under the
+:mod:`repro.parallel.supervisor`, which retries crashed or erroring
+workers with exponential backoff, terminates and requeues hung
+replicas past ``replica_timeout``, streams completed results into a
+checkpoint journal an interrupted sweep can ``resume=`` from, and —
+because a retried replica reruns the *same* derived seed — keeps the
+byte-identical merge contract intact through all of it.
+
 :func:`parallel_map` is the underlying generic primitive, also used
 by the SA mapper's multi-start mode
 (:func:`repro.noc.parallel_annealing_mapping`) and ``repro bench
@@ -33,12 +41,22 @@ from __future__ import annotations
 
 import gc
 import multiprocessing
+import random
 import time
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from pathlib import Path
+from typing import Callable, Iterable, TypeVar
 
 from repro import experiments
 from repro.des import kernel_counters
 from repro.parallel.merge import ReplicaResult, merge_replicas
+from repro.parallel.supervisor import (
+    CheckpointJournal,
+    FaultPlan,
+    ParallelItemError,
+    ReplicaFailedError,
+    SupervisorPolicy,
+    supervise,
+)
 from repro.utils.rng import RandomStreams
 
 __all__ = ["fork_seed", "replica_seed", "parallel_map",
@@ -79,7 +97,10 @@ def _context(start_method: str | None) -> multiprocessing.context.BaseContext:
 
 def _call_indexed(payload: tuple) -> tuple:
     fn, index, item = payload
-    return index, fn(item)
+    try:
+        return index, fn(item)
+    except Exception as exc:
+        raise ParallelItemError(index, item, exc) from exc
 
 
 def parallel_map(
@@ -100,6 +121,16 @@ def parallel_map(
     experiment replicas, which reset kernel counters) must go through
     :func:`run_replicated`, which always isolates work in child
     processes.
+
+    **Failure semantics:** the first item whose ``fn`` raises aborts
+    the map with a :class:`~repro.parallel.supervisor.
+    ParallelItemError` carrying the input ``index``, the ``item``
+    itself, and the ``original`` exception (chained via ``from``
+    inline; attached as ``.original`` across the pool).  In-flight
+    siblings are terminated with the pool and their results
+    discarded — ``parallel_map`` is all-or-nothing.  Work that must
+    survive individual failures belongs in :func:`run_replicated`,
+    whose supervisor retries per replica instead of aborting.
     """
     items = list(items)
     if not items:
@@ -108,7 +139,8 @@ def parallel_map(
         workers = multiprocessing.cpu_count()
     workers = max(1, min(int(workers), len(items)))
     if workers <= 1:
-        return [fn(item) for item in items]
+        return [_call_indexed((fn, i, item))[1]
+                for i, item in enumerate(items)]
     payloads = [(fn, i, item) for i, item in enumerate(items)]
     ctx = _context(start_method)
     with ctx.Pool(processes=workers) as pool:
@@ -124,9 +156,16 @@ def _run_replica(payload: tuple) -> ReplicaResult:
 
     Runs in a child process; resetting the (process-local) kernel
     counters first makes the shipped snapshot exactly this replica's
-    kernel activity.
+    kernel activity.  Any planned chaos fault for this
+    ``(replica, attempt)`` fires *before* the experiment runs — a
+    crashed/hung/raised attempt therefore never produces a partial
+    result, and the retry (same seed) reproduces the clean payload.
     """
-    exp_id, index, seed, verify = payload
+    exp_id, index, seed, verify, attempt, plan = payload
+    if plan is None:
+        plan = FaultPlan.from_env()
+    if plan is not None:
+        plan.apply(index, attempt)
     # Finalize any objects inherited from the parent (or a previous
     # task in this process) *before* resetting the counters: suspended
     # simulation generators schedule cleanup events when collected,
@@ -146,6 +185,7 @@ def _run_replica(payload: tuple) -> ReplicaResult:
         registry=result.registry,
         kernel=counters.snapshot(),
         wall_seconds=wall,
+        attempts=attempt,
     )
 
 
@@ -157,6 +197,14 @@ def run_replicated(
     seed: int | None = None,
     verify: bool = True,
     start_method: str | None = None,
+    replica_timeout: float | None = None,
+    retries: int = 2,
+    backoff_base: float = 0.05,
+    backoff_max: float = 2.0,
+    partial: bool = False,
+    checkpoint: str | Path | None = None,
+    resume: str | Path | None = None,
+    fault_plan: FaultPlan | None = None,
 ):
     """Run ``replicas`` independent replicas of one experiment and
     merge them into a pooled :class:`ExperimentResult`.
@@ -175,7 +223,10 @@ def run_replicated(
         replicas in child processes: a replica resets its process-
         global kernel counters, so running it inline would clobber
         the parent's, and keeping one code path is what makes the
-        workers=1 and workers=16 payloads byte-identical.
+        workers=1 and workers=16 payloads byte-identical.  Each
+        attempt gets a *fresh* process (the supervisor equivalent of
+        ``maxtasksperchild=1``), so no replica ever observes
+        interpreter state left behind by another.
     seed:
         Master seed (default 0, matching ``experiments.run``).
     verify:
@@ -185,17 +236,52 @@ def run_replicated(
     start_method:
         Multiprocessing start method override (default: ``fork``
         where available, else ``spawn``).
+    replica_timeout:
+        Per-attempt wall-clock budget in seconds; a replica past it is
+        terminated and retried.  ``None`` (default) waits forever.
+    retries:
+        Extra attempts after the first for a crashed, hung, or
+        erroring replica (default 2; every attempt reruns the same
+        derived seed, so retries never change the merged payload).
+    backoff_base, backoff_max:
+        Exponential-backoff window between attempts, stretched by
+        deterministic jitter from a seed-derived RNG.
+    partial:
+        When a replica exhausts every attempt, merge the surviving
+        replicas (with the casualties accounted in
+        ``report.replication["failed_replicas"]``) instead of raising
+        :class:`~repro.parallel.supervisor.ReplicaFailedError`.
+    checkpoint:
+        Append each completed replica to this JSONL journal
+        (:class:`~repro.parallel.supervisor.CheckpointJournal`).
+    resume:
+        Load completed replicas from this journal and skip them; new
+        completions keep appending to the same journal unless a
+        separate ``checkpoint`` path is given.  A journal recorded by
+        a different (experiment, master seed) sweep is rejected.
+    fault_plan:
+        Chaos-harness injection
+        (:class:`~repro.parallel.supervisor.FaultPlan`): crash, hang,
+        or raise inside chosen ``(replica, attempt)`` workers.  Test
+        hook — production sweeps leave it ``None`` (workers then
+        honour the :data:`~repro.parallel.supervisor.FAULT_PLAN_ENV`
+        variable, so subprocess-driven tests can inject too).
 
     Returns the pooled :class:`~repro.experiments.result.
     ExperimentResult`; ``result.report.replication`` carries the
     across-replica KPI statistics, per-replica seeds, summed kernel
-    counters and per-replica wall times.  The parent's own
+    counters, per-replica wall times and attempt counts, and the
+    failed-replica accounting.  The parent's own
     :func:`~repro.des.kernel_counters` are advanced by the merged
     worker totals, so cross-process kernel activity is visible
-    exactly once.
+    exactly once.  A ``KeyboardInterrupt`` mid-sweep terminates and
+    joins every worker before re-raising — no orphan processes — and
+    a later ``resume=`` picks the sweep up from its journal.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     experiment = experiments.get(exp_id)
     if verify and experiment.models is not None:
         from repro.check import ModelVerificationError, has_errors
@@ -208,23 +294,54 @@ def run_replicated(
         workers = multiprocessing.cpu_count()
     workers = max(1, min(int(workers), replicas))
 
-    payloads = [
-        (experiment.id, index, replica_seed(master, index), False)
-        for index in range(replicas)
-    ]
+    done: dict[int, ReplicaResult] = {}
+    if resume is not None and Path(resume).exists():
+        done = CheckpointJournal.load(
+            resume, experiment=experiment.id, master_seed=master,
+            replicas=replicas)
+    journal_path = checkpoint if checkpoint is not None else resume
+    journal = (CheckpointJournal(journal_path,
+                                 experiment=experiment.id,
+                                 master_seed=master)
+               if journal_path is not None else None)
+
+    tasks = [(index, replica_seed(master, index))
+             for index in range(replicas) if index not in done]
+    policy = SupervisorPolicy(
+        timeout=replica_timeout,
+        retries=retries,
+        backoff_base=backoff_base,
+        backoff_max=backoff_max,
+        partial=partial,
+    )
+    # Jitter draws are seeded off the master so a sweep's retry
+    # schedule is reproducible; the draws only pace retries — they
+    # can never reach the merged payload.
+    rng = random.Random(fork_seed(master, "supervisor/backoff"))
+
+    def make_payload(index: int, seed_i: int, attempt: int) -> tuple:
+        return (experiment.id, index, seed_i, False, attempt,
+                fault_plan)
+
     start = time.perf_counter()
-    ctx = _context(start_method)
-    # maxtasksperchild=1: every replica gets a *fresh* process, so a
-    # replica never observes interpreter state (warm caches, pending
-    # garbage) left behind by a previous replica that happened to land
-    # on the same worker — a worker-count-dependent effect that would
-    # break the byte-identical merge contract.
-    with ctx.Pool(processes=workers, maxtasksperchild=1) as pool:
-        results = list(
-            pool.imap_unordered(_run_replica, payloads, chunksize=1)
-        )
+    fresh, failures = supervise(
+        tasks,
+        worker=_run_replica,
+        make_payload=make_payload,
+        ctx=_context(start_method),
+        workers=workers,
+        policy=policy,
+        rng=rng,
+        on_result=journal.append if journal is not None else None,
+    )
     wall = time.perf_counter() - start
-    results.sort(key=lambda r: r.index)
+
+    results = sorted([*done.values(), *fresh.values()],
+                     key=lambda r: r.index)
+    if not results:
+        # partial=True but nothing survived: there is no result to
+        # degrade to, so this is a hard failure after all.
+        raise ReplicaFailedError(failures)
 
     parent_counters = kernel_counters()
     for replica in results:
@@ -237,4 +354,6 @@ def run_replicated(
         master_seed=master,
         workers=workers,
         wall_seconds=wall,
+        failed=failures,
+        resumed=len(done),
     )

@@ -56,6 +56,11 @@ class ReplicaResult:
     registry: MetricRegistry | None = None
     kernel: dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: How many attempts this replica took (1 = first try succeeded).
+    #: Execution history, not science: a retried replica reruns the
+    #: same seed, and :meth:`ExperimentResult.strip_timings` removes
+    #: the attempt counts from the merged payload.
+    attempts: int = 1
 
 
 def pool_kpis(
@@ -162,6 +167,8 @@ def merge_replicas(
     master_seed: int,
     workers: int,
     wall_seconds: float = 0.0,
+    failed: Sequence[Any] = (),
+    resumed: int = 0,
 ) -> ExperimentResult:
     """Fold replica results into one pooled :class:`ExperimentResult`.
 
@@ -170,6 +177,14 @@ def merge_replicas(
     determinism contract, so this function refuses unsorted input
     rather than silently reordering differently from the caller's
     expectation.
+
+    ``failed`` lists :class:`~repro.parallel.supervisor.ReplicaFailure`
+    records for replicas that exhausted every attempt (a ``partial``
+    merge); their indices may be missing from ``replicas``, which is
+    why a partial merge tolerates index gaps — the accounting lives in
+    ``report.replication["failed_replicas"]``.  ``resumed`` counts the
+    replicas loaded from a checkpoint journal rather than executed in
+    this sweep (execution history; stripped with the timings).
     """
     if not replicas:
         raise ValueError("merge_replicas needs at least one replica")
@@ -200,6 +215,9 @@ def merge_replicas(
         "kpis": pooled,
         "kernel": _merged_kernel(replicas),
         "wall_seconds": [r.wall_seconds for r in replicas],
+        "attempts": [r.attempts for r in replicas],
+        "failed_replicas": [f.to_dict() for f in failed],
+        "resumed": resumed,
     }
 
     tables = [

@@ -223,6 +223,103 @@ class TestSL206BareMultiprocessing:
         assert diags == []
 
 
+class TestSL207SwallowedException:
+    def test_broad_except_pass(self):
+        diags = lint("""
+            try:
+                risky()
+            except Exception:
+                pass
+        """)
+        assert "SL207" in rules_of(diags)
+
+    def test_bare_except_pass(self):
+        diags = lint("""
+            try:
+                risky()
+            except:
+                pass
+        """)
+        assert "SL207" in rules_of(diags)
+
+    def test_base_exception_ellipsis(self):
+        diags = lint("""
+            try:
+                risky()
+            except BaseException:
+                ...
+        """)
+        assert "SL207" in rules_of(diags)
+
+    def test_broad_except_continue_in_loop(self):
+        diags = lint("""
+            for item in items:
+                try:
+                    risky(item)
+                except Exception:
+                    continue
+        """)
+        assert "SL207" in rules_of(diags)
+
+    def test_swallowed_policy_error(self):
+        diags = lint("""
+            from repro.resilience import DeadlineExceeded
+            try:
+                risky()
+            except DeadlineExceeded:
+                pass
+        """)
+        assert "SL207" in rules_of(diags)
+
+    def test_swallowed_dotted_policy_error_in_tuple(self):
+        diags = lint("""
+            from repro import resilience
+            try:
+                risky()
+            except (KeyError, resilience.CircuitOpen):
+                pass
+        """)
+        assert "SL207" in rules_of(diags)
+
+    def test_narrow_exception_pass_is_clean(self):
+        diags = lint("""
+            try:
+                waiters.remove(w)
+            except ValueError:
+                pass
+        """)
+        assert diags == []
+
+    def test_broad_except_with_handling_is_clean(self):
+        diags = lint("""
+            try:
+                risky()
+            except Exception:
+                failures += 1
+                raise
+        """)
+        assert diags == []
+
+    def test_policy_error_with_handling_is_clean(self):
+        diags = lint("""
+            from repro.resilience import CircuitOpen
+            try:
+                risky()
+            except CircuitOpen:
+                result = degraded_answer()
+        """)
+        assert diags == []
+
+    def test_pragma_suppresses(self):
+        diags = lint("""
+            try:
+                risky()
+            except Exception:  # simlint: ignore[SL207]
+                pass
+        """)
+        assert diags == []
+
+
 class TestPragmas:
     def test_ignore_specific_rule_on_line(self):
         diags = lint("""

@@ -1,0 +1,44 @@
+"""Subprocess driver for the signal-handling regression tests.
+
+Runs one replicated sweep and prints ``DONE`` on success.  The tests
+launch it with a unique ``--marker`` argument so the driver *and its
+fork-context children* (which share the parent's command line) can be
+found — and asserted gone — by scanning process command lines after a
+SIGINT/SIGKILL.  Faults are injected through the ``REPRO_FAULT_PLAN``
+environment variable, exercising the env-var test hook end to end.
+
+Not a pytest module: invoked as ``python _sweep_driver.py ...``.
+"""
+
+import argparse
+
+from repro.parallel import run_replicated
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--experiment", default="e14")
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--checkpoint", default=None)
+    parser.add_argument("--resume", default=None)
+    parser.add_argument("--replica-timeout", type=float, default=None)
+    parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument("--marker", default=None,
+                        help="inert tag making this process tree "
+                             "identifiable in process listings")
+    args = parser.parse_args()
+    run_replicated(
+        args.experiment,
+        replicas=args.replicas,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        replica_timeout=args.replica_timeout,
+        retries=args.retries,
+    )
+    print("DONE", flush=True)
+
+
+if __name__ == "__main__":
+    main()
