@@ -23,6 +23,9 @@ rests on:
 * :mod:`repro.manet` — power-aware ad-hoc routing (§4.2);
 * :mod:`repro.resilience` — fault injection and graceful degradation
   (§6);
+* :mod:`repro.scenario` — versioned JSON scenario interchange
+  (``repro.scenario/v1``) with a seeded generative fuzz corpus
+  (``repro scenario``);
 * :mod:`repro.check` — static model verification and simulation lint
   (``repro check``);
 * :mod:`repro.obs` — tracing, metrics and run reports;
@@ -46,7 +49,7 @@ from __future__ import annotations
 
 import importlib
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Subpackages resolved lazily (PEP 562) so ``import repro`` stays
 #: cheap; each appears in ``__all__`` as part of the public surface.
@@ -64,6 +67,7 @@ _SUBPACKAGES = (
     "obs",
     "parallel",
     "resilience",
+    "scenario",
     "streaming",
     "streams",
     "traffic",

@@ -315,6 +315,16 @@ RULES: Mapping[str, Rule] = _catalog([
         "Make ProcessingElement.frequency one of the DVFS operating "
         "points.",
     ),
+    # ---- Layer 1: scenario documents -------------------------------
+    Rule(
+        "RC140", "scenario schema violation", Severity.ERROR,
+        "A file that does not conform to the repro.scenario/v1 schema "
+        "cannot be loaded into model objects at all; every downstream "
+        "check and simulation is moot until the document parses.",
+        "Fix the value at the reported JSON path (repro scenario "
+        "import FILE re-validates), or re-export the scenario with "
+        "repro scenario export.",
+    ),
     # ---- Layer 2: simulation lint ----------------------------------
     Rule(
         "SL200", "file does not parse", Severity.ERROR,

@@ -12,6 +12,11 @@ Usage::
     python -m repro trace e14             # record a kernel event trace
     python -m repro report e6             # run-report digest
     python -m repro check --strict        # static model + sim lint
+    python -m repro check corpus/s0007.json   # verify scenario files
+    python -m repro scenario export e3 --out scenarios/
+    python -m repro scenario generate --count 100 --seed 7 --out corpus/
+    python -m repro scenario sweep corpus/   # differential merge gate
+    python -m repro run e4 --scenario corpus/s0007.json
     python -m repro bench e3 --repeat 3 --out BENCH_perf.json
     python -m repro bench e3 --profile    # hotspots + flamegraph file
     python -m repro bench --compare benchmarks/baseline/BENCH_perf.json
@@ -95,12 +100,30 @@ EXPERIMENTS = _LazyExperiments()
 
 def _resolve_ids(requested: list[str]) -> list[str] | None:
     """Normalize requested ids (case-insensitive, ``all``); ``None``
-    plus a stderr message when any id is unknown."""
+    plus a stderr message when any id is unknown.
+
+    ``scenario:<path>`` ids pass through verbatim (paths are
+    case-sensitive); the file must exist.
+    """
+    from repro.experiments import SCENARIO_ID_PREFIX
+
     known = experiments.ids()
     if [r.lower() for r in requested] == ["all"]:
         return known
-    resolved = [r.lower() for r in requested]
-    unknown = [r for r in resolved if r not in known]
+    resolved = []
+    unknown = []
+    for entry in requested:
+        if entry.startswith(SCENARIO_ID_PREFIX):
+            path = Path(entry[len(SCENARIO_ID_PREFIX):])
+            if not path.is_file():
+                print(f"no such scenario file: {path}",
+                      file=sys.stderr)
+                return None
+            resolved.append(entry)
+        elif entry.lower() in known:
+            resolved.append(entry.lower())
+        else:
+            unknown.append(entry.lower())
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)} "
               f"(try 'repro list')", file=sys.stderr)
@@ -120,6 +143,17 @@ def _cmd_run(args) -> int:
     ids = _resolve_ids(args.experiments)
     if ids is None:
         return 2
+    if args.scenario is not None:
+        if not Path(args.scenario).is_file():
+            print(f"run: no such scenario file: {args.scenario}",
+                  file=sys.stderr)
+            return 2
+        if args.replicas > 1:
+            print("run: --scenario does not combine with --replicas; "
+                  "replicate the scenario as its own experiment id "
+                  f"instead: repro run scenario:{args.scenario} "
+                  f"--replicas {args.replicas}", file=sys.stderr)
+            return 2
     if args.replicas > 1 and args.trace:
         print("run: --trace is incompatible with --replicas > 1 "
               "(replicas run in worker processes; trace one replica "
@@ -168,7 +202,8 @@ def _cmd_run(args) -> int:
                 return 1
         else:
             result = experiments.run(exp_id, seed=args.seed,
-                                     trace=args.trace)
+                                     trace=args.trace,
+                                     scenario=args.scenario)
         if out_dir is not None and result.tracer is not None:
             trace_path = out_dir / f"{exp_id}.trace.jsonl"
             result.tracer.to_jsonl(trace_path)
@@ -231,21 +266,42 @@ def _cmd_check(args) -> int:
         diagnostics_to_dict,
         diagnostics_to_json,
         format_diagnostic,
+        make_diagnostic,
     )
+
+    import repro.scenario as scn
 
     # Neither layer selected explicitly means both.
     do_models = args.models or not (args.models or args.lint)
     do_lint = args.lint or not (args.models or args.lint)
-    lint_targets = [Path(p) for p in args.paths] if args.paths else None
-    if lint_targets is not None:
-        missing = [p for p in lint_targets if not p.exists()]
-        if missing:
-            print("no such path: "
-                  + ", ".join(str(p) for p in missing),
-                  file=sys.stderr)
-            return 2
-    diagnostics = repro_check.check_repository(
-        models=do_models, lint=do_lint, lint_targets=lint_targets)
+    paths = [Path(p) for p in args.paths] if args.paths else []
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print("no such path: "
+              + ", ".join(str(p) for p in missing),
+              file=sys.stderr)
+        return 2
+    scenario_paths = [p for p in paths if scn.is_scenario_file(p)]
+    lint_targets = [p for p in paths if not scn.is_scenario_file(p)]
+    diagnostics = []
+    for path in scenario_paths:
+        try:
+            scenario = scn.load(path)
+        except scn.SchemaError as error:
+            diagnostics.append(make_diagnostic(
+                "RC140", error.reason, f"{path}#{error.path}"))
+        except ValueError as error:
+            diagnostics.append(make_diagnostic(
+                "RC140", f"not parseable as JSON: {error}",
+                f"{path}#$"))
+        else:
+            diagnostics.extend(scn.verify(scenario, label=str(path)))
+    # Scenario files replace the repository pass unless other lint
+    # targets (or an explicit layer flag) ask for it too.
+    if not scenario_paths or lint_targets or args.models or args.lint:
+        diagnostics.extend(repro_check.check_repository(
+            models=do_models, lint=do_lint,
+            lint_targets=lint_targets or None))
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     failing = [d for d in diagnostics if d.severity >= threshold]
     if args.out:
@@ -265,6 +321,125 @@ def _cmd_check(args) -> int:
               f"{counts['warning']} warning(s), "
               f"{counts['info']} info")
     return 1 if failing else 0
+
+
+def _cmd_scenario_export(args) -> int:
+    import repro.scenario as scn
+
+    ids = _resolve_ids(args.experiments)
+    if ids is None:
+        return 2
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    status = 0
+    for exp_id in ids:
+        scenarios = experiments.scenarios_of(exp_id)
+        if not scenarios:
+            print(f"scenario export: {exp_id} declares no scenarios "
+                  "(register it with scenario=...)", file=sys.stderr)
+            status = 1
+            continue
+        for index, scenario in enumerate(scenarios):
+            stem = scenario.name or str(index)
+            path = out_dir / f"{exp_id}-{stem}.json"
+            scn.save(scenario, path)
+            print(f"wrote {path}")
+    return status
+
+
+def _cmd_scenario_import(args) -> int:
+    import repro.scenario as scn
+
+    status = 0
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in args.files:
+        path = Path(name)
+        try:
+            scenario = scn.load(path)
+        except scn.SchemaError as error:
+            print(f"scenario import: {path}#{error.path}: "
+                  f"{error.reason}", file=sys.stderr)
+            status = 1
+            continue
+        except (OSError, ValueError) as error:
+            print(f"scenario import: {path}: {error}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        target = out_dir / path.name if out_dir is not None else path
+        scn.save(scenario, target)
+        sections = [section for section in
+                    ("application", "task_graph", "platform",
+                     "mapping", "qos")
+                    if getattr(scenario, section) is not None]
+        print(f"{path}: ok ({', '.join(sections)}) -> {target}")
+    return status
+
+
+def _cmd_scenario_generate(args) -> int:
+    from repro.scenario import generate_corpus
+
+    report = generate_corpus(
+        args.out, count=args.count, seed=args.seed,
+        workers=args.workers, app_fraction=args.app_fraction,
+        mutate=args.mutate)
+    print(report.summary())
+    if args.min_clean is not None \
+            and report.clean_fraction < args.min_clean:
+        print(f"scenario generate: clean fraction "
+              f"{report.clean_fraction:.0%} below required "
+              f"{args.min_clean:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_scenario_sweep(args) -> int:
+    import repro.scenario as scn
+
+    paths = []
+    for name in args.paths:
+        path = Path(name)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.json")))
+        elif path.is_file():
+            paths.append(path)
+        else:
+            print(f"scenario sweep: no such path: {path}",
+                  file=sys.stderr)
+            return 2
+    paths = [p for p in paths if scn.is_scenario_file(p)]
+    if not paths:
+        print("scenario sweep: no scenario files to sweep",
+              file=sys.stderr)
+        return 2
+    worker_counts = tuple(int(w) for w in args.workers.split(","))
+    report = scn.sweep(paths, replicas=args.replicas,
+                       seed=args.seed, worker_counts=worker_counts)
+    for entry in report.entries:
+        if entry.ok:
+            print(f"  ok {entry.path}")
+        else:
+            detail = entry.error or "payloads differ across workers"
+            print(f"FAIL {entry.path}: {detail}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_scenario(args) -> int:
+    handlers = {
+        "export": _cmd_scenario_export,
+        "import": _cmd_scenario_import,
+        "generate": _cmd_scenario_generate,
+        "sweep": _cmd_scenario_sweep,
+    }
+    handler = handlers.get(args.scenario_command)
+    if handler is None:
+        print("scenario: choose one of export/import/generate/sweep",
+              file=sys.stderr)
+        return 2
+    return handler(args)
 
 
 #: Default location of the current bench document (what ``--compare``
@@ -371,6 +546,11 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--out", default=None, metavar="DIR",
                             help="write <id>.json (and traces) here")
     run_parser.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="substitute this scenario file for the experiment's "
+             "registered models (single runs only; replicate a "
+             "scenario via the scenario:<path> experiment id)")
+    run_parser.add_argument(
         "--replicas", type=int, default=1, metavar="N",
         help="run N independent replicas (derived seeds) and pool "
              "them with across-replica confidence intervals")
@@ -429,6 +609,78 @@ def main(argv: list[str] | None = None) -> int:
     check_parser.add_argument(
         "--out", default=None, metavar="FILE",
         help="also write the JSON diagnostics document here")
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="declarative scenario files: export, import, generate, "
+             "sweep")
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command")
+    export_parser = scenario_sub.add_parser(
+        "export",
+        help="write an experiment's registered scenarios as "
+             "repro.scenario/v1 JSON files")
+    export_parser.add_argument("experiments", nargs="+",
+                               help="experiment ids or 'all'")
+    export_parser.add_argument("--out", default="scenarios",
+                               metavar="DIR",
+                               help="output directory "
+                                    "(default scenarios/)")
+    import_parser = scenario_sub.add_parser(
+        "import",
+        help="validate scenario files and rewrite them in canonical "
+             "byte-stable form")
+    import_parser.add_argument("files", nargs="+",
+                               help="scenario JSON files")
+    import_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write canonical copies here instead of in place")
+    generate_parser = scenario_sub.add_parser(
+        "generate",
+        help="sample a seeded corpus of verifier-clean scenarios")
+    generate_parser.add_argument("--count", type=int, default=100,
+                                 metavar="N",
+                                 help="samples to draw (default 100)")
+    generate_parser.add_argument("--seed", type=int, default=0,
+                                 help="master seed (default 0)")
+    generate_parser.add_argument("--out", default="corpus",
+                                 metavar="DIR",
+                                 help="corpus directory "
+                                      "(default corpus/)")
+    generate_parser.add_argument(
+        "--workers", type=int, default=None, metavar="K",
+        help="sampling processes (output is identical for any K)")
+    generate_parser.add_argument(
+        "--mutate", type=float, default=0.0, metavar="P",
+        help="probability of injecting a deliberate defect per "
+             "sample; defects are minimized into counterexamples/ "
+             "(default 0)")
+    generate_parser.add_argument(
+        "--app-fraction", type=float, default=0.7, metavar="F",
+        help="fraction of samples that are application scenarios "
+             "rather than task-graph scenarios (default 0.7)")
+    generate_parser.add_argument(
+        "--min-clean", type=float, default=None, metavar="FRAC",
+        help="exit 1 when the clean fraction falls below FRAC "
+             "(e.g. 0.95)")
+    sweep_parser = scenario_sub.add_parser(
+        "sweep",
+        help="differentially replicate scenario files; fail unless "
+             "merged payloads are byte-identical across worker "
+             "counts")
+    sweep_parser.add_argument(
+        "paths", nargs="+",
+        help="scenario files or corpus directories (top-level "
+             "*.json)")
+    sweep_parser.add_argument("--replicas", type=int, default=2,
+                              metavar="N",
+                              help="replicas per run (default 2)")
+    sweep_parser.add_argument("--seed", type=int, default=0,
+                              help="base seed (default 0)")
+    sweep_parser.add_argument(
+        "--workers", default="1,4", metavar="CSV",
+        help="comma-separated worker counts to compare "
+             "(default 1,4)")
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -495,6 +747,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "report":

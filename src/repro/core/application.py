@@ -264,6 +264,72 @@ class ApplicationGraph:
                 self._graph):
             raise ValueError("application graph is not connected")
 
+    # ------------------------------------------------------------------
+    # Canonical (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form of the graph (``repro.scenario`` node/edge
+        shape): processes become nodes, channels become edges, each
+        with a ``parameters`` object.  Insertion order is preserved."""
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "id": p.name,
+                    "parameters": {
+                        "cycles_mean": p.cycles_mean,
+                        "cycles_cv": p.cycles_cv,
+                        "media": p.media.value,
+                        "rate_hz": p.rate_hz,
+                    },
+                }
+                for p in self.processes
+            ],
+            "edges": [
+                {
+                    "src": c.src,
+                    "dst": c.dst,
+                    "parameters": {
+                        "bits_per_token": c.bits_per_token,
+                        "buffer_capacity": c.buffer_capacity,
+                    },
+                }
+                for c in self.channels
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ApplicationGraph":
+        """Rebuild a graph from :meth:`to_dict` output.
+
+        This is the canonical constructor behind
+        :func:`repro.scenario.load`; it tolerates unknown keys (forward
+        compatibility) and re-raises structural problems as
+        ``ValueError`` with the offending element named.
+        """
+        app = cls(str(data.get("name", "app")))
+        for node in data.get("nodes", []):
+            params = node.get("parameters", {})
+            media = params.get("media", MediaType.VIDEO.value)
+            app.add_process(ProcessNode(
+                name=str(node["id"]),
+                cycles_mean=float(params.get("cycles_mean", 0.0)),
+                cycles_cv=float(params.get("cycles_cv", 0.0)),
+                media=MediaType(media),
+                rate_hz=(None if params.get("rate_hz") is None
+                         else float(params["rate_hz"])),
+            ))
+        for edge in data.get("edges", []):
+            params = edge.get("parameters", {})
+            app.add_channel(ChannelSpec(
+                src=str(edge["src"]),
+                dst=str(edge["dst"]),
+                bits_per_token=float(
+                    params.get("bits_per_token", 8_000.0)),
+                buffer_capacity=int(params.get("buffer_capacity", 8)),
+            ))
+        return app
+
     def __repr__(self) -> str:
         return (
             f"ApplicationGraph({self.name!r}, processes="
@@ -422,6 +488,58 @@ class TaskGraph:
         for (src, dst), dep in self._deps.items():
             if dep.bits > 0:
                 yield src, dst, dep.bits
+
+    # ------------------------------------------------------------------
+    # Canonical (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form of the DAG (``repro.scenario`` node/edge
+        shape); insertion order is preserved."""
+        return {
+            "name": self.name,
+            "period": self.period,
+            "nodes": [
+                {
+                    "id": t.name,
+                    "parameters": {
+                        "cycles": t.cycles,
+                        "deadline": t.deadline,
+                    },
+                }
+                for t in self.tasks
+            ],
+            "edges": [
+                {
+                    "src": d.src,
+                    "dst": d.dst,
+                    "parameters": {"bits": d.bits},
+                }
+                for d in self.dependencies
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskGraph":
+        """Rebuild a task graph from :meth:`to_dict` output."""
+        period = data.get("period")
+        tg = cls(str(data.get("name", "taskgraph")),
+                 period=None if period is None else float(period))
+        for node in data.get("nodes", []):
+            params = node.get("parameters", {})
+            deadline = params.get("deadline")
+            tg.add_task(Task(
+                name=str(node["id"]),
+                cycles=float(params.get("cycles", 0.0)),
+                deadline=None if deadline is None else float(deadline),
+            ))
+        for edge in data.get("edges", []):
+            params = edge.get("parameters", {})
+            tg.add_dependency(Dependency(
+                src=str(edge["src"]),
+                dst=str(edge["dst"]),
+                bits=float(params.get("bits", 0.0)),
+            ))
+        return tg
 
     def __repr__(self) -> str:
         return (

@@ -25,6 +25,8 @@ __all__ = [
     "BusInterconnect",
     "PointToPointInterconnect",
     "Platform",
+    "interconnect_to_dict",
+    "interconnect_from_dict",
 ]
 
 
@@ -210,6 +212,72 @@ class PointToPointInterconnect(Interconnect):
         return bits * self.energy_per_bit
 
 
+# ----------------------------------------------------------------------
+# Interconnect (de)serialization
+# ----------------------------------------------------------------------
+#: Interconnect kind tags used by the canonical dict form.
+_INTERCONNECT_KINDS: dict[str, type] = {
+    "bus": BusInterconnect,
+    "p2p": PointToPointInterconnect,
+}
+
+
+def interconnect_to_dict(interconnect: Interconnect) -> dict:
+    """Canonical ``{"kind": ..., "parameters": {...}}`` form.
+
+    Only the built-in fabric classes serialize; custom interconnects
+    (e.g. NoC adapters) raise ``TypeError`` — scenarios model them via
+    their platform-level parameters instead.
+    """
+    if isinstance(interconnect, BusInterconnect):
+        return {
+            "kind": "bus",
+            "parameters": {
+                "bandwidth": interconnect.bandwidth,
+                "energy_per_bit": interconnect.energy_per_bit,
+                "arbitration_latency":
+                    interconnect.arbitration_latency,
+            },
+        }
+    if isinstance(interconnect, PointToPointInterconnect):
+        return {
+            "kind": "p2p",
+            "parameters": {
+                "bandwidth": interconnect.bandwidth,
+                "energy_per_bit": interconnect.energy_per_bit,
+            },
+        }
+    raise TypeError(
+        f"cannot serialize interconnect of type "
+        f"{type(interconnect).__name__}; known kinds: "
+        f"{', '.join(sorted(_INTERCONNECT_KINDS))}"
+    )
+
+
+def interconnect_from_dict(data: dict | None) -> Interconnect:
+    """Rebuild an interconnect from :func:`interconnect_to_dict`."""
+    if data is None:
+        return BusInterconnect()
+    kind = data.get("kind", "bus")
+    params = data.get("parameters", {})
+    if kind == "bus":
+        return BusInterconnect(
+            bandwidth=float(params.get("bandwidth", 1e9)),
+            energy_per_bit=float(params.get("energy_per_bit", 5e-12)),
+            arbitration_latency=float(
+                params.get("arbitration_latency", 1e-7)),
+        )
+    if kind == "p2p":
+        return PointToPointInterconnect(
+            bandwidth=float(params.get("bandwidth", 1e9)),
+            energy_per_bit=float(params.get("energy_per_bit", 2e-12)),
+        )
+    raise ValueError(
+        f"unknown interconnect kind {kind!r}; known kinds: "
+        f"{', '.join(sorted(_INTERCONNECT_KINDS))}"
+    )
+
+
 class Platform:
     """A heterogeneous multiprocessor platform.
 
@@ -272,6 +340,63 @@ class Platform:
     def repair_pe(self, name: str) -> None:
         """Return a PE to service."""
         self._pes[name].repair()
+
+    # ------------------------------------------------------------------
+    # Canonical (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form of the platform (``repro.scenario`` shape):
+        PEs as nodes with a ``parameters`` object, plus the
+        interconnect kind and its parameters."""
+        return {
+            "name": self.name,
+            "interconnect": interconnect_to_dict(self.interconnect),
+            "pes": [
+                {
+                    "id": pe.name,
+                    "parameters": {
+                        "kind": pe.kind.value,
+                        "frequency": pe.frequency,
+                        "active_power": pe.active_power,
+                        "idle_power": pe.idle_power,
+                        "available": pe.available,
+                        "dvfs": (None if pe.dvfs is None
+                                 else pe.dvfs.to_dict()),
+                    },
+                }
+                for pe in self.pes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Platform":
+        """Rebuild a platform from :meth:`to_dict` output.
+
+        The canonical constructor behind :func:`repro.scenario.load`;
+        unknown keys are tolerated, unknown interconnect kinds raise
+        ``ValueError``.
+        """
+        platform = cls(
+            str(data.get("name", "platform")),
+            interconnect=interconnect_from_dict(
+                data.get("interconnect")),
+        )
+        for entry in data.get("pes", []):
+            params = entry.get("parameters", {})
+            dvfs = params.get("dvfs")
+            active = params.get("active_power")
+            pe = ProcessingElement(
+                name=str(entry["id"]),
+                kind=PEKind(params.get("kind", PEKind.GPP.value)),
+                frequency=float(params.get("frequency", 200e6)),
+                active_power=None if active is None else float(active),
+                idle_power=float(params.get("idle_power", 0.02)),
+                dvfs=(None if dvfs is None
+                      else DvfsModel.from_dict(dvfs)),
+            )
+            pe.available = bool(params.get("available", True))
+            platform.add_pe(pe)
+        return platform
 
     def __repr__(self) -> str:
         return (

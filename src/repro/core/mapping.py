@@ -141,5 +141,18 @@ class Mapping:
         """Bits per graph iteration crossing PE boundaries."""
         return sum(bits for _, _, bits in self.remote_edges(app))
 
+    # ------------------------------------------------------------------
+    # Canonical (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form: the assignment keyed by process name."""
+        return {"assignment": dict(self._assignment)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mapping":
+        """Rebuild a mapping from :meth:`to_dict` output."""
+        assignment = data.get("assignment", {})
+        return cls({str(k): str(v) for k, v in assignment.items()})
+
     def __repr__(self) -> str:
         return f"Mapping({self._assignment!r})"

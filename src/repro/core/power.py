@@ -143,6 +143,33 @@ class DvfsModel:
                 return point
         return None
 
+    # ------------------------------------------------------------------
+    # Canonical (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (operating points sorted by frequency)."""
+        return {
+            "points": [
+                {"voltage": p.voltage, "frequency": p.frequency}
+                for p in self.points
+            ],
+            "ceff": self.ceff,
+            "idle_power": self.idle_power,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DvfsModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        points = tuple(
+            OperatingPoint(float(p["voltage"]), float(p["frequency"]))
+            for p in data.get("points", [])
+        )
+        return cls(
+            points=points or XSCALE_POINTS,
+            ceff=float(data.get("ceff", 1.0e-9)),
+            idle_power=float(data.get("idle_power", 0.02)),
+        )
+
     def utilization_point(self, load: float) -> OperatingPoint:
         """Point whose frequency is the smallest with ``f >= load·f_max``.
 

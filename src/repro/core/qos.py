@@ -42,6 +42,22 @@ class QoSSpec:
             if value is not None and value < 0:
                 raise ValueError(f"{label} must be non-negative")
 
+    _FIELDS = ("max_latency", "max_jitter", "max_loss_rate",
+               "min_throughput", "max_deadline_miss_rate")
+
+    def to_dict(self) -> dict:
+        """Plain-data form: every bound, ``None`` for "don't care"."""
+        return {label: getattr(self, label) for label in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QoSSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        kwargs = {}
+        for label in cls._FIELDS:
+            value = data.get(label)
+            kwargs[label] = None if value is None else float(value)
+        return cls(**kwargs)
+
     def check(self, report: "QoSReport") -> list["QoSViolation"]:
         """Return the violations of this spec in ``report`` (empty = OK)."""
         violations = []

@@ -15,6 +15,7 @@ module.
 """
 
 from repro.experiments.registry import (
+    SCENARIO_ID_PREFIX,
     Experiment,
     RunContext,
     get,
@@ -22,6 +23,7 @@ from repro.experiments.registry import (
     preflight,
     register,
     run,
+    scenarios_of,
 )
 from repro.experiments.result import ExperimentResult
 
@@ -29,9 +31,11 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "RunContext",
+    "SCENARIO_ID_PREFIX",
     "get",
     "ids",
     "preflight",
     "register",
     "run",
+    "scenarios_of",
 ]

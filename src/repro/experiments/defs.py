@@ -304,23 +304,30 @@ def _e2(ctx: RunContext):
             "queue": (queue_rows, levels)}
 
 
-def _apcg_models():
-    """Design models behind E3/E4: the two NoC benchmark task graphs.
+def _apcg_scenarios():
+    """Design points behind E3/E4: the two NoC benchmark task graphs
+    as ``repro.scenario/v1`` documents.
 
     Returned to the :func:`repro.experiments.preflight` hook so
-    ``run("e3")``/``run("e4")`` statically verify the graphs before
-    simulating (and ``repro check --models`` covers them in CI).
+    ``run("e3")``/``run("e4")`` statically verify the *documents*
+    before simulating — the same artifact ``repro scenario export``
+    writes and ``repro check`` reads, with diagnostics anchored to
+    JSON paths rather than live object reprs.
     """
     from repro.noc import mms_apcg, video_surveillance_apcg
+    from repro.scenario import Scenario
 
-    return [video_surveillance_apcg(), mms_apcg()]
+    return [
+        Scenario(name=tg.name, task_graph=tg).to_document()
+        for tg in (video_surveillance_apcg(), mms_apcg())
+    ]
 
 
 # ----------------------------------------------------------------------
 # E3 — §3.3: energy-aware NoC mapping
 # ----------------------------------------------------------------------
 @register("e3", "energy-aware NoC mapping (>50% saving)",
-          models=_apcg_models)
+          scenario=_apcg_scenarios)
 def _e3(ctx: RunContext):
     from repro.noc import (Mesh2D, NocEnergyModel, adhoc_mapping,
                            branch_and_bound_mapping, greedy_mapping,
@@ -334,6 +341,10 @@ def _e3(ctx: RunContext):
         (video_surveillance_apcg(), Mesh2D(4, 3)),
         (mms_apcg(), Mesh2D(4, 4)),
     ]
+    if ctx.scenario is not None and ctx.scenario.task_graph is not None:
+        # --scenario override: map the supplied task graph instead of
+        # the built-in benchmarks (mesh sized to fit it).
+        problems = [(ctx.scenario.task_graph, Mesh2D(4, 4))]
     results = {}
     for tg, mesh in problems:
         random_cost = sum(
@@ -383,9 +394,11 @@ def _e3(ctx: RunContext):
         optimality.add_row([s, opt * 1e6, sa_cost * 1e6,
                             sa_cost / opt - 1])
 
-    mms = results["mms"]
-    ctx.record("mms_saving_vs_random", 1 - mms["sa"] / mms["random(avg5)"])
-    ctx.record("mms_saving_vs_adhoc", 1 - mms["sa"] / mms["adhoc"])
+    headline = results[problems[-1][0].name]
+    ctx.record("mms_saving_vs_random",
+               1 - headline["sa"] / headline["random(avg5)"])
+    ctx.record("mms_saving_vs_adhoc",
+               1 - headline["sa"] / headline["adhoc"])
     return {"mapping": results, "optimality": optimality_rows}
 
 
@@ -393,16 +406,24 @@ def _e3(ctx: RunContext):
 # E4 — §3.3: EDF vs energy-aware scheduling
 # ----------------------------------------------------------------------
 @register("e4", "EDF vs energy-aware scheduling (>40% saving)",
-          models=_apcg_models)
+          scenario=_apcg_scenarios)
 def _e4(ctx: RunContext):
     from repro.core.application import TaskGraph
     from repro.noc import (Mesh2D, edf_schedule, energy_aware_schedule,
                            greedy_mapping, mms_apcg,
                            video_surveillance_apcg)
 
+    problems = [(video_surveillance_apcg(), Mesh2D(4, 3)),
+                (mms_apcg(), Mesh2D(4, 4))]
+    if (ctx.scenario is not None
+            and ctx.scenario.task_graph is not None
+            and ctx.scenario.task_graph.period):
+        # --scenario override: schedule the supplied (periodic) task
+        # graph instead of the built-in benchmarks.
+        problems = [(ctx.scenario.task_graph, Mesh2D(4, 4))]
+
     headline_rows = []
-    for tg, mesh in [(video_surveillance_apcg(), Mesh2D(4, 3)),
-                     (mms_apcg(), Mesh2D(4, 4))]:
+    for tg, mesh in problems:
         mapping = greedy_mapping(tg, mesh)
         edf = edf_schedule(tg, mapping)
         eas = energy_aware_schedule(tg, mapping)
@@ -430,8 +451,7 @@ def _e4(ctx: RunContext):
             clone.add_dependency(type(dep)(dep.src, dep.dst, dep.bits))
         return clone
 
-    base = video_surveillance_apcg()
-    mesh = Mesh2D(4, 3)
+    base, mesh = problems[0]
     tightness_rows = []
     for factor in (0.6, 0.8, 1.0, 1.5, 2.0):
         tg = copy_with_period(base, base.period * factor)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.experiments.result import ExperimentResult
@@ -21,10 +22,15 @@ from repro.obs.context import active_tracer, instrument
 from repro.obs.metrics import MetricRegistry
 from repro.obs.report import RunReport
 from repro.obs.trace import Tracer
+from repro.utils.deprecation import deprecated_alias
 from repro.utils.tables import Table
 
 __all__ = ["Experiment", "RunContext", "register", "get", "ids",
-           "preflight", "run"]
+           "preflight", "run", "scenarios_of", "SCENARIO_ID_PREFIX"]
+
+#: Prefix of dynamic experiment ids: ``scenario:<path>`` runs the
+#: scenario document at ``<path>`` without prior registration.
+SCENARIO_ID_PREFIX = "scenario:"
 
 
 @dataclass
@@ -34,12 +40,16 @@ class RunContext:
     Runners derive every RNG seed from :attr:`seed` (``ctx.seed + k``
     for the k-th stream), build display tables via :meth:`table`, and
     record headline KPIs via :meth:`record`; their return value becomes
-    ``ExperimentResult.raw``.
+    ``ExperimentResult.raw``.  When the run was given a scenario
+    document (``run(..., scenario=...)`` or the CLI's ``--scenario``),
+    the loaded :class:`repro.scenario.Scenario` is on
+    :attr:`scenario` for runners that honor design-point overrides.
     """
 
     seed: int
     metrics: MetricRegistry
     tracer: Tracer | None = None
+    scenario: Any = None
     tables: list[Table] = field(default_factory=list)
     kpis: dict[str, float] = field(default_factory=dict)
 
@@ -58,37 +68,91 @@ class RunContext:
 class Experiment:
     """A registered experiment: id, the paper claim, and its runner.
 
-    ``models`` is the optional pre-flight hook: a zero-argument
-    callable returning the design models the experiment simulates
-    (:class:`~repro.core.ApplicationGraph` / ``TaskGraph`` /
-    ``Platform`` objects, or ``verify_design`` kwargs dicts).  When
-    present, :func:`run` verifies them with the Layer-1 checker of
-    :mod:`repro.check` before simulating anything.
+    ``scenario`` is the optional pre-flight hook: a zero-argument
+    callable returning the experiment's design points in declarative
+    form — ``repro.scenario/v1`` documents (dicts), paths to scenario
+    files, or :class:`repro.scenario.Scenario` objects, singly or as a
+    list.  When present, :func:`run` schema-validates and RC-verifies
+    the *documents* before simulating anything, so what gets checked
+    is exactly what a scenario file would carry.
+
+    ``models`` is the deprecated predecessor hook (live model
+    objects); :func:`register` wraps it into ``scenario`` form and
+    keeps the original here for introspection only.
     """
 
     id: str
     claim: str
     runner: Callable[[RunContext], Any]
     models: Callable[[], Any] | None = None
+    scenario: Callable[[], Any] | None = None
 
 
 _REGISTRY: dict[str, Experiment] = {}
 
+_MISSING = object()
+
+
+def _document_for_model(model: Any) -> dict:
+    """Wrap one legacy ``models=`` item as a scenario document."""
+    from repro.core.application import ApplicationGraph, TaskGraph
+    from repro.core.architecture import Platform
+    from repro.scenario import Scenario
+
+    if isinstance(model, dict):
+        return Scenario(
+            name=getattr(model.get("application")
+                         or model.get("task_graph")
+                         or model.get("platform"), "name", "design"),
+            **model,
+        ).to_document()
+    if isinstance(model, ApplicationGraph):
+        return Scenario(name=model.name,
+                        application=model).to_document()
+    if isinstance(model, TaskGraph):
+        return Scenario(name=model.name, task_graph=model).to_document()
+    if isinstance(model, Platform):
+        return Scenario(name=model.name, platform=model).to_document()
+    raise TypeError(
+        f"cannot express model of type {type(model).__name__} as a "
+        f"scenario document"
+    )
+
 
 def register(exp_id: str, claim: str,
-             models: Callable[[], Any] | None = None):
+             models: Callable[[], Any] | None = None,
+             scenario: Any = _MISSING):
     """Decorator registering ``runner`` under ``exp_id``.
 
-    ``models`` optionally supplies the experiment's design models for
-    static verification (see :class:`Experiment`).
+    ``scenario`` optionally supplies the experiment's design points as
+    declarative documents for static verification (see
+    :class:`Experiment`).  ``models=`` is the deprecated spelling: a
+    hook returning live model objects, which is wrapped into document
+    form (each object serialized through its canonical ``to_dict``).
     """
+    scenario_hook = None if scenario is _MISSING else scenario
+    if models is not None:
+        legacy = models
+
+        def _documents_from_models():
+            result = legacy()
+            items = result if isinstance(result, (list, tuple)) else [
+                result]
+            return [_document_for_model(model) for model in items]
+
+        scenario_hook = deprecated_alias(
+            "register", "models", "scenario",
+            _documents_from_models,
+            None if scenario is _MISSING else scenario,
+        )
 
     def decorator(runner: Callable[[RunContext], Any]):
         key = exp_id.lower()
         if key in _REGISTRY:
             raise ValueError(f"experiment {exp_id!r} already registered")
         _REGISTRY[key] = Experiment(id=key, claim=claim, runner=runner,
-                                    models=models)
+                                    models=models,
+                                    scenario=scenario_hook)
         return runner
 
     return decorator
@@ -99,8 +163,95 @@ def _ensure_defs() -> None:
     from repro.experiments import defs  # noqa: F401
 
 
+def _coerce_scenario(item: Any):
+    """One scenario-hook item -> a loaded ``Scenario`` object.
+
+    Accepts a document dict, a path to a scenario file, or an
+    already-built :class:`repro.scenario.Scenario`.
+    """
+    from repro import scenario as scn
+
+    if isinstance(item, scn.Scenario):
+        return item
+    if isinstance(item, dict):
+        return scn.Scenario.from_document(item)
+    if isinstance(item, (str, Path)):
+        return scn.load(item)
+    raise TypeError(
+        f"scenario hook must yield documents, paths or Scenario "
+        f"objects, got {type(item).__name__}"
+    )
+
+
+def _effective_scenario_hook(experiment: Experiment):
+    """The experiment's document provider.
+
+    Prefers the ``scenario`` hook; an :class:`Experiment` constructed
+    directly with only the legacy ``models`` field (bypassing
+    :func:`register`, e.g. in tests) gets that hook wrapped into
+    document form so pre-flight keeps covering it.
+    """
+    if experiment.scenario is not None:
+        return experiment.scenario
+    if experiment.models is None:
+        return None
+
+    def wrapped():
+        result = experiment.models()
+        items = result if isinstance(result, (list, tuple)) else [
+            result]
+        return [_document_for_model(model) for model in items]
+
+    return wrapped
+
+
+def scenarios_of(exp_id: str) -> list:
+    """The experiment's declared design points, as loaded
+    ``Scenario`` objects (empty for experiments without a hook)."""
+    hook = _effective_scenario_hook(get(exp_id))
+    if hook is None:
+        return []
+    result = hook()
+    items = result if isinstance(result, (list, tuple)) else [result]
+    return [_coerce_scenario(item) for item in items]
+
+
+def _scenario_experiment(path_text: str) -> Experiment:
+    """Synthesize the dynamic experiment for ``scenario:<path>``.
+
+    Not cached in the registry: the id itself carries everything
+    needed to rebuild it, which is what lets replication workers
+    re-resolve the experiment from the bare id string in a fresh
+    process.
+    """
+    path = Path(path_text)
+
+    def _runner(ctx: RunContext):
+        from repro.scenario import evaluate_scenario, load
+
+        scenario = ctx.scenario
+        if scenario is None:
+            scenario = load(path)
+        return evaluate_scenario(ctx, scenario)
+
+    return Experiment(
+        id=f"{SCENARIO_ID_PREFIX}{path_text}",
+        claim=f"declarative scenario {path.name}",
+        runner=_runner,
+        scenario=lambda: [path],
+    )
+
+
 def get(exp_id: str) -> Experiment:
-    """Look up an experiment by (case-insensitive) id."""
+    """Look up an experiment by (case-insensitive) id.
+
+    Ids starting with ``scenario:`` are dynamic: the remainder is a
+    path to a ``repro.scenario/v1`` file (case-sensitive, since it
+    names a file) and the returned experiment evaluates that design
+    point.
+    """
+    if exp_id.startswith(SCENARIO_ID_PREFIX):
+        return _scenario_experiment(exp_id[len(SCENARIO_ID_PREFIX):])
     _ensure_defs()
     try:
         return _REGISTRY[exp_id.lower()]
@@ -118,21 +269,21 @@ def ids() -> list[str]:
 
 
 def preflight(exp_id: str) -> list:
-    """Statically verify an experiment's declared design models.
+    """Statically verify an experiment's declared design points.
 
-    Returns the :class:`~repro.check.Diagnostic` list of the Layer-1
-    model verifier, with subjects prefixed by the experiment id.
-    Experiments without a ``models`` hook verify vacuously (empty
-    list).
+    The scenario hook's documents are schema-validated, built, and
+    run through the Layer-1 RC model verifier; each
+    :class:`~repro.check.Diagnostic` subject carries the experiment id
+    and the JSON path of the offending element
+    (``experiment:e3/<name>#$.scenario.task_graph.nodes[2]``).
+    Experiments without a hook verify vacuously (empty list).
     """
-    from repro.check import verify_model
+    from repro import scenario as scn
 
     experiment = get(exp_id)
-    if experiment.models is None:
-        return []
     diagnostics = []
-    for model in experiment.models():
-        for diag in verify_model(model):
+    for scenario in scenarios_of(exp_id):
+        for diag in scn.verify(scenario):
             diag.subject = f"experiment:{experiment.id}/{diag.subject}"
             diagnostics.append(diag)
     return diagnostics
@@ -144,6 +295,7 @@ def run(
     *,
     trace: bool | Tracer = False,
     verify: bool = True,
+    scenario: Any = None,
 ) -> ExperimentResult:
     """Run one experiment and return its :class:`ExperimentResult`.
 
@@ -165,17 +317,36 @@ def run(
         records nothing otherwise.  Tracing is observational only: it
         never changes simulation results.
     verify:
-        Pre-flight the experiment's declared models through the
-        Layer-1 static verifier (:mod:`repro.check`); error-severity
-        findings raise
+        Pre-flight the experiment's declared design points (or the
+        ``scenario`` override) through the Layer-1 static verifier
+        (:mod:`repro.check`); error-severity findings raise
         :class:`~repro.check.ModelVerificationError` before any
         simulation starts.  ``False`` skips the check.
+    scenario:
+        Optional design-point override: a path to a
+        ``repro.scenario/v1`` file, a document dict, or a loaded
+        :class:`repro.scenario.Scenario`.  It is verified in place of
+        the registered hook and exposed to the runner as
+        ``ctx.scenario``.
     """
     experiment = get(exp_id)
-    if verify and experiment.models is not None:
+    loaded_scenario = (None if scenario is None
+                       else _coerce_scenario(scenario))
+    if verify and (loaded_scenario is not None
+                   or _effective_scenario_hook(experiment)
+                   is not None):
         from repro.check import ModelVerificationError, has_errors
 
-        diagnostics = preflight(exp_id)
+        if loaded_scenario is not None:
+            from repro import scenario as scn
+
+            diagnostics = []
+            for diag in scn.verify(loaded_scenario):
+                diag.subject = (f"experiment:{experiment.id}/"
+                                f"{diag.subject}")
+                diagnostics.append(diag)
+        else:
+            diagnostics = preflight(exp_id)
         if has_errors(diagnostics):
             raise ModelVerificationError(diagnostics)
     base_seed = 0 if seed is None else int(seed)
@@ -189,7 +360,8 @@ def run(
         # profiler's) instead of shadowing it — the same semantics as
         # Environment picking up the ambient default.
         tracer = active_tracer()
-    ctx = RunContext(seed=base_seed, metrics=registry, tracer=tracer)
+    ctx = RunContext(seed=base_seed, metrics=registry, tracer=tracer,
+                     scenario=loaded_scenario)
     start = time.perf_counter()
     with instrument(tracer=tracer, metrics=registry):
         raw = experiment.runner(ctx)

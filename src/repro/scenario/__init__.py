@@ -1,0 +1,79 @@
+"""Declarative scenario interchange (``repro.scenario/v1``).
+
+One design point — application graph, platform, mapping, QoS — as a
+versioned, validated, byte-stable JSON document instead of Python
+constructor calls.  The format follows the ModECI MDF pattern (a
+``format`` + ``generating_application`` header over graphs of nodes
+and edges with typed ``parameters``), so scenarios travel between
+tools, diff cleanly in review, and round-trip exactly:
+``save(load(f))`` reproduces ``f`` byte-for-byte.
+
+Layers:
+
+* :mod:`~repro.scenario.schema` — the v1 schema and its validator;
+  violations raise :class:`SchemaError` naming the exact JSON path.
+* :mod:`~repro.scenario.codec` — :class:`Scenario` plus
+  :func:`load` / :func:`save` / :func:`loads` / :func:`dumps` and
+  RC1xx verification with JSON-path subjects (:func:`verify`).
+* :mod:`~repro.scenario.generate` — the seeded
+  :class:`ScenarioGenerator` fuzz corpus: valid-by-construction
+  samples pre-flighted through the model verifier, counterexamples
+  minimized into readable fixtures.
+* :mod:`~repro.scenario.sweep` — differential corpus sweeps through
+  :func:`repro.parallel.run_replicated` (any file runs as the
+  experiment id ``scenario:<path>``).
+"""
+
+from repro.scenario.codec import (
+    Scenario,
+    dumps,
+    is_scenario_file,
+    json_path_for,
+    load,
+    loads,
+    save,
+    verify,
+)
+from repro.scenario.generate import (
+    CorpusReport,
+    GeneratedScenario,
+    ScenarioGenerator,
+    generate_corpus,
+    minimize,
+)
+from repro.scenario.schema import (
+    FORMAT,
+    GENERATOR,
+    SchemaError,
+    validate_document,
+)
+from repro.scenario.sweep import (
+    SweepEntry,
+    SweepReport,
+    evaluate_scenario,
+    sweep,
+)
+
+__all__ = [
+    "FORMAT",
+    "GENERATOR",
+    "SchemaError",
+    "validate_document",
+    "Scenario",
+    "load",
+    "loads",
+    "save",
+    "dumps",
+    "is_scenario_file",
+    "json_path_for",
+    "verify",
+    "ScenarioGenerator",
+    "GeneratedScenario",
+    "CorpusReport",
+    "generate_corpus",
+    "minimize",
+    "SweepEntry",
+    "SweepReport",
+    "evaluate_scenario",
+    "sweep",
+]

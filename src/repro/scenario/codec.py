@@ -1,0 +1,321 @@
+"""Round-trip (de)serialization between core models and documents.
+
+:class:`Scenario` bundles one design point; :func:`save` writes the
+canonical byte-stable form (sorted keys, two-space indent, trailing
+newline), :func:`load` validates against the ``repro.scenario/v1``
+schema before constructing any model object, and :func:`verify` runs
+the RC1xx model verifier with every diagnostic re-anchored to the JSON
+path of the offending element — so a finding in a generated corpus
+file is actionable without reverse-engineering object reprs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.application import ApplicationGraph, TaskGraph
+from repro.core.architecture import Platform
+from repro.core.mapping import Mapping
+from repro.core.qos import QoSSpec
+from repro.scenario.schema import (
+    FORMAT,
+    GENERATOR,
+    SchemaError,
+    validate_document,
+)
+
+__all__ = [
+    "Scenario",
+    "load",
+    "loads",
+    "save",
+    "dumps",
+    "verify",
+    "json_path_for",
+]
+
+
+@dataclass
+class Scenario:
+    """One declarative design point: the models a document carries.
+
+    Every section is optional except that at least one of
+    ``application``, ``task_graph`` or ``platform`` must be present;
+    ``meta`` is an open dict round-tripped verbatim (the generator
+    stamps its seed and sample index there).
+    """
+
+    name: str = "scenario"
+    application: ApplicationGraph | None = None
+    task_graph: TaskGraph | None = None
+    platform: Platform | None = None
+    mapping: Mapping | None = None
+    qos: QoSSpec | None = None
+    meta: dict = field(default_factory=dict)
+    #: Where the scenario was loaded from (``None`` for in-memory
+    #: scenarios); not serialized.
+    source: Path | None = None
+
+    def to_document(self) -> dict:
+        """The full ``repro.scenario/v1`` document (header + body)."""
+        body: dict[str, Any] = {
+            "name": self.name,
+            "application": (None if self.application is None
+                            else self.application.to_dict()),
+            "task_graph": (None if self.task_graph is None
+                           else self.task_graph.to_dict()),
+            "platform": (None if self.platform is None
+                         else self.platform.to_dict()),
+            "mapping": (None if self.mapping is None
+                        else self.mapping.to_dict()),
+            "qos": None if self.qos is None else self.qos.to_dict(),
+        }
+        doc: dict[str, Any] = {
+            "format": FORMAT,
+            "generating_application": GENERATOR,
+            "scenario": body,
+        }
+        if self.meta:
+            doc["meta"] = dict(self.meta)
+        return doc
+
+    @classmethod
+    def from_document(cls, doc: dict,
+                      source: Path | None = None) -> "Scenario":
+        """Validate ``doc`` and build the model objects.
+
+        Raises :class:`~repro.scenario.schema.SchemaError` (with the
+        JSON path) on structural violations; model-level constructor
+        errors (negative cycles, duplicate names the schema pass could
+        not see) are re-raised as ``SchemaError`` anchored at the
+        owning section.
+        """
+        validate_document(doc)
+        body = doc["scenario"]
+
+        def build(section: str, factory):
+            data = body.get(section)
+            if data is None:
+                return None
+            try:
+                return factory(data)
+            except SchemaError:
+                raise
+            except (ValueError, KeyError, TypeError) as error:
+                raise SchemaError(f"$.scenario.{section}",
+                                  str(error)) from error
+
+        return cls(
+            name=str(body.get("name", "scenario")),
+            application=build("application", ApplicationGraph.from_dict),
+            task_graph=build("task_graph", TaskGraph.from_dict),
+            platform=build("platform", Platform.from_dict),
+            mapping=build("mapping", Mapping.from_dict),
+            qos=build("qos", QoSSpec.from_dict),
+            meta=dict(doc.get("meta") or {}),
+            source=source,
+        )
+
+    def models(self) -> dict:
+        """The :func:`repro.check.verify_design` kwargs this scenario
+        describes (what the experiment pre-flight hook consumes)."""
+        return {
+            "application": self.application,
+            "task_graph": self.task_graph,
+            "platform": self.platform,
+            "mapping": self.mapping,
+            "qos": self.qos,
+        }
+
+    @property
+    def graph(self) -> ApplicationGraph | TaskGraph | None:
+        """The scenario's primary graph (application wins)."""
+        return (self.application if self.application is not None
+                else self.task_graph)
+
+    def __repr__(self) -> str:
+        parts = [
+            section for section in
+            ("application", "task_graph", "platform", "mapping", "qos")
+            if getattr(self, section) is not None
+        ]
+        return f"Scenario({self.name!r}, {'+'.join(parts) or 'empty'})"
+
+
+# ----------------------------------------------------------------------
+# Canonical text form
+# ----------------------------------------------------------------------
+def dumps(scenario: Scenario) -> str:
+    """Serialize to the canonical byte-stable text form.
+
+    Sorted keys, two-space indent, trailing newline: serializing the
+    result of :func:`loads` reproduces the input byte-for-byte (the
+    fixture contract CI diffs on).
+    """
+    return json.dumps(scenario.to_document(), indent=2,
+                      sort_keys=True) + "\n"
+
+
+def loads(text: str, source: Path | None = None) -> Scenario:
+    """Parse and validate one scenario document from text."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SchemaError("$", f"not valid JSON: {error}") from error
+    return Scenario.from_document(doc, source=source)
+
+
+def save(scenario: Scenario, path: str | Path) -> Path:
+    """Write the canonical form to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(scenario), encoding="utf-8")
+    return path
+
+
+def load(path: str | Path) -> Scenario:
+    """Read, validate and build one scenario from a file."""
+    path = Path(path)
+    return loads(path.read_text(encoding="utf-8"), source=path)
+
+
+def is_scenario_file(path: str | Path) -> bool:
+    """Cheap sniff: does ``path`` look like a scenario document?
+
+    True for readable ``.json`` files whose top-level object carries
+    the ``repro.scenario`` format tag (any version — the loader then
+    rejects unsupported versions with a proper
+    :class:`~repro.scenario.schema.SchemaError`).
+    """
+    path = Path(path)
+    if path.suffix != ".json" or not path.is_file():
+        return False
+    try:
+        head = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return False
+    return (isinstance(head, dict)
+            and isinstance(head.get("format"), str)
+            and head["format"].startswith("repro.scenario/"))
+
+
+# ----------------------------------------------------------------------
+# Verification with JSON-path subjects
+# ----------------------------------------------------------------------
+#: model-subject element -> scenario section holding it.
+_SECTION_FOR_KIND = {"app": "application", "taskgraph": "task_graph",
+                     "platform": "platform"}
+
+
+def _node_index(graph, name: str) -> int | None:
+    if graph is None:
+        return None
+    nodes = (graph.processes if isinstance(graph, ApplicationGraph)
+             else graph.tasks)
+    for i, node in enumerate(nodes):
+        if node.name == name:
+            return i
+    return None
+
+
+def _edge_index(graph, src: str, dst: str) -> int | None:
+    if graph is None:
+        return None
+    edges = (graph.channels if isinstance(graph, ApplicationGraph)
+             else graph.dependencies)
+    for i, edge in enumerate(edges):
+        if edge.src == src and edge.dst == dst:
+            return i
+    return None
+
+
+def _pe_index(platform: Platform | None, name: str) -> int | None:
+    if platform is None:
+        return None
+    for i, pe in enumerate(platform.pes):
+        if pe.name == name:
+            return i
+    return None
+
+
+_ELEMENT_RE = re.compile(
+    r"^(process|task|dep|pe|mapping|qos|interconnect)(?::(.*))?$")
+
+
+def json_path_for(scenario: Scenario, subject: str) -> str:
+    """Translate a model-verifier subject to the document JSON path.
+
+    Subjects look like ``app:NAME``, ``app:NAME/process:enc``,
+    ``taskgraph:NAME/dep:a->b``, ``platform:NAME/pe:cpu0`` or
+    ``app:NAME/mapping/pe:cpu0``; the translation anchors each finding
+    to the element's position in the canonical document
+    (``$.scenario.application.nodes[2]``).  Unrecognized subjects fall
+    back to the scenario root.
+    """
+    head, _, rest = subject.partition("/")
+    kind, _, _name = head.partition(":")
+    section = _SECTION_FOR_KIND.get(kind)
+    if section is None:
+        return "$.scenario"
+    base = f"$.scenario.{section}"
+    if not rest:
+        return base
+    element, _, tail = rest.partition("/")
+    match = _ELEMENT_RE.match(element)
+    if match is None:
+        return base
+    token, arg = match.group(1), match.group(2)
+    graph = scenario.application if section == "application" else (
+        scenario.task_graph if section == "task_graph" else None)
+    if token in ("process", "task") and arg:
+        index = _node_index(graph, arg)
+        if index is not None:
+            return f"{base}.nodes[{index}]"
+        return base
+    if token == "dep" and arg and "->" in arg:
+        src, _, dst = arg.partition("->")
+        index = _edge_index(graph, src, dst)
+        if index is not None:
+            return f"{base}.edges[{index}]"
+        return base
+    if token == "pe" and arg and section == "platform":
+        index = _pe_index(scenario.platform, arg)
+        if index is not None:
+            return f"{base}.pes[{index}]"
+        return base
+    if token == "mapping":
+        # "mapping" or "mapping/pe:cpu0": findings about the binding
+        # live in the mapping section regardless of the graph prefix.
+        return "$.scenario.mapping.assignment"
+    if token == "qos":
+        return "$.scenario.qos"
+    if token == "interconnect":
+        return "$.scenario.platform.interconnect"
+    return base
+
+
+def verify(scenario: Scenario, label: str | None = None) -> list:
+    """Run the RC1xx model verifier over the scenario's models.
+
+    Returns :class:`~repro.check.Diagnostic` records whose subjects
+    are rewritten to ``<label>#<json-path>`` — ``label`` defaults to
+    the source file name (when the scenario was loaded from disk) or
+    the scenario name.  The original model subject is preserved in the
+    message suffix so object context is not lost.
+    """
+    from repro.check import verify_design
+
+    if label is None:
+        label = (str(scenario.source) if scenario.source is not None
+                 else scenario.name)
+    diagnostics = []
+    for diag in verify_design(**scenario.models()):
+        path = json_path_for(scenario, diag.subject)
+        diag.message = f"{diag.message} [at {diag.subject}]"
+        diag.subject = f"{label}#{path}"
+        diagnostics.append(diag)
+    return diagnostics

@@ -1,0 +1,323 @@
+"""The ``repro.scenario/v1`` document schema and its validator.
+
+A scenario document is the declarative, interchangeable form of one
+design point — application graph, platform architecture, mapping and
+QoS co-specified as data rather than Python constructors (the paper's
+holistic methodology treats these as first-class artifacts; the ModECI
+MDF graph spec is the serialization exemplar: a ``format`` +
+``generating_application`` header over graphs of nodes/edges with
+typed ``parameters``).
+
+Top-level shape::
+
+    {
+      "format": "repro.scenario/v1",
+      "generating_application": "repro",
+      "meta": {...},                     # optional, round-tripped
+      "scenario": {
+        "name": str,
+        "application": {name, nodes[], edges[]} | null,
+        "task_graph":  {name, period, nodes[], edges[]} | null,
+        "platform":    {name, interconnect, pes[]} | null,
+        "mapping":     {assignment: {process: pe}} | null,
+        "qos":         {max_latency, ...} | null
+      }
+    }
+
+Validation walks the document and raises :class:`SchemaError` naming
+the exact JSON path of the first offending value (``$.scenario.
+application.nodes[2].parameters.rate_hz``).  Unknown fields are
+tolerated everywhere (forward compatibility): they are ignored on
+load and dropped on save.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FORMAT", "GENERATOR", "SchemaError", "validate_document"]
+
+#: The one format tag this version of the library reads and writes.
+FORMAT = "repro.scenario/v1"
+
+#: The ``generating_application`` header value.  Deliberately
+#: version-free so committed fixtures stay byte-stable across library
+#: releases.
+GENERATOR = "repro"
+
+#: Scenario sections that hold a model, in canonical order.
+MODEL_SECTIONS = ("application", "task_graph", "platform", "mapping",
+                  "qos")
+
+_NUMBER = (int, float)
+
+
+class SchemaError(ValueError):
+    """A scenario document violates the ``repro.scenario/v1`` schema.
+
+    Attributes
+    ----------
+    path:
+        JSON path of the offending value (``$.scenario.platform.
+        pes[0].parameters.frequency``).
+    reason:
+        What is wrong with the value at that path.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"{path}: {reason}")
+
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    return type(value).__name__
+
+
+def _require(value: Any, types: tuple, path: str, what: str) -> Any:
+    # bool is an int subclass; only accept it where explicitly listed.
+    if isinstance(value, bool) and bool not in types:
+        raise SchemaError(path, f"expected {what}, got bool")
+    if not isinstance(value, types):
+        raise SchemaError(
+            path, f"expected {what}, got {_type_name(value)}")
+    return value
+
+
+def _require_object(doc: dict, key: str, path: str,
+                    required: bool = False) -> dict | None:
+    value = doc.get(key)
+    if value is None:
+        if required:
+            raise SchemaError(f"{path}.{key}", "missing required object")
+        return None
+    return _require(value, (dict,), f"{path}.{key}", "an object")
+
+
+def _check_number(value: Any, path: str,
+                  nullable: bool = False) -> None:
+    if value is None and nullable:
+        return
+    _require(value, _NUMBER, path,
+             "a number" + (" or null" if nullable else ""))
+
+
+def _check_parameters(params: Any, path: str) -> None:
+    """``parameters`` objects carry only JSON scalars (typed
+    parameters; nested objects are reserved for known sub-schemas)."""
+    _require(params, (dict,), path, "an object")
+    for key, value in params.items():
+        if not isinstance(key, str):
+            raise SchemaError(path, f"non-string parameter key "
+                                    f"{key!r}")
+        if value is not None and not isinstance(
+                value, (str, int, float, bool, dict)):
+            raise SchemaError(
+                f"{path}.{key}",
+                f"expected a JSON scalar, got {_type_name(value)}")
+
+
+def _check_graph(graph: dict, path: str) -> None:
+    """nodes[]/edges[] structure shared by application and task
+    graphs."""
+    if "name" in graph:
+        _require(graph["name"], (str,), f"{path}.name", "a string")
+    nodes = graph.get("nodes", [])
+    _require(nodes, (list,), f"{path}.nodes", "an array")
+    seen: set[str] = set()
+    for i, node in enumerate(nodes):
+        node_path = f"{path}.nodes[{i}]"
+        _require(node, (dict,), node_path, "an object")
+        node_id = node.get("id")
+        if node_id is None:
+            raise SchemaError(node_path, "missing required field 'id'")
+        _require(node_id, (str,), f"{node_path}.id", "a string")
+        if node_id in seen:
+            raise SchemaError(f"{node_path}.id",
+                              f"duplicate node id {node_id!r}")
+        seen.add(node_id)
+        if "parameters" in node:
+            _check_parameters(node["parameters"],
+                              f"{node_path}.parameters")
+    edges = graph.get("edges", [])
+    _require(edges, (list,), f"{path}.edges", "an array")
+    for i, edge in enumerate(edges):
+        edge_path = f"{path}.edges[{i}]"
+        _require(edge, (dict,), edge_path, "an object")
+        for endpoint in ("src", "dst"):
+            value = edge.get(endpoint)
+            if value is None:
+                raise SchemaError(
+                    edge_path, f"missing required field {endpoint!r}")
+            _require(value, (str,), f"{edge_path}.{endpoint}",
+                     "a string")
+            if value not in seen:
+                raise SchemaError(
+                    f"{edge_path}.{endpoint}",
+                    f"references unknown node {value!r}")
+        if "parameters" in edge:
+            _check_parameters(edge["parameters"],
+                              f"{edge_path}.parameters")
+
+
+def _check_application(app: dict, path: str) -> None:
+    _check_graph(app, path)
+    for i, node in enumerate(app.get("nodes", [])):
+        params = node.get("parameters", {})
+        base = f"{path}.nodes[{i}].parameters"
+        _check_number(params.get("cycles_mean", 0.0),
+                      f"{base}.cycles_mean")
+        _check_number(params.get("cycles_cv", 0.0),
+                      f"{base}.cycles_cv")
+        _check_number(params.get("rate_hz"), f"{base}.rate_hz",
+                      nullable=True)
+        media = params.get("media", "video")
+        _require(media, (str,), f"{base}.media", "a string")
+    for i, edge in enumerate(app.get("edges", [])):
+        params = edge.get("parameters", {})
+        base = f"{path}.edges[{i}].parameters"
+        _check_number(params.get("bits_per_token", 0.0),
+                      f"{base}.bits_per_token")
+        _check_number(params.get("buffer_capacity", 1),
+                      f"{base}.buffer_capacity")
+
+
+def _check_task_graph(tg: dict, path: str) -> None:
+    _check_graph(tg, path)
+    _check_number(tg.get("period"), f"{path}.period", nullable=True)
+    for i, node in enumerate(tg.get("nodes", [])):
+        params = node.get("parameters", {})
+        base = f"{path}.nodes[{i}].parameters"
+        _check_number(params.get("cycles", 0.0), f"{base}.cycles")
+        _check_number(params.get("deadline"), f"{base}.deadline",
+                      nullable=True)
+    for i, edge in enumerate(tg.get("edges", [])):
+        params = edge.get("parameters", {})
+        _check_number(params.get("bits", 0.0),
+                      f"{path}.edges[{i}].parameters.bits")
+
+
+def _check_platform(platform: dict, path: str) -> None:
+    if "name" in platform:
+        _require(platform["name"], (str,), f"{path}.name", "a string")
+    interconnect = platform.get("interconnect")
+    if interconnect is not None:
+        inter_path = f"{path}.interconnect"
+        _require(interconnect, (dict,), inter_path, "an object")
+        kind = interconnect.get("kind", "bus")
+        _require(kind, (str,), f"{inter_path}.kind", "a string")
+        if "parameters" in interconnect:
+            _check_parameters(interconnect["parameters"],
+                              f"{inter_path}.parameters")
+    pes = platform.get("pes", [])
+    _require(pes, (list,), f"{path}.pes", "an array")
+    seen: set[str] = set()
+    for i, entry in enumerate(pes):
+        pe_path = f"{path}.pes[{i}]"
+        _require(entry, (dict,), pe_path, "an object")
+        pe_id = entry.get("id")
+        if pe_id is None:
+            raise SchemaError(pe_path, "missing required field 'id'")
+        _require(pe_id, (str,), f"{pe_path}.id", "a string")
+        if pe_id in seen:
+            raise SchemaError(f"{pe_path}.id",
+                              f"duplicate PE id {pe_id!r}")
+        seen.add(pe_id)
+        params = entry.get("parameters", {})
+        _check_parameters(params, f"{pe_path}.parameters")
+        base = f"{pe_path}.parameters"
+        _check_number(params.get("frequency", 1.0),
+                      f"{base}.frequency")
+        _check_number(params.get("active_power"),
+                      f"{base}.active_power", nullable=True)
+        _check_number(params.get("idle_power", 0.0),
+                      f"{base}.idle_power")
+        kind = params.get("kind", "gpp")
+        _require(kind, (str,), f"{base}.kind", "a string")
+        available = params.get("available", True)
+        _require(available, (bool,), f"{base}.available", "a bool")
+        dvfs = params.get("dvfs")
+        if dvfs is not None:
+            dvfs_path = f"{base}.dvfs"
+            _require(dvfs, (dict,), dvfs_path, "an object")
+            points = dvfs.get("points", [])
+            _require(points, (list,), f"{dvfs_path}.points",
+                     "an array")
+            for j, point in enumerate(points):
+                point_path = f"{dvfs_path}.points[{j}]"
+                _require(point, (dict,), point_path, "an object")
+                _check_number(point.get("voltage"),
+                              f"{point_path}.voltage")
+                _check_number(point.get("frequency"),
+                              f"{point_path}.frequency")
+            _check_number(dvfs.get("ceff", 1e-9), f"{dvfs_path}.ceff")
+            _check_number(dvfs.get("idle_power", 0.0),
+                          f"{dvfs_path}.idle_power")
+
+
+def _check_mapping(mapping: dict, path: str) -> None:
+    assignment = mapping.get("assignment", {})
+    _require(assignment, (dict,), f"{path}.assignment", "an object")
+    for process, pe in assignment.items():
+        if not isinstance(process, str):
+            raise SchemaError(f"{path}.assignment",
+                              f"non-string process name {process!r}")
+        _require(pe, (str,), f"{path}.assignment.{process}",
+                 "a string (PE name)")
+
+
+def _check_qos(qos: dict, path: str) -> None:
+    for label in ("max_latency", "max_jitter", "max_loss_rate",
+                  "min_throughput", "max_deadline_miss_rate"):
+        _check_number(qos.get(label), f"{path}.{label}",
+                      nullable=True)
+
+
+def validate_document(doc: Any) -> None:
+    """Validate one scenario document; raise :class:`SchemaError`
+    naming the JSON path of the first violation.
+
+    Checks structure and value types only — *semantic* validity
+    (deadlock cycles, over-utilized PEs, broken bindings) is the
+    RC1xx model verifier's job, reached through
+    :func:`repro.scenario.verify`.
+    """
+    _require(doc, (dict,), "$", "an object")
+    fmt = doc.get("format")
+    if fmt is None:
+        raise SchemaError("$.format", "missing required field; "
+                          f"expected {FORMAT!r}")
+    _require(fmt, (str,), "$.format", "a string")
+    if fmt != FORMAT:
+        raise SchemaError(
+            "$.format",
+            f"unsupported format {fmt!r}; this library reads "
+            f"{FORMAT!r}")
+    if "meta" in doc and doc["meta"] is not None:
+        _require(doc["meta"], (dict,), "$.meta", "an object")
+    scenario = _require_object(doc, "scenario", "$", required=True)
+    if "name" in scenario:
+        _require(scenario["name"], (str,), "$.scenario.name",
+                 "a string")
+    app = _require_object(scenario, "application", "$.scenario")
+    if app is not None:
+        _check_application(app, "$.scenario.application")
+    tg = _require_object(scenario, "task_graph", "$.scenario")
+    if tg is not None:
+        _check_task_graph(tg, "$.scenario.task_graph")
+    platform = _require_object(scenario, "platform", "$.scenario")
+    if platform is not None:
+        _check_platform(platform, "$.scenario.platform")
+    mapping = _require_object(scenario, "mapping", "$.scenario")
+    if mapping is not None:
+        _check_mapping(mapping, "$.scenario.mapping")
+    qos = _require_object(scenario, "qos", "$.scenario")
+    if qos is not None:
+        _check_qos(qos, "$.scenario.qos")
+    if app is None and tg is None and platform is None:
+        raise SchemaError(
+            "$.scenario",
+            "scenario declares no model: at least one of "
+            "'application', 'task_graph' or 'platform' is required")

@@ -1,0 +1,132 @@
+"""The ``repro scenario`` subcommand and scenario-aware ``run`` /
+``check``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenario import ScenarioGenerator, dumps, load, save
+
+
+@pytest.fixture()
+def corpus_file(tmp_path):
+    scenario = ScenarioGenerator(seed=7).sample(1).scenario
+    return save(scenario, tmp_path / "s0001.json")
+
+
+class TestScenarioExportImport:
+    def test_export_writes_canonical_files(self, tmp_path, capsys):
+        assert main(["scenario", "export", "e3",
+                     "--out", str(tmp_path)]) == 0
+        written = sorted(tmp_path.glob("e3-*.json"))
+        assert len(written) == 2
+        for path in written:
+            assert dumps(load(path)) == path.read_text(
+                encoding="utf-8")
+
+    def test_export_without_scenarios_fails(self, tmp_path, capsys):
+        # e14 never declared models or scenarios.
+        assert main(["scenario", "export", "e14",
+                     "--out", str(tmp_path)]) == 1
+        assert "declares no scenarios" in capsys.readouterr().err
+
+    def test_import_rewrites_canonically(self, tmp_path, capsys,
+                                         corpus_file):
+        canonical = corpus_file.read_text(encoding="utf-8")
+        # Perturb formatting only; import must restore the bytes.
+        doc = json.loads(canonical)
+        corpus_file.write_text(json.dumps(doc, indent=7),
+                               encoding="utf-8")
+        assert main(["scenario", "import", str(corpus_file)]) == 0
+        assert corpus_file.read_text(encoding="utf-8") == canonical
+
+    def test_import_invalid_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "repro.scenario/v1"}',
+                       encoding="utf-8")
+        assert main(["scenario", "import", str(bad)]) == 1
+        assert "$.scenario" in capsys.readouterr().err
+
+
+class TestScenarioGenerate:
+    def test_generate_reports_summary(self, tmp_path, capsys):
+        assert main(["scenario", "generate", "--count", "5",
+                     "--seed", "7", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 clean" in out
+        assert len(list(tmp_path.glob("s*.json"))) == 5
+
+    def test_min_clean_gate(self, tmp_path, capsys):
+        assert main(["scenario", "generate", "--count", "4",
+                     "--seed", "2", "--mutate", "1.0",
+                     "--out", str(tmp_path),
+                     "--min-clean", "0.95"]) == 1
+        assert "below required" in capsys.readouterr().err
+
+
+class TestCheckScenarioFiles:
+    def test_clean_file_passes(self, corpus_file, capsys):
+        assert main(["check", str(corpus_file)]) == 0
+
+    def test_schema_error_reports_rc140_with_path(self, corpus_file,
+                                                  capsys):
+        doc = json.loads(corpus_file.read_text(encoding="utf-8"))
+        section = ("application"
+                   if doc["scenario"]["application"] else "task_graph")
+        doc["scenario"][section]["nodes"][0]["parameters"] = "oops"
+        corpus_file.write_text(json.dumps(doc), encoding="utf-8")
+        assert main(["check", "--json", str(corpus_file)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        (diag,) = document["diagnostics"]
+        assert diag["rule"] == "RC140"
+        assert f"{corpus_file}#$.scenario.{section}.nodes[0]" \
+            in diag["subject"]
+
+    def test_semantic_error_reports_model_rule(self, corpus_file,
+                                               capsys):
+        from repro.core.mapping import Mapping
+
+        scenario = load(corpus_file)
+        graph = scenario.graph
+        nodes = (graph.processes if hasattr(graph, "processes")
+                 else graph.tasks)
+        assignment = scenario.mapping.assignment
+        del assignment[nodes[0].name]
+        scenario.mapping = Mapping(assignment)
+        save(scenario, corpus_file)
+        assert main(["check", "--json", str(corpus_file)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert any(d["rule"].startswith("RC1")
+                   and "#$.scenario" in d["subject"]
+                   for d in document["diagnostics"])
+
+
+class TestRunScenario:
+    def test_run_with_scenario_override(self, capsys):
+        fixture = "tests/scenario/fixtures/e3-mms.json"
+        assert main(["run", "e3", "--scenario", fixture,
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "mms_saving_vs_random" in document["metrics"]
+
+    def test_scenario_with_replicas_is_usage_error(self, capsys):
+        fixture = "tests/scenario/fixtures/e3-mms.json"
+        assert main(["run", "e3", "--scenario", fixture,
+                     "--replicas", "4"]) == 2
+        assert "scenario:" in capsys.readouterr().err
+
+    def test_missing_scenario_file_is_usage_error(self, capsys):
+        assert main(["run", "e3", "--scenario", "nope.json"]) == 2
+
+    def test_scenario_id_resolves_to_dynamic_experiment(self,
+                                                        corpus_file,
+                                                        capsys):
+        assert main(["run", f"scenario:{corpus_file}",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["metrics"]
+
+    def test_scenario_id_missing_file_is_usage_error(self, capsys):
+        assert main(["run", "scenario:/no/such.json"]) == 2
+        assert "no such scenario file" in capsys.readouterr().err

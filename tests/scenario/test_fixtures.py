@@ -1,0 +1,52 @@
+"""Golden fixtures: every committed scenario file is canonical —
+``save(load(f))`` must reproduce it byte-for-byte — and verifier
+clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import dumps, is_scenario_file, load, verify
+
+FIXTURES = sorted(
+    (Path(__file__).parent / "fixtures").glob("*.json"))
+
+
+def test_fixture_set_is_nonempty():
+    assert len(FIXTURES) >= 4
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_is_byte_identical_after_roundtrip(path):
+    text = path.read_text(encoding="utf-8")
+    assert dumps(load(path)) == text
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_is_verifier_clean(path):
+    assert verify(load(path)) == []
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_fixture_sniffs_as_scenario(path):
+    assert is_scenario_file(path)
+
+
+def test_sniff_rejects_plain_json(tmp_path):
+    other = tmp_path / "notascenario.json"
+    other.write_text('{"format": "other/v1"}', encoding="utf-8")
+    assert not is_scenario_file(other)
+    assert not is_scenario_file(tmp_path / "missing.json")
+
+
+def test_e3_export_matches_fixture():
+    """The committed e3 fixtures are exactly what the registry
+    exports today (catches silent model drift)."""
+    from repro import experiments
+
+    by_name = {s.name: s for s in experiments.scenarios_of("e3")}
+    for path in FIXTURES:
+        if not path.stem.startswith("e3-"):
+            continue
+        name = path.stem[len("e3-"):]
+        assert dumps(by_name[name]) == path.read_text(encoding="utf-8")

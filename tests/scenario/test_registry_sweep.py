@@ -1,0 +1,70 @@
+"""Registry integration (scenario hooks, document preflight, dynamic
+``scenario:<path>`` ids) and the differential sweep gate."""
+
+import json
+
+import pytest
+
+from repro import experiments
+from repro.scenario import ScenarioGenerator, save, sweep
+
+
+@pytest.fixture()
+def corpus_file(tmp_path):
+    scenario = ScenarioGenerator(seed=7).sample(0).scenario
+    return save(scenario, tmp_path / "s0000.json")
+
+
+class TestScenarioHooks:
+    def test_e3_declares_document_scenarios(self):
+        scenarios = experiments.scenarios_of("e3")
+        assert [s.name for s in scenarios] == ["video-surveillance",
+                                               "mms"]
+        assert all(s.task_graph is not None for s in scenarios)
+
+    def test_preflight_verifies_documents(self):
+        assert experiments.preflight("e3") == []
+        assert experiments.preflight("e4") == []
+
+    def test_experiment_without_hook_preflights_empty(self):
+        assert experiments.preflight("e14") == []
+        assert experiments.scenarios_of("e14") == []
+
+    def test_run_accepts_scenario_override(self, corpus_file):
+        result = experiments.run(f"scenario:{corpus_file}", seed=0)
+        assert result.metrics
+        again = experiments.run(f"scenario:{corpus_file}", seed=0)
+        assert json.dumps(result.strip_timings(), sort_keys=True) == \
+            json.dumps(again.strip_timings(), sort_keys=True)
+
+    def test_scenario_id_for_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            experiments.run("scenario:/no/such/file.json")
+
+    def test_e4_scenario_override_changes_problem(self):
+        fixture = "tests/scenario/fixtures/e3-video-surveillance.json"
+        default = experiments.run("e4", seed=0)
+        overridden = experiments.run("e4", seed=0, scenario=fixture)
+        assert default.metrics != overridden.metrics
+
+
+class TestSweep:
+    def test_sweep_passes_on_clean_scenario(self, corpus_file):
+        report = sweep([corpus_file], replicas=2, seed=0,
+                       worker_counts=(1, 2))
+        assert report.ok, report.summary()
+        (entry,) = report.entries
+        assert entry.identical
+        assert entry.worker_counts == (1, 2)
+        assert entry.kpis
+
+    def test_sweep_reports_broken_file_as_failure(self, tmp_path,
+                                                  corpus_file):
+        bad = tmp_path / "broken.json"
+        bad.write_text('{"format": "repro.scenario/v1", '
+                       '"scenario": {"name": "x"}}',
+                       encoding="utf-8")
+        report = sweep([bad], replicas=2, seed=0, worker_counts=(1,))
+        assert not report.ok
+        (entry,) = report.failures()
+        assert entry.error

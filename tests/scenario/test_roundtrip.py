@@ -1,0 +1,78 @@
+"""Round-trip properties: ``loads(dumps(s))`` reproduces the models,
+``dumps`` is byte-stable, and generated scenarios survive the trip
+unchanged for arbitrary seeds."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import (
+    Scenario,
+    ScenarioGenerator,
+    dumps,
+    load,
+    loads,
+    save,
+)
+
+_SLOW = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+@_SLOW
+@given(seed=st.integers(0, 2**32 - 1), index=st.integers(0, 30))
+def test_generated_scenario_roundtrips(seed, index):
+    scenario = ScenarioGenerator(seed=seed).sample(index).scenario
+    text = dumps(scenario)
+    back = loads(text)
+    # Byte-stable: serializing the parse reproduces the input.
+    assert dumps(back) == text
+    # Semantically identical documents.
+    assert back.to_document() == scenario.to_document()
+    assert back.name == scenario.name
+    assert back.meta == scenario.meta
+
+
+@_SLOW
+@given(seed=st.integers(0, 2**32 - 1), index=st.integers(0, 30))
+def test_document_form_is_pure_data(seed, index):
+    import json
+
+    scenario = ScenarioGenerator(seed=seed).sample(index).scenario
+    doc = scenario.to_document()
+    # json round trip cannot change a well-formed document.
+    assert json.loads(json.dumps(doc)) == doc
+    assert Scenario.from_document(doc).to_document() == doc
+
+
+@given(st.sampled_from(["application", "task_graph", "platform",
+                        "mapping", "qos"]))
+def test_sections_are_independent(section):
+    scenario = ScenarioGenerator(seed=3).sample(0).scenario
+    doc = scenario.to_document()
+    if doc["scenario"][section] is None:
+        return
+    # Dropping any single optional section still loads (platform-only
+    # and graph-only documents are both legal interchange forms).
+    doc = {**doc, "scenario": {**doc["scenario"], section: None}}
+    if all(doc["scenario"][key] is None
+           for key in ("application", "task_graph", "platform")):
+        return
+    back = Scenario.from_document(doc)
+    assert getattr(back, section) is None
+
+
+def test_save_load_identity(tmp_path):
+    scenario = ScenarioGenerator(seed=11).sample(4).scenario
+    path = save(scenario, tmp_path / "point.json")
+    first = path.read_bytes()
+    save(load(path), path)
+    assert path.read_bytes() == first
+    assert load(path).source == path
+
+
+def test_meta_roundtrips_verbatim(tmp_path):
+    scenario = ScenarioGenerator(seed=5).sample(1).scenario
+    scenario.meta["campaign"] = {"id": "night-sweep", "batch": 3}
+    path = save(scenario, tmp_path / "meta.json")
+    assert load(path).meta["campaign"] == {"id": "night-sweep",
+                                           "batch": 3}

@@ -1,0 +1,160 @@
+"""Schema validation: SchemaError names the exact JSON path, unknown
+fields are tolerated, and type confusions (bool-as-number included)
+are rejected."""
+
+import copy
+
+import pytest
+
+from repro.scenario import (
+    FORMAT,
+    SchemaError,
+    ScenarioGenerator,
+    validate_document,
+)
+
+
+@pytest.fixture(scope="module")
+def app_doc():
+    generator = ScenarioGenerator(seed=7)
+    for index in range(20):
+        scenario = generator.sample(index).scenario
+        if scenario.application is not None:
+            return scenario.to_document()
+    raise AssertionError("no application sample in 20 draws")
+
+
+@pytest.fixture(scope="module")
+def tg_doc():
+    generator = ScenarioGenerator(seed=7)
+    for index in range(20):
+        scenario = generator.sample(index).scenario
+        if scenario.task_graph is not None:
+            return scenario.to_document()
+    raise AssertionError("no task-graph sample in 20 draws")
+
+
+def _expect_error(doc, path_prefix):
+    with pytest.raises(SchemaError) as excinfo:
+        validate_document(doc)
+    assert excinfo.value.path.startswith(path_prefix), (
+        f"expected path {path_prefix}, got {excinfo.value.path}")
+    return excinfo.value
+
+
+class TestHeader:
+    def test_valid_document_passes(self, app_doc):
+        validate_document(app_doc)
+
+    def test_not_an_object(self):
+        error = _expect_error(["not", "a", "doc"], "$")
+        assert "object" in error.reason
+
+    def test_missing_format(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        del doc["format"]
+        _expect_error(doc, "$.format")
+
+    def test_wrong_format_version(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        doc["format"] = "repro.scenario/v99"
+        error = _expect_error(doc, "$.format")
+        assert FORMAT in error.reason
+
+    def test_missing_scenario(self, app_doc):
+        doc = {"format": FORMAT}
+        _expect_error(doc, "$.scenario")
+
+    def test_empty_scenario_rejected(self):
+        doc = {"format": FORMAT, "scenario": {"name": "empty"}}
+        error = _expect_error(doc, "$.scenario")
+        assert "at least one" in error.reason
+
+
+class TestGraphSections:
+    def test_duplicate_node_id(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        nodes = doc["scenario"]["application"]["nodes"]
+        nodes.append(dict(nodes[0]))
+        index = len(nodes) - 1
+        _expect_error(
+            doc, f"$.scenario.application.nodes[{index}].id")
+
+    def test_edge_to_unknown_node(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        edges = doc["scenario"]["application"]["edges"]
+        edges[0]["dst"] = "no-such-node"
+        _expect_error(doc, "$.scenario.application.edges[0].dst")
+
+    def test_parameters_must_be_object(self, tg_doc):
+        doc = copy.deepcopy(tg_doc)
+        doc["scenario"]["task_graph"]["nodes"][0]["parameters"] = 3
+        error = _expect_error(
+            doc, "$.scenario.task_graph.nodes[0].parameters")
+        assert "object" in error.reason
+
+    def test_numeric_field_rejects_string(self, tg_doc):
+        doc = copy.deepcopy(tg_doc)
+        node = doc["scenario"]["task_graph"]["nodes"][0]
+        node["parameters"]["cycles"] = "many"
+        _expect_error(
+            doc,
+            "$.scenario.task_graph.nodes[0].parameters.cycles")
+
+    def test_numeric_field_rejects_bool(self, app_doc):
+        # bool is an int subclass; the schema must not accept it
+        # where a number is required.
+        doc = copy.deepcopy(app_doc)
+        node = doc["scenario"]["application"]["nodes"][0]
+        node["parameters"]["cycles_mean"] = True
+        error = _expect_error(
+            doc,
+            "$.scenario.application.nodes[0].parameters.cycles_mean")
+        assert "bool" in error.reason
+
+
+class TestPlatformAndMapping:
+    def test_pe_frequency_type(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        pe = doc["scenario"]["platform"]["pes"][0]
+        pe["parameters"]["frequency"] = None
+        _expect_error(
+            doc, "$.scenario.platform.pes[0].parameters.frequency")
+
+    def test_duplicate_pe_id(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        pes = doc["scenario"]["platform"]["pes"]
+        pes.append(dict(pes[0]))
+        _expect_error(
+            doc, f"$.scenario.platform.pes[{len(pes) - 1}].id")
+
+    def test_mapping_target_must_be_string(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        assignment = doc["scenario"]["mapping"]["assignment"]
+        process = sorted(assignment)[0]
+        assignment[process] = 3
+        _expect_error(
+            doc, f"$.scenario.mapping.assignment.{process}")
+
+    def test_qos_bound_must_be_numeric(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        doc["scenario"]["qos"] = {"max_latency": "soon"}
+        _expect_error(doc, "$.scenario.qos.max_latency")
+
+
+class TestForwardCompatibility:
+    def test_unknown_fields_tolerated(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        doc["x_extension"] = {"anything": [1, 2, 3]}
+        doc["scenario"]["x_future_section"] = {"k": "v"}
+        doc["scenario"]["application"]["nodes"][0]["x_note"] = "hi"
+        validate_document(doc)
+
+    def test_message_carries_path_and_reason(self, app_doc):
+        doc = copy.deepcopy(app_doc)
+        doc["scenario"]["application"] = []
+        with pytest.raises(SchemaError) as excinfo:
+            validate_document(doc)
+        assert str(excinfo.value).startswith(
+            "$.scenario.application: ")
+        assert excinfo.value.reason in str(excinfo.value)

@@ -1,0 +1,71 @@
+"""Verifier integration: RC1xx diagnostics on scenarios are
+re-anchored to the originating JSON path in the document."""
+
+from repro.scenario import ScenarioGenerator, json_path_for, verify
+
+
+def _app_scenario(seed=7):
+    generator = ScenarioGenerator(seed=seed)
+    for index in range(20):
+        scenario = generator.sample(index).scenario
+        if scenario.application is not None:
+            return scenario
+    raise AssertionError("no application sample in 20 draws")
+
+
+def _unmapped(scenario):
+    """Drop the first process's binding (provokes RC110)."""
+    from repro.core.mapping import Mapping
+
+    assignment = scenario.mapping.assignment
+    del assignment[scenario.application.processes[0].name]
+    scenario.mapping = Mapping(assignment)
+    return scenario
+
+
+class TestJsonPathFor:
+    def test_process_maps_to_node_index(self):
+        scenario = _app_scenario()
+        name = scenario.application.processes[1].name
+        path = json_path_for(
+            scenario, f"app:{scenario.name}/process:{name}")
+        assert path == "$.scenario.application.nodes[1]"
+
+    def test_pe_maps_to_platform_index(self):
+        scenario = _app_scenario()
+        pe = scenario.platform.pes[-1].name
+        index = len(scenario.platform.pes) - 1
+        path = json_path_for(
+            scenario, f"platform:{scenario.platform.name}/pe:{pe}")
+        assert path == f"$.scenario.platform.pes[{index}]"
+
+    def test_mapping_subject(self):
+        scenario = _app_scenario()
+        path = json_path_for(
+            scenario, f"app:{scenario.name}/mapping/pe:x")
+        assert path == "$.scenario.mapping.assignment"
+
+    def test_unknown_subject_falls_back_to_root(self):
+        assert json_path_for(_app_scenario(),
+                             "weird:thing") == "$.scenario"
+
+
+class TestVerify:
+    def test_clean_scenario_has_no_findings(self):
+        assert verify(_app_scenario()) == []
+
+    def test_findings_carry_label_and_json_path(self):
+        scenario = _unmapped(_app_scenario())
+        findings = verify(scenario, label="corpus/s1.json")
+        assert findings
+        for diag in findings:
+            label, _, path = diag.subject.partition("#")
+            assert label == "corpus/s1.json"
+            assert path.startswith("$.scenario")
+            # The original model subject survives in the message.
+            assert "[at " in diag.message
+
+    def test_label_defaults_to_scenario_name(self):
+        scenario = _unmapped(_app_scenario())
+        findings = verify(scenario)
+        assert findings[0].subject.startswith(f"{scenario.name}#")

@@ -54,6 +54,55 @@ class TestPipelineDurationAlias:
             self._pipeline().run()
 
 
+class TestRegisterModelsAlias:
+    """``experiments.register(models=...)`` still works: the hook is
+    wrapped into scenario-document form with a DeprecationWarning."""
+
+    def _cleanup(self, exp_id):
+        from repro.experiments import registry
+
+        registry._REGISTRY.pop(exp_id, None)
+
+    def test_models_hook_becomes_scenario_documents(self):
+        from repro import experiments
+        from repro.core.application import Task, TaskGraph
+
+        def models():
+            tg = TaskGraph("dep-shim")
+            tg.add_task(Task("t0", cycles=1e4))
+            return [tg]
+
+        exp_id = "t-dep-models"
+        try:
+            with pytest.warns(DeprecationWarning,
+                              match="models.*scenario"):
+                @experiments.register(exp_id, "shim test",
+                                      models=models)
+                def runner(ctx):
+                    return {}
+
+            scenarios = experiments.scenarios_of(exp_id)
+            assert len(scenarios) == 1
+            assert scenarios[0].task_graph is not None
+            assert scenarios[0].task_graph.tasks[0].name == "t0"
+        finally:
+            self._cleanup(exp_id)
+
+    def test_both_spellings_rejected(self):
+        from repro import experiments
+
+        exp_id = "t-dep-both"
+        try:
+            with pytest.raises(TypeError, match="both"):
+                @experiments.register(exp_id, "shim test",
+                                      models=lambda: [],
+                                      scenario=lambda: [])
+                def runner(ctx):
+                    return {}
+        finally:
+            self._cleanup(exp_id)
+
+
 class TestDtmcSeedKeyword:
     def test_seed_replaces_manual_rng(self):
         import numpy as np
