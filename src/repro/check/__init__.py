@@ -16,12 +16,20 @@ is that stage:
   discipline — seeded RNG streams only, no wall-clock reads, kernel
   events must be yielded, no ``==`` against simulated time.  Rule ids
   ``SL2xx``; suppress intentional findings with
-  ``# simlint: ignore[RULE]``.
+  ``# simlint: ignore[RULE,...]`` (see :mod:`repro.check.pragmas`).
+* **Layer 3 — flow analysis** (:mod:`repro.check.simflow`):
+  per-function control-flow graphs (:mod:`repro.check.cfg`) and a
+  project call graph drive a flow-sensitive abstract interpretation
+  of the DES-kernel API — event/resource lifecycles, lock-order
+  cycles, scheduling-in-the-past, starvation loops, and an
+  interprocedural determinism-taint pass
+  (:mod:`repro.check.taint`).  Rule ids ``SF3xx``.
 
-Both layers report :class:`Diagnostic` records and surface through
-``repro check [--models] [--lint] [--json] [--strict]`` and the
-experiment registry's pre-flight hook (``repro.experiments.run``
-verifies an experiment's declared models before running it).
+All layers report :class:`Diagnostic` records and surface through
+``repro check [--models] [--lint] [--flow] [--json] [--sarif FILE]
+[--baseline write|compare] [--strict]`` and the experiment registry's
+pre-flight hook (``repro.experiments.run`` verifies an experiment's
+declared models before running it).
 
 See ``docs/static_analysis.md`` for the full rule catalog.
 """
@@ -40,6 +48,13 @@ from repro.check.diagnostics import (
     max_severity,
     rule,
 )
+from repro.check.astcache import cache_stats, clear_cache
+from repro.check.baseline import (
+    BaselineComparison,
+    compare_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.check.model import (
     verify_application,
     verify_design,
@@ -55,6 +70,9 @@ from repro.check.repo import (
     default_lint_paths,
     repository_root,
 )
+from repro.check.sarif import to_sarif, to_sarif_json
+from repro.check.simflow import analyze_file, analyze_paths, \
+    analyze_source
 from repro.check.simlint import lint_file, lint_paths, lint_source
 
 __all__ = [
@@ -79,6 +97,17 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "to_sarif",
+    "to_sarif_json",
+    "BaselineComparison",
+    "write_baseline",
+    "load_baseline",
+    "compare_baseline",
+    "cache_stats",
+    "clear_cache",
     "builtin_model_checks",
     "check_models",
     "check_repository",

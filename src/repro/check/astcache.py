@@ -1,0 +1,107 @@
+"""Shared, mtime-keyed AST cache for the AST-based analysis layers.
+
+``repro check`` runs two independent passes over the same Python
+sources — the Layer-2 lint (:mod:`repro.check.simlint`) and the
+Layer-3 flow analyzer (:mod:`repro.check.simflow`) — and the
+experiment pre-flight may analyze the same module several times in one
+process.  Parsing dominates the cost of both passes, so every consumer
+goes through :func:`parse_file`, which parses each file exactly once
+per content version: entries are keyed by resolved path and
+invalidated on ``(mtime_ns, size)`` change.
+
+The cache also carries per-file derived artifacts (parsed pragmas,
+CFGs) under :attr:`ParsedFile.derived`, so simflow's CFG construction
+is likewise shared between repeated analyses of an unchanged file.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ParsedFile", "parse_file", "parse_source",
+           "cache_stats", "clear_cache"]
+
+
+@dataclass
+class ParsedFile:
+    """One parsed source file plus a slot for derived artifacts.
+
+    Attributes
+    ----------
+    path:
+        Resolved filesystem path (``"<string>"`` for in-memory
+        sources).
+    source:
+        The file text.
+    tree:
+        Parsed module, or ``None`` when the file has a syntax error.
+    error:
+        The :class:`SyntaxError` when parsing failed.
+    derived:
+        Scratch space for analyses keyed by consumer
+        (``parsed.derived["cfg"]``); invalidated together with the
+        entry itself.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module | None
+    error: SyntaxError | None = None
+    derived: dict[str, Any] = field(default_factory=dict)
+
+
+#: path → ((mtime_ns, size), ParsedFile)
+_CACHE: dict[str, tuple[tuple[int, int], ParsedFile]] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def _parse(source: str, path: str) -> ParsedFile:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return ParsedFile(path, source, None, error=exc)
+    return ParsedFile(path, source, tree)
+
+
+def parse_source(source: str, path: str = "<string>") -> ParsedFile:
+    """Parse in-memory ``source`` (never cached — no file identity)."""
+    return _parse(source, path)
+
+
+def parse_file(path: str | Path) -> ParsedFile:
+    """Parse ``path`` through the shared cache.
+
+    The entry is reused while the file's ``(mtime_ns, size)`` stays
+    unchanged; an edited file re-parses transparently.
+    """
+    global _HITS, _MISSES
+    resolved = os.fspath(Path(path))
+    stat = os.stat(resolved)
+    key = (stat.st_mtime_ns, stat.st_size)
+    entry = _CACHE.get(resolved)
+    if entry is not None and entry[0] == key:
+        _HITS += 1
+        return entry[1]
+    _MISSES += 1
+    source = Path(resolved).read_text(encoding="utf-8")
+    parsed = _parse(source, resolved)
+    _CACHE[resolved] = (key, parsed)
+    return parsed
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters (the perf-guard test asserts on these)."""
+    return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def clear_cache() -> None:
+    """Drop every entry and zero the counters."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0

@@ -1,0 +1,126 @@
+"""Baseline suppression: adopt the analyzers on a codebase with debt.
+
+A baseline file records the fingerprints of the findings present at
+adoption time (``repro check --baseline write``); later runs subtract
+exactly those findings (``--baseline compare``), so CI can gate on
+*new* findings while the recorded debt is burned down separately.
+
+Fingerprints (:attr:`repro.check.diagnostics.Diagnostic.fingerprint`)
+mask line numbers, so routine edits that shift code do not invalidate
+the baseline; fixing a baselined finding makes its entry *stale*,
+which ``compare`` reports so the file shrinks monotonically instead
+of accumulating dead entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.check.diagnostics import Diagnostic, _sort_key
+
+__all__ = [
+    "BaselineComparison",
+    "write_baseline",
+    "load_baseline",
+    "compare_baseline",
+]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of subtracting a baseline from a set of findings.
+
+    Attributes
+    ----------
+    new:
+        Findings whose fingerprint the baseline does not contain —
+        what a gated run should fail on.
+    suppressed:
+        Findings matched (and silenced) by a baseline entry.
+    stale:
+        Baseline fingerprints no finding matched any more: the debt
+        was paid, the entries should be deleted (re-run ``--baseline
+        write``).  Each entry is the recorded ``{fingerprint, rule,
+        subject}`` mapping, so the report is human-readable.
+    """
+
+    new: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+
+
+def _entries(diagnostics: Iterable[Diagnostic]) -> list[dict]:
+    ordered = sorted(diagnostics, key=_sort_key)
+    seen: set[str] = set()
+    entries: list[dict] = []
+    for diag in ordered:
+        if diag.fingerprint in seen:
+            continue  # one entry suppresses every identical finding
+        seen.add(diag.fingerprint)
+        entries.append({
+            "fingerprint": diag.fingerprint,
+            "rule": diag.rule,
+            "subject": diag.subject,
+        })
+    return entries
+
+
+def write_baseline(
+    diagnostics: Iterable[Diagnostic], path: str | Path
+) -> dict:
+    """Record current findings as the accepted baseline at ``path``.
+
+    Returns the written document.  The file is deterministic JSON
+    (sorted entries, sorted keys) so it diffs cleanly under review.
+    """
+    document = {
+        "version": _VERSION,
+        "fingerprints": _entries(diagnostics),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    return document
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Load and validate a baseline document."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) \
+            or document.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a repro-check baseline file "
+            f"(expected version {_VERSION})"
+        )
+    entries = document.get("fingerprints")
+    if not isinstance(entries, list) or not all(
+            isinstance(e, dict) and "fingerprint" in e
+            for e in entries):
+        raise ValueError(f"{path}: malformed fingerprint list")
+    return document
+
+
+def compare_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: dict
+) -> BaselineComparison:
+    """Split ``diagnostics`` against a loaded ``baseline``."""
+    by_fingerprint = {e["fingerprint"]: e
+                      for e in baseline["fingerprints"]}
+    comparison = BaselineComparison()
+    matched: set[str] = set()
+    for diag in sorted(diagnostics, key=_sort_key):
+        if diag.fingerprint in by_fingerprint:
+            matched.add(diag.fingerprint)
+            comparison.suppressed.append(diag)
+        else:
+            comparison.new.append(diag)
+    comparison.stale = [
+        entry for entry in baseline["fingerprints"]
+        if entry["fingerprint"] not in matched
+    ]
+    return comparison

@@ -1,0 +1,389 @@
+"""Per-function control-flow graphs for the Layer-3 flow analyzer.
+
+:func:`build_cfg` lowers one ``ast`` function body into basic blocks
+connected by directed edges — the substrate
+:mod:`repro.check.simflow` runs its abstract interpretation over.
+The lowering keeps only *atomic* statements inside blocks (assignments,
+expression statements, returns, raises, ...); structured control flow
+(``if``/``while``/``for``/``try``/``with``/``match``) becomes edges.
+
+Design choices, tuned for the DES-discipline analyses:
+
+* ``with`` statements contribute :class:`WithEnter`/:class:`WithExit`
+  markers so transfer functions see resource scopes without
+  re-walking nested bodies.
+* ``try`` bodies get a coarse exception edge from **every** block of
+  the protected region to each handler (and into ``finally``): any
+  statement may raise, and for leak analysis over-approximating the
+  exceptional flow is the sound direction.
+* ``return``/``raise`` edge to the single synthetic exit block, with
+  the statement retained in its block so exit-path analyses can
+  distinguish an early return from falling off the end.
+* Loop back edges are real edges; the engine in simflow iterates to a
+  fixpoint, so states reaching a loop tail propagate back to the head.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = ["Block", "CFG", "WithEnter", "WithExit", "ForIter",
+           "build_cfg", "function_defs", "dataflow", "merge_states",
+           "is_generator"]
+
+
+@dataclass
+class WithEnter:
+    """Marker: control entered ``with`` item ``item`` (of ``node``)."""
+
+    node: ast.With | ast.AsyncWith
+    item: ast.withitem
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class WithExit:
+    """Marker: the matching ``with`` scope is being left."""
+
+    node: ast.With | ast.AsyncWith
+    item: ast.withitem
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ForIter:
+    """Marker: the loop header binding ``node.target`` from
+    ``node.iter`` (re-executed every iteration — it sits in the loop
+    head block, which back edges return to)."""
+
+    node: ast.For | ast.AsyncFor
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+#: What a basic block may contain.
+Atom = Union[ast.stmt, WithEnter, WithExit, ForIter]
+
+
+@dataclass
+class Block:
+    """A straight-line run of atomic statements."""
+
+    id: int
+    stmts: list[Atom] = field(default_factory=list)
+    succ: list["Block"] = field(default_factory=list)
+    pred: list["Block"] = field(default_factory=list)
+    #: True for the synthetic exit block.
+    is_exit: bool = False
+
+    def link(self, other: "Block") -> None:
+        if other not in self.succ:
+            self.succ.append(other)
+            other.pred.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(s).__name__ for s in self.stmts)
+        return f"Block({self.id}, [{kinds}] -> " \
+               f"{[b.id for b in self.succ]})"
+
+
+class CFG:
+    """Control-flow graph of one function.
+
+    Attributes
+    ----------
+    func:
+        The ``ast.FunctionDef`` the graph was built from.
+    entry, exit:
+        Unique entry block and synthetic exit block.  Both normal
+        completion and ``return``/``raise`` reach ``exit``.
+    blocks:
+        Every block, in creation (roughly source) order.
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self.exit.is_exit = True
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def reachable(self) -> list[Block]:
+        """Blocks reachable from the entry, in visit order."""
+        seen: set[int] = set()
+        order: list[Block] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.id in seen:
+                continue
+            seen.add(block.id)
+            order.append(block)
+            stack.extend(block.succ)
+        return order
+
+
+class _Builder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        # (continue_target, break_target) stack for loops.
+        self.loops: list[tuple[Block, Block]] = []
+        # Exception targets of enclosing try statements: each entry is
+        # the list of blocks an exception may transfer control to.
+        self.handlers: list[list[Block]] = []
+
+    # -- helpers -------------------------------------------------------
+    def _exception_edges(self, block: Block) -> None:
+        """Connect ``block`` to every active exception target."""
+        for targets in self.handlers:
+            for target in targets:
+                block.link(target)
+
+    def _append(self, block: Block, stmt: Atom) -> Block:
+        block.stmts.append(stmt)
+        # Under an active try, any statement may raise: give the block
+        # the coarse exception edge once it holds a statement.
+        self._exception_edges(block)
+        return block
+
+    # -- statement lowering -------------------------------------------
+    def build(self, stmts: list[ast.stmt], current: Block) -> Block:
+        """Lower ``stmts`` starting in ``current``; return the block
+        control falls out of (which may be unreachable after a
+        terminator)."""
+        for stmt in stmts:
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, current: Block) -> Block:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._append(current, stmt)
+            current.link(cfg.exit)
+            return cfg.new_block()  # dead continuation
+
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                current.link(self.loops[-1][1])
+            return cfg.new_block()
+
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                current.link(self.loops[-1][0])
+            return cfg.new_block()
+
+        if isinstance(stmt, ast.If):
+            then_block = cfg.new_block()
+            after = cfg.new_block()
+            current.link(then_block)
+            then_end = self.build(stmt.body, then_block)
+            then_end.link(after)
+            if stmt.orelse:
+                else_block = cfg.new_block()
+                current.link(else_block)
+                else_end = self.build(stmt.orelse, else_block)
+                else_end.link(after)
+            else:
+                current.link(after)
+            return after
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = cfg.new_block()
+            body = cfg.new_block()
+            after = cfg.new_block()
+            current.link(head)
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._append(head, ForIter(stmt))
+            head.link(body)
+            # ``while True`` never falls through to the else/after
+            # edge — the only way out is break/return.  Every other
+            # loop may skip or leave the body (through the orelse,
+            # when present).
+            if not _always_true_loop(stmt):
+                if stmt.orelse:
+                    else_block = cfg.new_block()
+                    head.link(else_block)
+                    end = self.build(stmt.orelse, else_block)
+                    end.link(after)
+                else:
+                    head.link(after)
+            self.loops.append((head, after))
+            body_end = self.build(stmt.body, body)
+            self.loops.pop()
+            body_end.link(head)
+            return after
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._append(current, WithEnter(stmt, item))
+            current = self.build(stmt.body, current)
+            for item in reversed(stmt.items):
+                self._append(current, WithExit(stmt, item))
+            return current
+
+        if isinstance(stmt, ast.Try):
+            handler_blocks = [cfg.new_block() for _ in stmt.handlers]
+            final_entry = cfg.new_block() if stmt.finalbody else None
+            after = cfg.new_block()
+            # The exceptional continuation of the protected region:
+            # each handler, or finally directly when there is none.
+            targets = list(handler_blocks)
+            if final_entry is not None and not handler_blocks:
+                targets.append(final_entry)
+            self.handlers.append(targets)
+            body_end = self.build(stmt.body, current)
+            self.handlers.pop()
+            if stmt.orelse:
+                body_end = self.build(stmt.orelse, body_end)
+            joins = [body_end]
+            for handler, block in zip(stmt.handlers, handler_blocks):
+                joins.append(self.build(handler.body, block))
+            if final_entry is not None:
+                for join in joins:
+                    join.link(final_entry)
+                final_end = self.build(stmt.finalbody, final_entry)
+                final_end.link(after)
+            else:
+                for join in joins:
+                    join.link(after)
+            return after
+
+        if isinstance(stmt, ast.Match):
+            after = cfg.new_block()
+            for case in stmt.cases:
+                case_block = cfg.new_block()
+                current.link(case_block)
+                end = self.build(case.body, case_block)
+                end.link(after)
+            current.link(after)  # no case may match
+            return after
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Nested definitions are separate CFGs; record the
+            # statement (for call-graph construction) without
+            # descending.
+            return self._append(current, stmt)
+
+        return self._append(current, stmt)
+
+
+def _always_true_loop(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value))
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    end = builder.build(func.body, cfg.entry)
+    end.link(cfg.exit)
+    return cfg
+
+
+def merge_states(a: dict, b: dict) -> dict:
+    """Join two abstract states: key-wise union of fact sets (the
+    may-analysis join — a fact holds after the join if it holds on
+    *some* incoming path)."""
+    out = dict(a)
+    for key, facts in b.items():
+        previous = out.get(key)
+        out[key] = facts if previous is None else previous | facts
+    return out
+
+
+def dataflow(
+    cfg: CFG,
+    transfer,
+    initial: dict,
+) -> dict[int, dict]:
+    """Forward may-analysis over ``cfg`` to a fixpoint.
+
+    ``transfer(state, atom) -> state`` folds one atomic statement into
+    an abstract state (a dict mapping variable names to frozensets of
+    facts); states merge at joins with :func:`merge_states`.  Facts
+    are drawn from the finite set of (kind, line) pairs of one
+    function, and the join is a set union, so the iteration is
+    monotone and terminates.
+
+    Returns the fixpoint state at the **entry** of each block, keyed
+    by block id (``cfg.exit.id`` therefore gives the state on function
+    exit).  Callers that emit diagnostics run one more deterministic
+    pass over ``cfg.reachable()`` replaying ``transfer`` from these
+    entry states.
+    """
+    from collections import deque
+
+    entry_states: dict[int, dict] = {cfg.entry.id: initial}
+    work = deque([cfg.entry])
+    while work:
+        block = work.popleft()
+        state = entry_states.get(block.id)
+        if state is None:  # pragma: no cover - defensive
+            continue
+        for atom in block.stmts:
+            state = transfer(state, atom)
+        for succ in block.succ:
+            previous = entry_states.get(succ.id)
+            joined = (state if previous is None
+                      else merge_states(previous, state))
+            if previous is None or joined != previous:
+                entry_states[succ.id] = joined
+                work.append(succ)
+    return entry_states
+
+
+def is_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when ``func`` itself yields (nested defs excluded)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def function_defs(
+    tree: ast.AST,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualified_name, def)`` for every function in ``tree``.
+
+    Qualified names join enclosing classes/functions with dots
+    (``Server.run.worker``), the key space the project call graph and
+    the lock-order analysis use.
+    """
+    def walk(node: ast.AST, prefix: str) -> Iterator[
+            tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child
+                yield from walk(child, f"{name}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")

@@ -1,7 +1,8 @@
 """Diagnostic records and the static-analysis rule catalog.
 
-Every check in :mod:`repro.check` — the Layer-1 model verifier and the
-Layer-2 simulation lint — reports through one vocabulary: a
+Every check in :mod:`repro.check` — the Layer-1 model verifier, the
+Layer-2 simulation lint, and the Layer-3 flow analyzer
+(:mod:`repro.check.simflow`) — reports through one vocabulary: a
 :class:`Rule` describes *what class of defect* a check detects (stable
 id, default severity, rationale, fix hint), and a :class:`Diagnostic`
 is *one concrete finding* (which rule fired, where, and why).
@@ -14,7 +15,9 @@ in sync.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import re
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Mapping
@@ -61,9 +64,10 @@ class Rule:
     Parameters
     ----------
     id:
-        Stable identifier: ``RC1xx`` for model-verifier rules, ``SL2xx``
-        for simulation-lint rules.  Ids never change meaning; retired
-        rules are not reused.
+        Stable identifier: ``RC1xx`` for model-verifier rules,
+        ``SL2xx`` for simulation-lint rules, ``SF3xx`` for
+        flow-analysis rules.  Ids never change meaning; retired rules
+        are not reused.
     title:
         Short human label ("deadlock cycle", "unseeded RNG").
     severity:
@@ -117,6 +121,23 @@ class Diagnostic:
             return self.subject
         return f"{self.subject}:{self.line}"
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this finding across line shifts.
+
+        A hash of (rule, subject, message-with-numbers-masked): adding
+        or removing unrelated lines — which renumbers both ``line``
+        and any line references interpolated into the message — does
+        not change the fingerprint, so baseline suppression
+        (:mod:`repro.check.baseline`) survives routine edits.  Moving
+        the finding to another file or changing what it says does.
+        """
+        context = re.sub(r"\d+", "#", self.message)
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.subject}|{context}".encode()
+        ).hexdigest()
+        return digest[:16]
+
     def to_dict(self) -> dict:
         """JSON-ready representation (stable key order via sort_keys)."""
         return {
@@ -126,6 +147,7 @@ class Diagnostic:
             "subject": self.subject,
             "line": self.line,
             "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint,
         }
 
     def __str__(self) -> str:
@@ -175,7 +197,8 @@ def _catalog(rules: Iterable[Rule]) -> dict[str, Rule]:
 
 
 #: Every static-analysis rule, keyed by id.  ``RC1xx`` = model
-#: verifier (Layer 1), ``SL2xx`` = simulation lint (Layer 2).
+#: verifier (Layer 1), ``SL2xx`` = simulation lint (Layer 2),
+#: ``SF3xx`` = flow analysis (Layer 3).
 RULES: Mapping[str, Rule] = _catalog([
     # ---- Layer 1: process/task-graph structure ----------------------
     Rule(
@@ -398,6 +421,76 @@ RULES: Mapping[str, Rule] = _catalog([
         "Catch the narrowest exception you can actually recover "
         "from, and handle it visibly: record a metric, return a "
         "degraded result, or re-raise.",
+    ),
+    # ---- Layer 3: flow analysis (simflow) ---------------------------
+    Rule(
+        "SF301", "event overwritten before yield", Severity.ERROR,
+        "Rebinding a variable holding an un-yielded kernel event "
+        "drops the first event on the floor: whatever it modeled "
+        "(a delay, a pending request) silently never happens, and "
+        "on some control paths the process skips simulated work.",
+        "Yield each event before creating the next, or collect "
+        "events and wait with env.any_of/env.all_of.",
+    ),
+    Rule(
+        "SF302", "yield of non-event", Severity.ERROR,
+        "The kernel only accepts Event objects from process "
+        "generators; yielding a constant raises TypeError the first "
+        "time the process runs — but only on the path that reaches "
+        "the yield, so it can hide until a rare branch fires.",
+        "Yield kernel events only: `yield env.timeout(delay)`.",
+    ),
+    Rule(
+        "SF303", "resource leak on exception or early return",
+        Severity.ERROR,
+        "A Resource.request() grant that is not released on every "
+        "path — including interrupts raised at a yield and early "
+        "returns — shrinks the resource's capacity for the rest of "
+        "the run; under load the model deadlocks or serializes for a "
+        "reason that does not exist in the system being studied.",
+        "Acquire with `with res.request() as req:` or release in a "
+        "try/finally.",
+    ),
+    Rule(
+        "SF304", "conflicting resource acquisition order",
+        Severity.WARNING,
+        "Process functions that acquire the same resources in "
+        "different orders can deadlock when their requests "
+        "interleave: each holds what the other needs.  The cycle is "
+        "over the project-wide acquisition graph, so no single "
+        "function shows the defect.",
+        "Pick one global acquisition order for the cycle's "
+        "resources, or merge the acquisitions into one request.",
+    ),
+    Rule(
+        "SF305", "event scheduled in the past", Severity.ERROR,
+        "A negative delay asks the kernel to schedule before `now`; "
+        "the kernel raises ValueError at run time — but only when "
+        "the path executes, which for guard/fallback branches may be "
+        "deep into a long sweep.",
+        "Clamp delays to max(0.0, delay) or fix the sign of the "
+        "computed interval.",
+    ),
+    Rule(
+        "SF306", "infinite loop without yield", Severity.ERROR,
+        "A `while True` (or time-conditioned) loop with no yield "
+        "never returns control to the scheduler: simulated time "
+        "freezes and the run spins forever at 100% CPU, "
+        "indistinguishable from a hang.",
+        "Yield a kernel event inside the loop (`yield "
+        "env.timeout(...)`) so time can advance.",
+    ),
+    Rule(
+        "SF307", "nondeterminism reaches the schedule",
+        Severity.ERROR,
+        "A value derived from the wall clock, an unseeded RNG, "
+        "id()/hash() addresses, OS entropy, or set iteration order "
+        "flowing into a timeout, schedule, or seed argument makes "
+        "event ordering depend on the host: the run stops being a "
+        "pure function of the experiment seed, and replications "
+        "silently diverge.",
+        "Derive delays and seeds only from seeded streams "
+        "(spawn_rng, RandomStreams) and simulated time (env.now).",
     ),
 ])
 

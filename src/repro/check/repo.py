@@ -3,8 +3,9 @@
 :func:`check_repository` is what ``repro check`` and CI run: the
 Layer-1 model verifier over every model the repository ships (the
 experiment registry's ``models=`` providers plus the built-in catalog
-below), and the Layer-2 simulation lint over ``src/`` and
-``benchmarks/``.
+below), the Layer-2 simulation lint, and the Layer-3 flow analyzer
+(:mod:`repro.check.simflow`), both over ``src/``, ``benchmarks/``,
+and ``examples/``.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from typing import Iterable
 
 from repro.check.diagnostics import Diagnostic
 from repro.check.model import verify_model
+from repro.check.simflow import analyze_paths
 from repro.check.simlint import lint_paths
 
 __all__ = [
@@ -24,8 +26,9 @@ __all__ = [
     "check_repository",
 ]
 
-#: Directories (relative to the repository root) the lint pass covers.
-LINT_DIRS = ("src", "benchmarks")
+#: Directories (relative to the repository root) the lint and flow
+#: passes cover.
+LINT_DIRS = ("src", "benchmarks", "examples")
 
 
 def repository_root() -> Path:
@@ -114,6 +117,7 @@ def check_repository(
     root: Path | str | None = None,
     models: bool = True,
     lint: bool = True,
+    flow: bool = True,
     lint_targets: Iterable[str | Path] | None = None,
 ) -> list[Diagnostic]:
     """Run the requested layers and return every finding.
@@ -122,18 +126,21 @@ def check_repository(
     ----------
     root:
         Repository root; defaults to the tree this package lives in.
-    models, lint:
-        Which layers to run.
+    models, lint, flow:
+        Which layers to run (Layer-1 verifier, Layer-2 lint, Layer-3
+        flow analysis).
     lint_targets:
-        Explicit files/directories for the lint pass (defaults to
-        ``src/`` and ``benchmarks/`` under ``root``).
+        Explicit files/directories for the lint and flow passes
+        (defaults to :data:`LINT_DIRS` under ``root``).
     """
     root = repository_root() if root is None else Path(root)
     diagnostics: list[Diagnostic] = []
     if models:
         diagnostics.extend(check_models())
+    targets = (list(lint_targets) if lint_targets is not None
+               else default_lint_paths(root))
     if lint:
-        targets = (list(lint_targets) if lint_targets is not None
-                   else default_lint_paths(root))
         diagnostics.extend(lint_paths(targets, root=root))
+    if flow:
+        diagnostics.extend(analyze_paths(targets, root=root))
     return diagnostics

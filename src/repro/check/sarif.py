@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 export of static-analysis findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what code hosts and CI dashboards ingest; ``repro check --sarif FILE``
+writes one ``run`` whose ``tool.driver.rules`` is the catalog subset
+that actually fired and whose ``results`` carry the same stable
+fingerprints the baseline file uses (``partialFingerprints``), so a
+SARIF viewer and :mod:`repro.check.baseline` agree on identity.
+
+The document is deterministic: findings are ordered with the same sort
+key as :func:`repro.check.diagnostics.diagnostics_to_dict` and rules
+by id, so two runs over the same tree serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.check.diagnostics import (
+    Diagnostic,
+    Severity,
+    _sort_key,
+    rule,
+)
+
+__all__ = ["SARIF_VERSION", "to_sarif", "to_sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+               "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: SARIF ``level`` values for catalog severities.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+#: The ``partialFingerprints`` key findings are published under; the
+#: ``/v1`` suffix versions the hashing scheme, per the SARIF spec.
+FINGERPRINT_KEY = "reproCheck/v1"
+
+
+def _rule_object(rule_id: str) -> dict:
+    entry = rule(rule_id)
+    return {
+        "id": entry.id,
+        "name": entry.title.title().replace(" ", ""),
+        "shortDescription": {"text": entry.title},
+        "fullDescription": {"text": entry.rationale},
+        "help": {"text": entry.fix_hint},
+        "defaultConfiguration": {"level": _LEVELS[entry.severity]},
+    }
+
+
+def _result(diag: Diagnostic, rule_index: dict[str, int]) -> dict:
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": diag.subject},
+        },
+    }
+    if diag.line is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": diag.line,
+        }
+    return {
+        "ruleId": diag.rule,
+        "ruleIndex": rule_index[diag.rule],
+        "level": _LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [location],
+        "partialFingerprints": {FINGERPRINT_KEY: diag.fingerprint},
+    }
+
+
+def to_sarif(diagnostics: Iterable[Diagnostic]) -> dict:
+    """Render findings as one SARIF 2.1.0 document (a dict)."""
+    ordered = sorted(diagnostics, key=_sort_key)
+    fired = sorted({d.rule for d in ordered})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri":
+                            "https://example.invalid/repro",
+                        "rules": [_rule_object(r) for r in fired],
+                    },
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [_result(d, rule_index) for d in ordered],
+            },
+        ],
+    }
+
+
+def to_sarif_json(
+    diagnostics: Iterable[Diagnostic], indent: int | None = 2
+) -> str:
+    """Serialize findings to deterministic SARIF JSON text."""
+    return json.dumps(to_sarif(diagnostics), indent=indent,
+                      sort_keys=True)

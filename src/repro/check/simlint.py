@@ -29,9 +29,12 @@ Rules (catalog in :mod:`repro.check.diagnostics`):
   resilience layer — injected chaos faults and real policy failures
   alike disappear without a trace.
 
-Intentional violations are whitelisted inline::
+Intentional violations are whitelisted inline with the shared pragma
+grammar of :mod:`repro.check.pragmas` (one parser serves simlint and
+simflow, so a single pragma can silence rules from both families)::
 
     t0 = time.time()  # simlint: ignore[SL202]
+    req = res.request()  # simlint: ignore[SL203, SF303]
 
 A bare ``# simlint: ignore`` suppresses every rule on that line; the
 pragma is also honored on the line directly above the finding, and
@@ -41,18 +44,15 @@ pragma is also honored on the line directly above the finding, and
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 from typing import Iterable
 
+from repro.check.astcache import parse_file, parse_source
+from repro.check.cfg import is_generator as _cfg_is_generator
 from repro.check.diagnostics import Diagnostic, make_diagnostic
+from repro.check.pragmas import collect_pragmas, filter_suppressed
 
-__all__ = ["lint_source", "lint_file", "lint_paths"]
-
-_PRAGMA_RE = re.compile(
-    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
-)
-_SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+__all__ = ["lint_source", "lint_file", "lint_paths", "ImportTable"]
 
 #: random.* members that are constructors/introspection, not draws
 #: from the hidden global generator.
@@ -105,52 +105,7 @@ _POLICY_ERRORS = {
 }
 
 
-def _collect_pragmas(
-    source: str,
-) -> tuple[bool, dict[int, set[str] | None]]:
-    """Parse suppression pragmas out of ``source``.
-
-    Returns ``(skip_file, pragmas)`` where ``pragmas`` maps a line
-    number to the set of suppressed rule ids (``None`` = all rules).
-    """
-    pragmas: dict[int, set[str] | None] = {}
-    skip_file = False
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "simlint" not in line:
-            continue
-        if _SKIP_FILE_RE.search(line):
-            skip_file = True
-        match = _PRAGMA_RE.search(line)
-        if not match:
-            continue
-        rules = match.group("rules")
-        if rules is None:
-            pragmas[lineno] = None
-        else:
-            ids = {r.strip() for r in rules.split(",") if r.strip()}
-            previous = pragmas.get(lineno)
-            if previous is None and lineno in pragmas:
-                continue  # bare ignore already covers everything
-            pragmas[lineno] = (ids if previous is None
-                               else previous | ids)
-    return skip_file, pragmas
-
-
-def _suppressed(
-    diag: Diagnostic, pragmas: dict[int, set[str] | None]
-) -> bool:
-    if diag.line is None:
-        return False
-    for lineno in (diag.line, diag.line - 1):
-        if lineno not in pragmas:
-            continue
-        rules = pragmas[lineno]
-        if rules is None or diag.rule in rules:
-            return True
-    return False
-
-
-class _ImportTable:
+class ImportTable:
     """Resolve local names to the dotted module paths they came from."""
 
     def __init__(self) -> None:
@@ -230,24 +185,10 @@ def _body_swallows(body: list[ast.stmt]) -> bool:
     return True
 
 
-def _is_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
-    """True when ``func`` itself yields (nested defs excluded)."""
-    stack: list[ast.AST] = list(func.body)
-    while stack:
-        node = stack.pop()
-        if isinstance(node, (ast.Yield, ast.YieldFrom)):
-            return True
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.Lambda)):
-            continue
-        stack.extend(ast.iter_child_nodes(node))
-    return False
-
-
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str):
         self.path = path
-        self.imports = _ImportTable()
+        self.imports = ImportTable()
         self.diagnostics: list[Diagnostic] = []
         self._generator_depth = 0
         self._pool_exempt = (
@@ -320,7 +261,7 @@ class _Linter(ast.NodeVisitor):
         # A nested def opens a fresh scope: bare event calls inside a
         # plain helper are not in generator context even when the
         # helper is defined inside a process.
-        self._generator_depth = 1 if _is_generator(node) else 0
+        self._generator_depth = 1 if _cfg_is_generator(node) else 0
         self.generic_visit(node)
         self._generator_depth = saved
 
@@ -429,30 +370,31 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _lint_parsed(parsed, path: str) -> list[Diagnostic]:
+    pragmas = collect_pragmas(parsed.source)
+    if pragmas.skip_file:
+        return []
+    if parsed.tree is None:
+        return [make_diagnostic(
+            "SL200", f"file does not parse: {parsed.error.msg}", path,
+            line=parsed.error.lineno,
+        )]
+    linter = _Linter(path)
+    linter.visit(parsed.tree)
+    return filter_suppressed(linter.diagnostics, pragmas)
+
+
 def lint_source(
     source: str, path: str = "<string>"
 ) -> list[Diagnostic]:
     """Lint Python ``source``; ``path`` labels the diagnostics."""
-    skip_file, pragmas = _collect_pragmas(source)
-    if skip_file:
-        return []
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [make_diagnostic(
-            "SL200", f"file does not parse: {exc.msg}", path,
-            line=exc.lineno,
-        )]
-    linter = _Linter(path)
-    linter.visit(tree)
-    return [d for d in linter.diagnostics
-            if not _suppressed(d, pragmas)]
+    return _lint_parsed(parse_source(source, path), path)
 
 
 def lint_file(path: str | Path) -> list[Diagnostic]:
-    """Lint one file."""
+    """Lint one file (through the shared AST cache)."""
     path = Path(path)
-    return lint_source(path.read_text(encoding="utf-8"), str(path))
+    return _lint_parsed(parse_file(path), str(path))
 
 
 def lint_paths(
@@ -461,7 +403,9 @@ def lint_paths(
     """Lint files and directories (recursing into ``*.py``).
 
     ``root``, when given, relativizes diagnostic subjects so output is
-    stable across machines.
+    stable across machines.  Parsing goes through the shared
+    mtime-keyed AST cache, so a subsequent simflow pass (or a repeat
+    lint of an unchanged tree) does not re-parse.
     """
     files: list[Path] = []
     for entry in paths:
@@ -479,7 +423,6 @@ def lint_paths(
             except ValueError:
                 label = file
         diagnostics.extend(
-            lint_source(file.read_text(encoding="utf-8"),
-                        str(label))
+            _lint_parsed(parse_file(file), str(label))
         )
     return diagnostics

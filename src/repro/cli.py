@@ -271,9 +271,11 @@ def _cmd_check(args) -> int:
 
     import repro.scenario as scn
 
-    # Neither layer selected explicitly means both.
-    do_models = args.models or not (args.models or args.lint)
-    do_lint = args.lint or not (args.models or args.lint)
+    # No layer selected explicitly means all of them.
+    any_layer = args.models or args.lint or args.flow
+    do_models = args.models or not any_layer
+    do_lint = args.lint or not any_layer
+    do_flow = args.flow or not any_layer
     paths = [Path(p) for p in args.paths] if args.paths else []
     missing = [p for p in paths if not p.exists()]
     if missing:
@@ -298,10 +300,29 @@ def _cmd_check(args) -> int:
             diagnostics.extend(scn.verify(scenario, label=str(path)))
     # Scenario files replace the repository pass unless other lint
     # targets (or an explicit layer flag) ask for it too.
-    if not scenario_paths or lint_targets or args.models or args.lint:
+    if not scenario_paths or lint_targets or any_layer:
         diagnostics.extend(repro_check.check_repository(
-            models=do_models, lint=do_lint,
+            models=do_models, lint=do_lint, flow=do_flow,
             lint_targets=lint_targets or None))
+
+    baseline_path = Path(args.baseline_file)
+    stale: list[dict] = []
+    if args.baseline == "write":
+        repro_check.write_baseline(diagnostics, baseline_path)
+        print(f"baseline: wrote {len(diagnostics)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    if args.baseline == "compare":
+        if not baseline_path.exists():
+            print(f"no baseline file at {baseline_path}; run "
+                  f"`repro check --baseline write` first",
+                  file=sys.stderr)
+            return 2
+        comparison = repro_check.compare_baseline(
+            diagnostics, repro_check.load_baseline(baseline_path))
+        diagnostics = comparison.new
+        stale = comparison.stale
+
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     failing = [d for d in diagnostics if d.severity >= threshold]
     if args.out:
@@ -309,6 +330,12 @@ def _cmd_check(args) -> int:
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(diagnostics_to_json(diagnostics) + "\n",
                             encoding="utf-8")
+    if args.sarif:
+        sarif_path = Path(args.sarif)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(
+            repro_check.to_sarif_json(diagnostics) + "\n",
+            encoding="utf-8")
     if args.json:
         print(diagnostics_to_json(diagnostics))
     else:
@@ -320,6 +347,10 @@ def _cmd_check(args) -> int:
         print(f"checked: {counts['error']} error(s), "
               f"{counts['warning']} warning(s), "
               f"{counts['info']} info")
+        for entry in stale:
+            print(f"baseline: stale entry {entry['fingerprint']} "
+                  f"({entry['rule']} at {entry['subject']}) — "
+                  f"finding fixed; refresh with --baseline write")
     return 1 if failing else 0
 
 
@@ -601,8 +632,23 @@ def main(argv: list[str] | None = None) -> int:
         "--lint", action="store_true",
         help="run only the Layer-2 simulation lint")
     check_parser.add_argument(
+        "--flow", action="store_true",
+        help="run only the Layer-3 flow analyzer (simflow)")
+    check_parser.add_argument(
         "--json", action="store_true",
         help="print diagnostics as a stable JSON document")
+    check_parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write findings as a SARIF 2.1.0 document")
+    check_parser.add_argument(
+        "--baseline", choices=("write", "compare"), default=None,
+        help="record current findings as accepted debt (write), or "
+             "subtract the recorded debt and report stale entries "
+             "(compare)")
+    check_parser.add_argument(
+        "--baseline-file", default=".repro-baseline.json",
+        metavar="FILE", help="baseline path "
+                             "(default .repro-baseline.json)")
     check_parser.add_argument(
         "--strict", action="store_true",
         help="fail (exit 1) on warnings too, not just errors")

@@ -605,6 +605,11 @@ def supervise(
                 running.remove(record)
                 _kill(record.process, policy.term_grace)
                 record.conn.close()
+                # The wall clock only decides *whether* a hung
+                # replica is retried; the retry reuses the replica's
+                # original derived seed, so results stay a pure
+                # function of the master seed.
+                # simflow: ignore[SF307]
                 handle_failure(
                     record.task,
                     f"replica hung: no result within "

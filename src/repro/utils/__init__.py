@@ -4,7 +4,7 @@ These helpers are deliberately dependency-light; every other subpackage of
 :mod:`repro` builds on them.
 """
 
-from repro.utils.rng import RandomStreams, spawn_rng
+from repro.utils.rng import RandomStreams, derive_seed, spawn_rng
 from repro.utils.stats import (
     SummaryStats,
     TimeWeightedStats,
@@ -15,6 +15,7 @@ from repro.utils.tables import Table, format_ratio, format_si
 
 __all__ = [
     "RandomStreams",
+    "derive_seed",
     "spawn_rng",
     "SummaryStats",
     "TimeWeightedStats",

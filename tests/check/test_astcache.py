@@ -1,0 +1,87 @@
+"""The shared mtime-keyed AST cache and the repo-check time budget."""
+
+import time
+
+from repro.check import check_repository
+from repro.check.astcache import (
+    cache_stats,
+    clear_cache,
+    parse_file,
+    parse_source,
+)
+
+
+class TestCache:
+    def test_second_parse_is_a_hit(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("x = 1\n")
+        clear_cache()
+        first = parse_file(f)
+        before = cache_stats()
+        second = parse_file(f)
+        after = cache_stats()
+        assert second is first
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_content_change_invalidates(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("x = 1\n")
+        clear_cache()
+        first = parse_file(f)
+        # Same mtime granularity problem: force a different size.
+        f.write_text("x = 12\n")
+        second = parse_file(f)
+        assert second is not first
+        assert second.source == "x = 12\n"
+
+    def test_syntax_error_is_cached_not_raised(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("def broken(:\n")
+        clear_cache()
+        parsed = parse_file(f)
+        assert parsed.tree is None
+        assert parsed.error is not None
+
+    def test_derived_artifacts_live_with_the_entry(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("def g():\n    yield 1\n")
+        clear_cache()
+        parsed = parse_file(f)
+        parsed.derived["cfg"] = {"g": "sentinel"}
+        assert parse_file(f).derived["cfg"] == {"g": "sentinel"}
+
+    def test_parse_source_is_uncached(self):
+        a = parse_source("x = 1\n", "<s>")
+        b = parse_source("x = 1\n", "<s>")
+        assert a is not b
+
+
+class TestRepoCheckBudget:
+    """The combined three-layer pass must stay affordable: the shared
+    AST cache parses each source file once, so a warm re-run does no
+    re-parsing at all."""
+
+    def test_warm_run_has_no_cache_misses(self):
+        clear_cache()
+        check_repository(models=False, lint=True, flow=True)
+        cold = cache_stats()
+        assert cold["misses"] > 0  # it really parsed the tree
+        check_repository(models=False, lint=True, flow=True)
+        warm = cache_stats()
+        assert warm["misses"] == cold["misses"]
+        assert warm["hits"] > cold["hits"]
+
+    def test_wall_time_budget(self):
+        # Generous CI budget: lint + flow over src/, benchmarks/ and
+        # examples/ in under 60 s (typically ~2 s); a superlinear
+        # regression in the CFG or taint fixpoint blows this up.
+        clear_cache()
+        t0 = time.perf_counter()
+        check_repository(models=False, lint=True, flow=True)
+        cold = time.perf_counter() - t0
+        assert cold < 60.0
+        t0 = time.perf_counter()
+        check_repository(models=False, lint=True, flow=True)
+        warm = time.perf_counter() - t0
+        assert warm < 60.0

@@ -1,0 +1,143 @@
+"""Baseline suppression: the write -> compare -> stale lifecycle."""
+
+import json
+
+from repro.check import (
+    compare_baseline,
+    load_baseline,
+    make_diagnostic,
+    write_baseline,
+)
+from repro.cli import main
+
+
+def finding(rule="SF303", msg="leak of 'req' (line 10)",
+            path="src/a.py", line=10):
+    return make_diagnostic(rule, msg, path, line=line)
+
+
+class TestFingerprint:
+    def test_stable_across_line_shifts(self):
+        # Same defect, code moved 30 lines down (message and line
+        # both renumber): identical fingerprint.
+        a = finding(msg="leak of 'req' (line 10)", line=10)
+        b = finding(msg="leak of 'req' (line 40)", line=40)
+        assert a.fingerprint == b.fingerprint
+
+    def test_sensitive_to_rule_subject_and_text(self):
+        base = finding()
+        assert (finding(rule="SF301").fingerprint
+                != base.fingerprint)
+        assert (finding(path="src/b.py").fingerprint
+                != base.fingerprint)
+        assert (finding(msg="leak of 'other'").fingerprint
+                != base.fingerprint)
+
+
+class TestLifecycle:
+    def test_write_then_compare_suppresses_all(self, tmp_path):
+        diags = [finding(), finding(rule="SL202", msg="wall clock")]
+        path = tmp_path / "baseline.json"
+        write_baseline(diags, path)
+        comparison = compare_baseline(diags, load_baseline(path))
+        assert comparison.new == []
+        assert len(comparison.suppressed) == 2
+        assert comparison.stale == []
+
+    def test_new_finding_is_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        fresh = finding(rule="SF301", msg="overwritten event")
+        comparison = compare_baseline([finding(), fresh],
+                                      load_baseline(path))
+        assert [d.rule for d in comparison.new] == ["SF301"]
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        fixed = finding(rule="SL202", msg="wall clock")
+        write_baseline([finding(), fixed], path)
+        comparison = compare_baseline([finding()],
+                                      load_baseline(path))
+        assert comparison.new == []
+        assert [e["rule"] for e in comparison.stale] == ["SL202"]
+
+    def test_line_shift_does_not_go_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(msg="leak (line 10)", line=10)],
+                       path)
+        shifted = finding(msg="leak (line 52)", line=52)
+        comparison = compare_baseline([shifted],
+                                      load_baseline(path))
+        assert comparison.new == []
+        assert comparison.stale == []
+
+    def test_document_is_deterministic(self, tmp_path):
+        diags = [finding(), finding(rule="SL202", msg="wall clock")]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(diags, a)
+        write_baseline(list(reversed(diags)), b)
+        assert a.read_text() == b.read_text()
+
+    def test_load_rejects_malformed(self, tmp_path):
+        import pytest
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestCliBaseline:
+    def run_flow(self, args):
+        return main(["check", "--flow"] + args)
+
+    def test_write_compare_round_trip(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def proc(env):\n    yield env.timeout(-1)\n")
+        base = tmp_path / "base.json"
+        # Without a baseline the defect fails the run...
+        assert self.run_flow([str(bad)]) == 1
+        # ...writing accepts it as debt...
+        assert self.run_flow([str(bad), "--baseline", "write",
+                              "--baseline-file", str(base)]) == 0
+        # ...and compare now passes, suppressing exactly it.
+        capsys.readouterr()
+        assert self.run_flow([str(bad), "--baseline", "compare",
+                              "--baseline-file", str(base)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_compare_reports_stale_after_fix(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def proc(env):\n    yield env.timeout(-1)\n")
+        base = tmp_path / "base.json"
+        assert self.run_flow([str(bad), "--baseline", "write",
+                              "--baseline-file", str(base)]) == 0
+        bad.write_text(
+            "def proc(env):\n    yield env.timeout(1)\n")
+        capsys.readouterr()
+        assert self.run_flow([str(bad), "--baseline", "compare",
+                              "--baseline-file", str(base)]) == 0
+        assert "stale" in capsys.readouterr().out
+
+    def test_compare_without_file_is_usage_error(self, tmp_path,
+                                                 capsys):
+        missing = tmp_path / "nope.json"
+        assert self.run_flow(["--baseline", "compare",
+                              "--baseline-file",
+                              str(missing)]) == 2
+
+    def test_new_finding_still_fails_compare(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def proc(env):\n    yield env.timeout(-1)\n")
+        base = tmp_path / "base.json"
+        assert self.run_flow([str(bad), "--baseline", "write",
+                              "--baseline-file", str(base)]) == 0
+        bad.write_text(
+            "def proc(env):\n"
+            "    yield env.timeout(-1)\n"
+            "    yield 7\n")
+        assert self.run_flow([str(bad), "--baseline", "compare",
+                              "--baseline-file", str(base)]) == 1

@@ -1,0 +1,232 @@
+"""The control-flow-graph substrate of the Layer-3 analyzer."""
+
+import ast
+import textwrap
+
+from repro.check.cfg import (
+    ForIter,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    dataflow,
+    function_defs,
+    is_generator,
+    merge_states,
+)
+
+
+def cfg_of(code):
+    tree = ast.parse(textwrap.dedent(code))
+    func = next(n for n in ast.walk(tree)
+                if isinstance(n, ast.FunctionDef))
+    return build_cfg(func)
+
+
+def atoms(cfg):
+    return [a for b in cfg.reachable() for a in b.stmts]
+
+
+class TestStructure:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                b = 2
+        """)
+        assert cfg.entry.succ == [cfg.exit]
+        assert len(cfg.entry.stmts) == 2
+
+    def test_if_branches_join(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                b = 3
+        """)
+        # Entry forks to two blocks which re-join before `b = 3`.
+        assert len(cfg.entry.succ) == 2
+
+    def test_if_without_else_can_skip_body(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                b = 2
+        """)
+        join = [b for b in cfg.reachable()
+                if any(isinstance(s, ast.Assign)
+                       and s.targets[0].id == "b" for s in b.stmts)]
+        assert len(join) == 1
+        assert cfg.entry in [p for b in join for p in b.pred] \
+            or len(join[0].pred) == 2
+
+    def test_loop_has_back_edge(self):
+        cfg = cfg_of("""
+            def f(xs):
+                for x in xs:
+                    y = x
+        """)
+        heads = [b for b in cfg.reachable()
+                 if any(isinstance(s, ForIter) for s in b.stmts)]
+        assert len(heads) == 1
+        head = heads[0]
+        # Some reachable block loops back to the head.
+        assert any(head in b.succ for b in cfg.reachable()
+                   if b is not head.pred[0])
+
+    def test_while_true_has_no_normal_exit(self):
+        cfg = cfg_of("""
+            def f():
+                while True:
+                    x = 1
+        """)
+        # The exit block is unreachable: no break, no return.
+        assert cfg.exit not in cfg.reachable()
+
+    def test_break_reaches_loop_exit(self):
+        cfg = cfg_of("""
+            def f():
+                while True:
+                    break
+                x = 1
+        """)
+        assert cfg.exit in cfg.reachable()
+
+    def test_return_links_to_exit(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    return 1
+                y = 2
+        """)
+        returns = [b for b in cfg.reachable()
+                   if any(isinstance(s, ast.Return) for s in b.stmts)]
+        assert returns and all(cfg.exit in b.succ for b in returns)
+
+    def test_with_contributes_enter_and_exit_markers(self):
+        cfg = cfg_of("""
+            def f(res):
+                with res.request() as req:
+                    x = 1
+        """)
+        kinds = [type(a).__name__ for a in atoms(cfg)]
+        assert "WithEnter" in kinds and "WithExit" in kinds
+        enter = next(a for a in atoms(cfg) if isinstance(a, WithEnter))
+        exit_ = next(a for a in atoms(cfg) if isinstance(a, WithExit))
+        assert enter.item is exit_.item
+
+    def test_try_body_has_exception_edge_to_handler(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a = risky()
+                    b = 2
+                except ValueError:
+                    c = 3
+        """)
+        handler = [b for b in cfg.reachable()
+                   if any(isinstance(s, ast.Assign)
+                          and s.targets[0].id == "c"
+                          for s in b.stmts)]
+        assert len(handler) == 1
+        body = [b for b in cfg.reachable()
+                if any(isinstance(s, ast.Assign)
+                       and s.targets[0].id == "a" for s in b.stmts)]
+        assert handler[0] in body[0].succ
+
+    def test_finally_joins_both_paths(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a = 1
+                finally:
+                    b = 2
+        """)
+        final = [b for b in cfg.reachable()
+                 if any(isinstance(s, ast.Assign)
+                        and s.targets[0].id == "b" for s in b.stmts)]
+        assert len(final) == 1
+
+
+class TestDataflow:
+    def test_fixpoint_merges_branch_facts(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                b = a
+        """)
+
+        def transfer(state, atom):
+            if isinstance(atom, ast.Assign):
+                state = dict(state)
+                state[atom.targets[0].id] = frozenset(
+                    {("set", atom.lineno)})
+            return state
+
+        states = dataflow(cfg, transfer, {})
+        exit_state = states[cfg.exit.id]
+        # Both definitions of `a` survive the join (may-analysis).
+        assert len(exit_state["a"]) == 2
+
+    def test_loop_iterates_to_fixpoint(self):
+        cfg = cfg_of("""
+            def f(xs):
+                a = 0
+                for x in xs:
+                    a = a + 1
+        """)
+
+        def transfer(state, atom):
+            if isinstance(atom, ast.Assign):
+                state = dict(state)
+                facts = state.get(atom.targets[0].id, frozenset())
+                state[atom.targets[0].id] = facts | frozenset(
+                    {("set", atom.lineno)})
+            return state
+
+        states = dataflow(cfg, transfer, {})
+        # Both the init and the loop-body assignment reach the exit.
+        assert len(states[cfg.exit.id]["a"]) == 2
+
+    def test_merge_states_is_keywise_union(self):
+        a = {"x": frozenset({1}), "y": frozenset({2})}
+        b = {"x": frozenset({3})}
+        merged = merge_states(a, b)
+        assert merged == {"x": frozenset({1, 3}),
+                          "y": frozenset({2})}
+
+
+class TestHelpers:
+    def test_is_generator_detects_yield(self):
+        tree = ast.parse(textwrap.dedent("""
+            def gen():
+                yield 1
+
+            def plain():
+                return 1
+
+            def outer():
+                def inner():
+                    yield 1
+                return inner
+        """))
+        defs = {name: f for name, f in function_defs(tree)}
+        assert is_generator(defs["gen"])
+        assert not is_generator(defs["plain"])
+        # A nested generator does not make the outer a generator.
+        assert not is_generator(defs["outer"])
+        assert is_generator(defs["outer.inner"])
+
+    def test_function_defs_qualifies_through_classes(self):
+        tree = ast.parse(textwrap.dedent("""
+            class Server:
+                def run(self):
+                    pass
+        """))
+        names = [name for name, _ in function_defs(tree)]
+        assert names == ["Server.run"]

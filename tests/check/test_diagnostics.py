@@ -43,7 +43,12 @@ class TestCatalog:
 
     def test_id_namespaces(self):
         for rule_id in RULES:
-            assert rule_id.startswith(("RC1", "SL2")), rule_id
+            assert rule_id.startswith(("RC1", "SL2", "SF3")), rule_id
+
+    def test_flow_rule_family_present(self):
+        # ISSUE acceptance: at least 6 SF3xx flow rules.
+        flow_rules = [r for r in RULES if r.startswith("SF3")]
+        assert len(flow_rules) >= 6
 
     def test_every_rule_fully_documented(self):
         for entry in RULES.values():
@@ -58,6 +63,31 @@ class TestCatalog:
                / "static_analysis.md").read_text(encoding="utf-8")
         undocumented = [r for r in RULES if r not in doc]
         assert undocumented == []
+
+    def test_docs_cross_references_all_three_layers(self):
+        from repro.check import repository_root
+
+        root = repository_root()
+        analysis = (root / "docs" / "static_analysis.md").read_text(
+            encoding="utf-8")
+        # The architecture section names each layer's module.
+        for module in ("repro.check.model", "repro.check.simlint",
+                       "repro.check.simflow", "repro.check.cfg",
+                       "repro.check.taint", "repro.check.pragmas",
+                       "repro.check.astcache"):
+            assert module in analysis, module
+        # The engine features are documented where they surface.
+        for feature in ("--sarif", "--baseline", "fingerprint"):
+            assert feature in analysis, feature
+        # README and the modeling guide point at the catalog and
+        # mention the flow layer.
+        readme = (root / "README.md").read_text(encoding="utf-8")
+        guide = (root / "docs" / "modeling_guide.md").read_text(
+            encoding="utf-8")
+        for doc_text in (readme, guide):
+            assert "static_analysis.md" in doc_text
+        assert "SARIF" in readme
+        assert "flow" in guide
 
     def test_lookup_unknown_rule(self):
         with pytest.raises(KeyError):
@@ -107,6 +137,7 @@ class TestGoldenJson:
             "counts": {"error": 1, "info": 0, "warning": 1},
             "diagnostics": [
                 {
+                    "fingerprint": "1cdf7360b717fab7",
                     "fix_hint": (
                         "Use env.now for simulated time and "
                         "env.timeout for delays; use "
@@ -119,6 +150,7 @@ class TestGoldenJson:
                     "subject": "src/repro/des/environment.py",
                 },
                 {
+                    "fingerprint": "35d736c86d211750",
                     "fix_hint": (
                         "Give the edge its real control-message "
                         "volume, or delete it if no ordering is "

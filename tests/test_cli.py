@@ -136,6 +136,34 @@ class TestCheckCommand:
         assert main(["check", "--lint", "does/not/exist.py"]) == 2
         assert "no such path" in capsys.readouterr().err
 
+    def test_check_flow_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def proc(env):\n"
+            "    ev = env.timeout(1)\n"
+            "    ev = env.timeout(2)\n"
+            "    yield ev\n")
+        assert main(["check", "--flow", str(bad)]) == 1
+        assert "SF301" in capsys.readouterr().out
+
+    def test_check_flow_only_skips_other_layers(self, tmp_path,
+                                                capsys):
+        # SL202 (a Layer-2 rule) must not fire under --flow alone.
+        clock = tmp_path / "clock.py"
+        clock.write_text("import time\nt = time.time()\n")
+        assert main(["check", "--flow", str(clock)]) == 0
+        capsys.readouterr()
+
+    def test_check_json_includes_fingerprints(self, tmp_path,
+                                              capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["check", "--lint", "--json", str(bad)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        entry = document["diagnostics"][0]
+        assert entry["rule"] == "SL202"
+        assert len(entry["fingerprint"]) == 16
+
 
 class TestBenchCommand:
     def test_bench_writes_valid_document(self, tmp_path, capsys):
