@@ -12,6 +12,11 @@ Two assertions per heavyweight experiment (e3, e14, r1):
    envelope of the replicas, and every replica's seed matches the
    pure derivation :func:`repro.parallel.replica_seed`.
 
+A telemetry assertion rides along: a replicated run with the sim-time
+probe and an SLO watcher enabled (both land in the deterministic
+payload — series bins, breach events, final verdicts) merges
+byte-identically at workers 1 and 4.
+
 A third, chaos-flavoured assertion rides along: a replicated run with
 **injected worker faults** (a crash and a raise, retried by the
 supervisor on the same derived seeds) merges byte-identically to the
@@ -49,6 +54,30 @@ def bench_parallel_equivalence_e14():
 
 def bench_parallel_equivalence_r1():
     _assert_equivalent("r1")
+
+
+def bench_parallel_equivalence_probe_slo():
+    """Telemetry gate: the sim-time probe series and the SLO record
+    are part of the deterministic payload — a probed run with an SLO
+    watcher merges byte-identically at workers 1 and 4, series bins
+    included."""
+    slo = "dpm_energy_j{policy=oracle}:last > 0"
+    serial = run_replicated("e14", replicas=_REPLICAS, workers=1,
+                            probe=0.5, slo=slo)
+    fanned = run_replicated("e14", replicas=_REPLICAS, workers=4,
+                            probe=0.5, slo=slo)
+    assert _stripped(serial) == _stripped(fanned), (
+        "e14: probed workers=4 merge differs from workers=1"
+    )
+    slo_record = fanned.report.slo
+    assert slo_record is not None and slo_record["ok"], (
+        "e14: oracle DPM energy SLO unexpectedly breached"
+    )
+    series = [key for key, entry in fanned.report.stats.items()
+              if entry.get("kind") == "timeseries"]
+    assert any(key.startswith("dpm_energy_j") for key in series), (
+        "e14: merged report lost the dpm_energy_j series"
+    )
 
 
 def bench_parallel_equivalence_injected_crash():

@@ -9,8 +9,13 @@ Usage::
     python -m repro run e14 --replicas 8 --workers 4   # pooled CIs
     python -m repro run e14 --replicas 64 --replica-timeout 120 \
         --retries 3 --resume sweep.jsonl   # survivable sweep
+    python -m repro run e14 --replicas 8 --live   # live sweep view
+    python -m repro run r1 --probe 0.5 \
+        --slo 'probe_queue_len:mean:5 <= 10' --slo-strict
     python -m repro trace e14             # record a kernel event trace
     python -m repro report e6             # run-report digest
+    python -m repro report r1 --probe --html dash.html
+    python -m repro report BENCH_perf.json --html bench.html
     python -m repro check --strict        # static model + sim lint
     python -m repro check corpus/s0007.json   # verify scenario files
     python -m repro scenario export e3 --out scenarios/
@@ -160,6 +165,17 @@ def _cmd_run(args) -> int:
               "with 'repro trace <id> --seed <replica seed>')",
               file=sys.stderr)
         return 2
+    if args.live and args.replicas <= 1:
+        print("run: --live shows worker progress and applies only to "
+              "replicated sweeps; add --replicas N", file=sys.stderr)
+        return 2
+    try:
+        from repro.obs.slo import as_slo_specs
+
+        slo_specs = as_slo_specs(args.slo)
+    except ValueError as error:
+        print(f"run: {error}", file=sys.stderr)
+        return 2
     supervised = (args.replica_timeout is not None
                   or args.retries is not None
                   or args.checkpoint or args.resume
@@ -177,6 +193,7 @@ def _cmd_run(args) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     payload: dict[str, dict] = {}
+    breached: list[str] = []
     for exp_id in ids:
         if args.replicas > 1:
             from repro.parallel import ReplicaFailedError, run_replicated
@@ -190,7 +207,10 @@ def _cmd_run(args) -> int:
                              else args.retries),
                     partial=args.allow_partial,
                     checkpoint=args.checkpoint,
-                    resume=args.resume)
+                    resume=args.resume,
+                    probe=args.probe,
+                    slo=slo_specs,
+                    live=args.live)
             except ReplicaFailedError as error:
                 print(f"run: {exp_id}: {error}", file=sys.stderr)
                 if args.checkpoint or args.resume:
@@ -201,9 +221,38 @@ def _cmd_run(args) -> int:
                           f"the survivors", file=sys.stderr)
                 return 1
         else:
+            from time import perf_counter
+
+            from repro.des import kernel_counters
+
+            before = kernel_counters().snapshot()
+            start = perf_counter()
             result = experiments.run(exp_id, seed=args.seed,
                                      trace=args.trace,
-                                     scenario=args.scenario)
+                                     scenario=args.scenario,
+                                     probe=args.probe,
+                                     slo=slo_specs)
+            wall = perf_counter() - start
+            after = kernel_counters().snapshot()
+            # This run's kernel activity: counter deltas plus the
+            # wall-clock execution rate (a timing field, like
+            # report.wall_seconds — not part of the deterministic
+            # payload, which is why it lives beside the result
+            # rather than inside it).
+            executed = after["events_executed"] - before["events_executed"]
+            kernel_delta = {
+                "events_scheduled": (after["events_scheduled"]
+                                     - before["events_scheduled"]),
+                "events_executed": executed,
+                "environments": (after["environments"]
+                                 - before["environments"]),
+                "peak_heap_depth": after["peak_heap_depth"],
+                "events_per_sec": (executed / wall if wall > 0
+                                   else None),
+            }
+        if (result.report is not None and result.report.slo is not None
+                and not result.report.slo.get("ok", True)):
+            breached.append(exp_id)
         if out_dir is not None and result.tracer is not None:
             trace_path = out_dir / f"{exp_id}.trace.jsonl"
             result.tracer.to_jsonl(trace_path)
@@ -211,6 +260,8 @@ def _cmd_run(args) -> int:
                 result.report.trace_path = str(trace_path)
         if args.json or out_dir is not None:
             payload[exp_id] = result.to_dict()
+            if args.replicas <= 1:
+                payload[exp_id]["kernel"] = kernel_delta
         if out_dir is not None:
             (out_dir / f"{exp_id}.json").write_text(
                 result.to_json() + "\n", encoding="utf-8")
@@ -225,6 +276,10 @@ def _cmd_run(args) -> int:
         document = payload[ids[0]] if len(ids) == 1 else payload
         print(json.dumps(sanitize_json(document), indent=2,
                          sort_keys=True))
+    if breached and args.slo_strict:
+        print(f"run: SLO breached in {', '.join(breached)}",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -246,16 +301,59 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    ids = _resolve_ids(args.experiments)
+    # Inputs are experiment ids (run now) or existing JSON files (a
+    # RunReport, an ExperimentResult payload from `run --json`, or a
+    # BENCH_perf.json document) rendered as-is.
+    file_inputs = [e for e in args.experiments
+                   if e.endswith(".json") and Path(e).is_file()]
+    id_inputs = [e for e in args.experiments if e not in file_inputs]
+    ids = _resolve_ids(id_inputs) if id_inputs else []
     if ids is None:
         return 2
+    if args.html and len(ids) + len(file_inputs) != 1:
+        print("report: --html renders one dashboard; give exactly "
+              "one experiment id or JSON file", file=sys.stderr)
+        return 2
+    documents: list[tuple[str, dict]] = []
+    for name in file_inputs:
+        try:
+            documents.append(
+                (name, json.loads(Path(name).read_text(
+                    encoding="utf-8"))))
+        except ValueError as error:
+            print(f"report: {name}: {error}", file=sys.stderr)
+            return 2
     for exp_id in ids:
-        result = experiments.run(exp_id, seed=args.seed)
-        if args.json:
-            print(result.report.to_json())
+        result = experiments.run(exp_id, seed=args.seed,
+                                 probe=args.probe, slo=args.slo)
+        documents.append((exp_id, result.to_dict()))
+    for name, document in documents:
+        if args.html:
+            from repro.obs.dashboard import render_html
+
+            try:
+                page = render_html(document)
+            except ValueError as error:
+                print(f"report: {name}: {error}", file=sys.stderr)
+                return 2
+            out = Path(args.html)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(page, encoding="utf-8")
+            print(f"wrote {out}")
+        elif args.json:
+            print(json.dumps(sanitize_json(document), indent=2,
+                             sort_keys=True))
         else:
-            for line in result.report.summary_lines():
-                print(line)
+            report_dict = document.get("report", document)
+            if "experiment" in report_dict:
+                from repro.obs.report import RunReport
+
+                for line in RunReport.from_dict(
+                        report_dict).summary_lines():
+                    print(line)
+            else:
+                print(f"{name}: not a run report (use --html for "
+                      f"bench documents)")
     return 0
 
 
@@ -485,9 +583,14 @@ def _cmd_bench(args) -> int:
         ids = _resolve_ids(args.experiments)
         if ids is None:
             return 2
+        if args.live and args.replicas <= 1:
+            print("bench: --live shows replica progress and needs "
+                  "--replicas N", file=sys.stderr)
+            return 2
         document = perf.run_bench(
             ids, repeat=args.repeat, seed=args.seed,
             workers=args.workers, replicas=args.replicas,
+            live=args.live,
             progress=lambda exp_id: print(
                 f"bench: {exp_id} (repeat={args.repeat})",
                 file=sys.stderr),
@@ -610,6 +713,25 @@ def main(argv: list[str] | None = None) -> int:
         help="merge surviving replicas when some exhaust every "
              "attempt, with failed_replicas accounting in the report "
              "(default: fail the sweep)")
+    run_parser.add_argument(
+        "--probe", type=float, nargs="?", const=1.0, default=None,
+        metavar="SEC",
+        help="sample KPI time series every SEC simulated seconds "
+             "(default interval 1.0); series land in report.stats "
+             "and render with 'repro report --html'")
+    run_parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="service-level objective over a time series, e.g. "
+             "'probe_queue_len:mean:5 <= 10'; repeatable; verdicts "
+             "and breach events land in report.slo")
+    run_parser.add_argument(
+        "--slo-strict", action="store_true",
+        help="exit 3 when any SLO finished breached")
+    run_parser.add_argument(
+        "--live", action="store_true",
+        help="render live per-replica progress (sim-time, events/sec) "
+             "to stderr while a replicated sweep runs; display only — "
+             "the merged payload is unchanged")
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one experiment with tracing, export JSONL")
@@ -774,14 +896,32 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--threshold", type=float, default=10.0, metavar="PCT",
         help="regression threshold in percent (default 10)")
+    bench_parser.add_argument(
+        "--live", action="store_true",
+        help="with --replicas > 1: live per-replica progress to "
+             "stderr while each replicated repetition runs")
 
     report_parser = subparsers.add_parser(
-        "report", help="print the run report of experiments")
-    report_parser.add_argument("experiments", nargs="+",
-                               help="experiment ids or 'all'")
+        "report",
+        help="print run reports, or render an HTML dashboard")
+    report_parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids, 'all', or existing JSON files (a "
+             "RunReport, a 'run --json' payload, or BENCH_perf.json)")
     report_parser.add_argument("--seed", type=int, default=None)
     report_parser.add_argument("--json", action="store_true",
                                help="print the RunReport as JSON")
+    report_parser.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="write a self-contained HTML dashboard (SVG sparklines, "
+             "KPI tables, SLO breach timeline) to FILE")
+    report_parser.add_argument(
+        "--probe", type=float, nargs="?", const=1.0, default=None,
+        metavar="SEC",
+        help="sample KPI time series while running (as 'run --probe')")
+    report_parser.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="evaluate this SLO spec (as 'run --slo'); repeatable")
 
     args = parser.parse_args(argv)
 

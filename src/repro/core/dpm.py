@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.power import PowerState, PowerStateMachine
+from repro.obs.context import active_metrics
 from repro.utils.rng import spawn_rng
 
 __all__ = [
@@ -212,6 +213,14 @@ def simulate_dpm(
     total_delay = 0.0
     always_on = 0.0
 
+    # KPI-over-sim-time telemetry: the DPM replay is a plain loop (no
+    # DES kernel, so the registry probe never fires); sample the
+    # cumulative energy at each period boundary directly instead.
+    registry = active_metrics()
+    energy_series = (
+        registry.timeseries("dpm_energy_j", policy=policy.name)
+        if registry is not None else None)
+
     for busy, idle in workload:
         # Busy period.
         machine.enter("active", now)
@@ -223,6 +232,8 @@ def simulate_dpm(
         threshold = policy.sleep_after(idle, device)
         if threshold is None or threshold >= idle:
             now += idle
+            if energy_series is not None:
+                energy_series.add(now, machine.energy(now))
             continue
         # Stay idle until the timeout, then sleep.
         machine.enter("sleep", now + threshold)
@@ -232,6 +243,8 @@ def simulate_dpm(
             late += 1
             total_delay += device.wakeup_latency - sleep_time
         now += idle
+        if energy_series is not None:
+            energy_series.add(now, machine.energy(now))
     machine.enter("idle", now)
 
     return DpmResult(

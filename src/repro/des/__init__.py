@@ -22,6 +22,7 @@ from repro.des.environment import (
     Environment,
     KernelCounters,
     kernel_counters,
+    last_environment,
 )
 from repro.des.events import (
     AllOf,
@@ -49,6 +50,7 @@ __all__ = [
     "EmptySchedule",
     "KernelCounters",
     "kernel_counters",
+    "last_environment",
     "Event",
     "Timeout",
     "Process",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import weakref
 from itertools import count
 from typing import TYPE_CHECKING, Any, Iterable
 
@@ -15,14 +16,15 @@ from repro.des.events import (
     Process,
     Timeout,
 )
-from repro.obs.context import active_metrics, active_tracer
+from repro.obs.context import active_metrics, active_probe, active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricRegistry
+    from repro.obs.timeseries import Probe
     from repro.obs.trace import Tracer
 
 __all__ = ["Environment", "EmptySchedule", "KernelCounters",
-           "kernel_counters"]
+           "kernel_counters", "last_environment"]
 
 
 class EmptySchedule(Exception):
@@ -111,6 +113,24 @@ def kernel_counters() -> KernelCounters:
     return _KERNEL
 
 
+#: Single-slot weak reference to the most recently constructed
+#: environment; lets out-of-band observers (the worker telemetry
+#: sampler in :mod:`repro.parallel.live`) read sim-time progress
+#: without keeping any environment alive or touching hot paths.
+_LAST_ENV: list = [None]
+
+
+def last_environment() -> "Environment | None":
+    """Most recently constructed :class:`Environment`, if alive.
+
+    Purely observational — reading it never changes a seeded result.
+    Returns ``None`` before the first construction or after the last
+    environment was garbage-collected.
+    """
+    ref = _LAST_ENV[0]
+    return ref() if ref is not None else None
+
+
 class Environment:
     """Execution environment for a discrete-event simulation.
 
@@ -139,6 +159,7 @@ class Environment:
         *,
         tracer: "Tracer | None" = None,
         metrics: "MetricRegistry | None" = None,
+        probe: "Probe | None" = None,
     ):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -148,6 +169,7 @@ class Environment:
         self._n_executed = 0
         self._peak_heap = 0
         _KERNEL.environments += 1
+        _LAST_ENV[0] = weakref.ref(self)
         #: Optional :class:`~repro.obs.trace.Tracer`; when ``None``
         #: (the default outside :func:`repro.obs.instrument` blocks)
         #: every kernel hook is a single ``is None`` test.
@@ -156,6 +178,14 @@ class Environment:
         #: resources/stores built on this environment report through.
         self.metrics = (metrics if metrics is not None
                         else active_metrics())
+        #: Optional :class:`~repro.obs.timeseries.Probe` that snapshots
+        #: KPI time series at a sim-time interval.  The hot-path cost
+        #: when absent is one float comparison per step: ``_probe_next``
+        #: stays ``inf`` and the sample branch never runs.
+        self.probe = probe if probe is not None else active_probe()
+        self._probe_next = math.inf
+        if self.probe is not None:
+            self._probe_next = self.probe.attach(self)
 
     @property
     def now(self) -> float:
@@ -228,6 +258,11 @@ class Environment:
         self._now = event_time
         self._n_executed += 1
         _KERNEL.events_executed += 1
+        if event_time >= self._probe_next:
+            # Passive sim-time probe: snapshots metrics, schedules
+            # nothing, so it can never affect event order or keep
+            # run(until=None) alive.
+            self._probe_next = self.probe.sample(self, event_time)
         if self.tracer is not None:
             # Attribute the step to every process the event resumes
             # (their _resume bound methods sit in the callback list),

@@ -1039,6 +1039,15 @@ def _r1(ctx: RunContext):
         title="R1: QoS vs fault rate, resilience layer on/off (§6)",
     )
     for name, curves in report.items():
+        # The degradation curve as a time series over the sweep axis:
+        # t = fault rate, value = delivered QoS.  Renders as a
+        # sparkline per (scenario, mode) in the HTML dashboard.
+        for mode in ("resilient", "baseline"):
+            curve = curves[mode]
+            series = ctx.metrics.timeseries(
+                "r1_qos", scenario=name, mode=mode)
+            for i, rate in enumerate(curve.fault_rates):
+                series.add(rate, curve.points[i].qos)
         for i, rate in enumerate(curves["resilient"].fault_rates):
             resilient = curves["resilient"].points[i]
             baseline = curves["baseline"].points[i]

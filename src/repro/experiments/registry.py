@@ -21,6 +21,8 @@ from repro.experiments.result import ExperimentResult
 from repro.obs.context import active_tracer, instrument
 from repro.obs.metrics import MetricRegistry
 from repro.obs.report import RunReport
+from repro.obs.slo import SLOWatcher, as_slo_specs
+from repro.obs.timeseries import Probe, as_probe_spec
 from repro.obs.trace import Tracer
 from repro.utils.deprecation import deprecated_alias
 from repro.utils.tables import Table
@@ -316,6 +318,8 @@ def run(
     trace: bool | Tracer = False,
     verify: bool = True,
     scenario: Any = None,
+    probe: Any = None,
+    slo: Any = None,
 ) -> ExperimentResult:
     """Run one experiment and return its :class:`ExperimentResult`.
 
@@ -348,6 +352,19 @@ def run(
         :class:`repro.scenario.Scenario`.  It is verified in place of
         the registered hook and exposed to the runner as
         ``ctx.scenario``.
+    probe:
+        Sample KPI time series at a sim-time interval.  ``True`` uses
+        the default :class:`~repro.obs.timeseries.ProbeSpec`; a number
+        is an interval in simulated seconds; a ``ProbeSpec`` or live
+        :class:`~repro.obs.timeseries.Probe` is used as given.  The
+        probe is purely observational (it schedules nothing), so the
+        non-``probe_*`` parts of the result are unchanged by it.
+    slo:
+        Service-level objectives to evaluate: spec strings for
+        :meth:`~repro.obs.slo.SLOSpec.parse` and/or
+        :class:`~repro.obs.slo.SLOSpec` objects.  In-flight breaches
+        (when a probe is on) and the final verdict land in
+        ``report.slo``.
     """
     experiment = get(exp_id)
     loaded_scenario = (None if scenario is None
@@ -380,12 +397,25 @@ def run(
         # profiler's) instead of shadowing it — the same semantics as
         # Environment picking up the ambient default.
         tracer = active_tracer()
+    if isinstance(probe, Probe):
+        probe_obj: Probe | None = probe
+    else:
+        probe_spec = as_probe_spec(probe)
+        probe_obj = (Probe(registry, probe_spec)
+                     if probe_spec is not None else None)
+    slo_specs = as_slo_specs(slo)
+    watcher = (SLOWatcher(registry, list(slo_specs))
+               if slo_specs else None)
+    if probe_obj is not None and watcher is not None:
+        probe_obj.watcher = watcher
     ctx = RunContext(seed=base_seed, metrics=registry, tracer=tracer,
                      scenario=loaded_scenario)
     start = time.perf_counter()
-    with instrument(tracer=tracer, metrics=registry):
+    with instrument(tracer=tracer, metrics=registry, probe=probe_obj):
         raw = experiment.runner(ctx)
     wall = time.perf_counter() - start
+    if watcher is not None:
+        watcher.finalize()
     report = RunReport.from_run(
         experiment.id,
         seed=base_seed,
@@ -393,6 +423,7 @@ def run(
         metrics=ctx.kpis,
         registry=registry,
         tracer=tracer,
+        slo=watcher.summary() if watcher is not None else None,
     )
     return ExperimentResult(
         id=experiment.id,

@@ -10,6 +10,16 @@ substrate the rest of :mod:`repro` reports through:
 * :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
   :class:`Histogram` instruments collected in a shared
   :class:`MetricRegistry`;
+* :mod:`repro.obs.timeseries` — the :class:`TimeSeries` instrument
+  (fixed-memory KPI-over-sim-time series) and the :class:`Probe`
+  that snapshots registry metrics and kernel counters at a
+  configurable sim-time interval;
+* :mod:`repro.obs.slo` — declarative :class:`SLOSpec` objectives over
+  time series, evaluated in-flight by an :class:`SLOWatcher` and
+  recorded in the run report;
+* :mod:`repro.obs.dashboard` — :func:`render_html`, a self-contained
+  HTML dashboard (SVG sparklines, KPI tables, SLO breach timeline)
+  for any run report or bench document;
 * :mod:`repro.obs.report` — the :class:`RunReport` summary (scalar
   KPIs plus aggregate statistics with confidence intervals)
   serializable to JSON;
@@ -31,9 +41,11 @@ a single ``is None`` check.
 
 from repro.obs.context import (
     active_metrics,
+    active_probe,
     active_tracer,
     instrument,
 )
+from repro.obs.dashboard import render_html
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -42,6 +54,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.perf import Profiler
 from repro.obs.report import RunReport, sanitize_json
+from repro.obs.slo import SLOSpec, SLOWatcher, as_slo_specs
+from repro.obs.timeseries import (
+    Probe,
+    ProbeSpec,
+    TimeSeries,
+    as_probe_spec,
+)
 from repro.obs.trace import Span, TraceEvent, Tracer
 
 __all__ = [
@@ -51,11 +70,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "Probe",
+    "ProbeSpec",
     "RunReport",
+    "SLOSpec",
+    "SLOWatcher",
     "Span",
+    "TimeSeries",
     "TraceEvent",
     "Tracer",
     "active_metrics",
+    "active_probe",
     "active_tracer",
+    "as_probe_spec",
+    "as_slo_specs",
     "instrument",
+    "render_html",
 ]

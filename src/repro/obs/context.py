@@ -3,7 +3,8 @@
 Experiments build many :class:`~repro.des.Environment` instances deep
 inside library calls; threading an explicit tracer/registry through
 every constructor would contaminate every model signature.  Instead,
-:func:`instrument` installs the pair as the *ambient default* (a
+:func:`instrument` installs the triple — tracer, metric registry and
+:class:`~repro.obs.timeseries.Probe` — as the *ambient default* (a
 :mod:`contextvars` variable): any Environment — and any
 registry-aware non-DES model — created inside the ``with`` block picks
 them up automatically.
@@ -20,12 +21,14 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricRegistry
+    from repro.obs.timeseries import Probe
     from repro.obs.trace import Tracer
 
-__all__ = ["instrument", "active_tracer", "active_metrics"]
+__all__ = ["instrument", "active_tracer", "active_metrics",
+           "active_probe"]
 
 _ACTIVE: contextvars.ContextVar[tuple] = contextvars.ContextVar(
-    "repro_obs_active", default=(None, None)
+    "repro_obs_active", default=(None, None, None)
 )
 
 
@@ -39,10 +42,17 @@ def active_metrics() -> "MetricRegistry | None":
     return _ACTIVE.get()[1]
 
 
+def active_probe() -> "Probe | None":
+    """The ambient sim-time probe, or ``None`` when probing is off."""
+    return _ACTIVE.get()[2]
+
+
 @contextmanager
 def instrument(tracer: "Tracer | None" = None,
-               metrics: "MetricRegistry | None" = None):
-    """Make ``tracer``/``metrics`` the ambient defaults for the block.
+               metrics: "MetricRegistry | None" = None,
+               probe: "Probe | None" = None):
+    """Make ``tracer``/``metrics``/``probe`` the ambient defaults for
+    the block.
 
     Examples
     --------
@@ -54,8 +64,8 @@ def instrument(tracer: "Tracer | None" = None,
     ...     env.tracer is tracer
     True
     """
-    token = _ACTIVE.set((tracer, metrics))
+    token = _ACTIVE.set((tracer, metrics, probe))
     try:
-        yield (tracer, metrics)
+        yield (tracer, metrics, probe)
     finally:
         _ACTIVE.reset(token)

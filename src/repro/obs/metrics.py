@@ -115,7 +115,11 @@ class Gauge(Metric):
             self.maximum = value
         if t is None:
             return
-        if self._last_t is not None and t >= self._last_t:
+        if self._last_t is not None and t > self._last_t:
+            # Strictly positive spans only: a zero-width segment
+            # contributes no weight, and skipping it keeps
+            # ``0 * inf`` (previous level ±inf at an instantaneous
+            # re-set) from poisoning the accumulator with NaN.
             span = t - self._last_t
             self._weight += span
             self._weighted_sum += span * previous
@@ -269,7 +273,8 @@ class Histogram(Metric):
 class MetricRegistry:
     """Shared collection of instruments, keyed by name and labels.
 
-    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    ``counter``/``gauge``/``histogram``/``timeseries`` are
+    get-or-create: asking twice
     for the same name and labels returns the same instrument, so
     entities can resolve their handles eagerly at construction and emit
     through plain attribute access afterwards.
@@ -312,6 +317,13 @@ class MetricRegistry:
     def histogram(self, name: str, **labels: str) -> Histogram:
         """Get or create the :class:`Histogram` ``name{labels}``."""
         return self._get_or_create(Histogram, name, labels)
+
+    def timeseries(self, name: str, **labels: str):
+        """Get or create the
+        :class:`~repro.obs.timeseries.TimeSeries` ``name{labels}``."""
+        from repro.obs.timeseries import TimeSeries
+
+        return self._get_or_create(TimeSeries, name, labels)
 
     def get(self, name: str, **labels: str) -> Metric | None:
         """Return the instrument if it exists, else ``None``."""

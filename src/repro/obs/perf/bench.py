@@ -103,7 +103,8 @@ def measure_experiment(exp_id: str, *, repeat: int = 3,
                        seed: int = 0,
                        warmup: bool = True,
                        workers: int = 1,
-                       replicas: int = 1) -> dict[str, Any]:
+                       replicas: int = 1,
+                       live: bool = False) -> dict[str, Any]:
     """Measure one experiment; returns its per-experiment record.
 
     ``warmup`` runs the experiment once untimed first, so lazy imports
@@ -141,7 +142,8 @@ def measure_experiment(exp_id: str, *, repeat: int = 3,
             counters.reset()
             start = perf_counter()
             result = run_replicated(exp_id, replicas=replicas,
-                                    workers=workers, seed=seed)
+                                    workers=workers, seed=seed,
+                                    live=live)
             wall = perf_counter() - start
             # run_replicated merged the workers' counter snapshots
             # into this process's counters, so the usual snapshot
@@ -190,16 +192,24 @@ def measure_experiment(exp_id: str, *, repeat: int = 3,
 
 def run_bench(ids: Sequence[str], *, repeat: int = 3, seed: int = 0,
               workers: int = 1, replicas: int = 1,
+              live: bool = False,
               progress: Callable[[str], None] | None = None
               ) -> dict[str, Any]:
-    """Measure ``ids`` and assemble the full bench document."""
+    """Measure ``ids`` and assemble the full bench document.
+
+    ``live`` streams per-replica progress to stderr while each
+    replicated repetition runs (display only; ignored when
+    ``replicas == 1`` since plain repetitions have no sweep to
+    watch).
+    """
     records = []
     for exp_id in ids:
         if progress is not None:
             progress(exp_id)
         records.append(
             measure_experiment(exp_id, repeat=repeat, seed=seed,
-                               workers=workers, replicas=replicas))
+                               workers=workers, replicas=replicas,
+                               live=live))
     meta: dict[str, Any] = {
         "python": platform.python_version(),
         "platform": platform.platform(),

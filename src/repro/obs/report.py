@@ -56,6 +56,10 @@ class RunReport:
     #: count, per-replica seeds and across-replica KPI statistics.
     #: ``None`` for ordinary single runs.
     replication: dict[str, Any] | None = None
+    #: ``SLOWatcher.summary()`` when the run evaluated objectives:
+    #: specs, in-flight breach events (sim-time only — survives
+    #: ``strip_timings()``) and the final per-objective verdict.
+    slo: dict[str, Any] | None = None
 
     @classmethod
     def from_run(
@@ -68,6 +72,7 @@ class RunReport:
         registry: "MetricRegistry | None" = None,
         tracer: "Tracer | None" = None,
         trace_path: str | None = None,
+        slo: dict[str, Any] | None = None,
     ) -> "RunReport":
         """Assemble a report from the run's live instruments."""
         stats: dict[str, dict[str, Any]] = {}
@@ -86,6 +91,7 @@ class RunReport:
             stats=stats,
             trace=tracer.summary() if tracer is not None else None,
             trace_path=trace_path,
+            slo=slo,
         )
 
     # ------------------------------------------------------------------
@@ -105,6 +111,8 @@ class RunReport:
             data["trace_path"] = self.trace_path
         if self.replication is not None:
             data["replication"] = self.replication
+        if self.slo is not None:
+            data["slo"] = self.slo
         return data
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -122,6 +130,7 @@ class RunReport:
             trace=data.get("trace"),
             trace_path=data.get("trace_path"),
             replication=data.get("replication"),
+            slo=data.get("slo"),
         )
 
     @classmethod
@@ -153,6 +162,17 @@ class RunReport:
         if self.trace is not None:
             lines.append(f"  trace: {self.trace['n_events']} events "
                          f"{self.trace['by_kind']}")
+        if self.slo is not None:
+            verdict = "OK" if self.slo.get("ok") else "BREACHED"
+            lines.append(
+                f"  slo: {verdict} ({len(self.slo.get('specs', []))} "
+                f"objective(s), "
+                f"{len(self.slo.get('breaches', []))} breach(es))")
+            for breach in self.slo.get("breaches", []):
+                lines.append(
+                    f"    breach {breach['slo']} at t={breach['t']:g}:"
+                    f" {breach['value']:.6g} {breach['op']} "
+                    f"{breach['threshold']:g} violated")
         if self.stats:
             lines.append(f"  instruments: {len(self.stats)}")
         return lines

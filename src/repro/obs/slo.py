@@ -1,0 +1,280 @@
+"""Declarative service-level objectives over time series.
+
+An :class:`SLOSpec` names one time-series instrument, an aggregation
+over an optional trailing window, a comparison operator and a
+threshold — "the drop fraction, averaged over the last 5 simulated
+seconds, stays at or below 0.1".  An :class:`SLOWatcher` evaluates a
+set of specs against a live registry: in-flight after every probe
+snapshot (recording *breach events* the first sim-time an objective
+goes out of bounds) and once more at end of run (the *final* verdict,
+which also covers runs that emit series directly without a probe).
+
+Breach times and values derive from simulated time only, so the SLO
+record survives ``strip_timings()`` and is byte-identical across
+worker counts; a replicated run concatenates per-replica breaches in
+replica order (see :func:`repro.parallel.merge_replicas`).
+
+Spec strings use a compact grammar accepted by :meth:`SLOSpec.parse`::
+
+    [name=]SERIES[:AGG[:WINDOW]] OP THRESHOLD
+
+    drop_frac=probe_stream_dropped:rate:5 <= 2.0
+    probe_session_buffer:mean >= 0.25
+    deadline_misses > 10
+
+``SERIES`` is a metric key (``name{label=value,...}``); ``AGG`` is one
+of ``last`` (default), ``mean``, ``min``, ``max``, ``sum``, ``count``
+or ``rate`` (per-sim-second delta of bin means — the right shape for
+cumulative counters); ``WINDOW`` restricts evaluation to the trailing
+window of simulated seconds; ``OP`` is ``<=``, ``<``, ``>=`` or ``>``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.timeseries import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricRegistry
+
+__all__ = ["SLOSpec", "SLOWatcher", "as_slo_specs",
+           "SLO_AGGREGATIONS"]
+
+SLO_AGGREGATIONS = ("last", "mean", "min", "max", "sum", "count",
+                    "rate")
+
+_OPS = {
+    "<=": lambda v, t: v <= t,
+    "<": lambda v, t: v < t,
+    ">=": lambda v, t: v >= t,
+    ">": lambda v, t: v > t,
+}
+
+_OP_RE = re.compile(r"(<=|>=|<|>)")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: ``agg(series[window]) op threshold``."""
+
+    name: str
+    series: str
+    op: str
+    threshold: float
+    agg: str = "last"
+    window: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO operator {self.op!r}; "
+                             f"use one of {sorted(_OPS)}")
+        if self.agg not in SLO_AGGREGATIONS:
+            raise ValueError(f"unknown SLO aggregation {self.agg!r}; "
+                             f"use one of {SLO_AGGREGATIONS}")
+        if self.window is not None and not self.window > 0.0:
+            raise ValueError(f"SLO window must be positive, "
+                             f"got {self.window}")
+
+    @classmethod
+    def parse(cls, text: str) -> "SLOSpec":
+        """Parse the ``[name=]series[:agg[:window]] op threshold``
+        grammar (whitespace around the operator optional)."""
+        spec = text.strip()
+        match = _OP_RE.search(spec)
+        if match is None:
+            raise ValueError(f"SLO spec {text!r} has no comparison "
+                             f"operator (<=, <, >=, >)")
+        op = match.group(1)
+        left, right = spec[:match.start()], spec[match.end():]
+        try:
+            threshold = float(right.strip())
+        except ValueError:
+            raise ValueError(f"SLO spec {text!r}: threshold "
+                             f"{right.strip()!r} is not a number")
+        left = left.strip()
+        name = None
+        brace = left.find("{")
+        eq = left.find("=")
+        if eq != -1 and (brace == -1 or eq < brace):
+            candidate = left[:eq].strip()
+            if _NAME_RE.match(candidate):
+                name = candidate
+                left = left[eq + 1:].strip()
+        # Split trailing :agg[:window] — colons never appear inside a
+        # metric key, so rightmost-split is unambiguous.
+        series, agg, window = left, "last", None
+        head, _, tail = left.partition(":")
+        if tail:
+            series = head
+            agg, _, window_text = tail.partition(":")
+            if window_text:
+                try:
+                    window = float(window_text)
+                except ValueError:
+                    raise ValueError(
+                        f"SLO spec {text!r}: window "
+                        f"{window_text!r} is not a number")
+        if not series:
+            raise ValueError(f"SLO spec {text!r} names no series")
+        return cls(name=name or spec, series=series, op=op,
+                   threshold=threshold, agg=agg, window=window)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name, "series": self.series, "op": self.op,
+            "threshold": self.threshold, "agg": self.agg,
+        }
+        if self.window is not None:
+            data["window"] = self.window
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SLOSpec":
+        return cls(name=data["name"], series=data["series"],
+                   op=data["op"], threshold=float(data["threshold"]),
+                   agg=data.get("agg", "last"),
+                   window=data.get("window"))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, registry: "MetricRegistry",
+                 now: float | None = None) -> float | None:
+        """Current aggregated value, or ``None`` when the series does
+        not exist yet / holds no bins in the window."""
+        series = _resolve(registry, self.series)
+        if series is None:
+            return None
+        points = series.points()
+        if now is None and points:
+            now = points[-1][0]
+        if self.window is not None and now is not None:
+            cutoff = now - self.window
+            points = [p for p in points if p[0] >= cutoff]
+        if not points:
+            return None
+        return _aggregate(self.agg, points)
+
+    def ok(self, value: float | None) -> bool:
+        """Whether ``value`` satisfies the objective (vacuously true
+        while the series has no data)."""
+        if value is None or math.isnan(value):
+            return True
+        return _OPS[self.op](value, self.threshold)
+
+
+def as_slo_specs(value: Any) -> tuple[SLOSpec, ...]:
+    """Coerce the user-facing ``slo=`` argument to a spec tuple.
+
+    Accepts ``None`` (no objectives), one spec or spec string, or an
+    iterable mixing both.
+    """
+    if value is None:
+        return ()
+    if isinstance(value, (SLOSpec, str)):
+        value = (value,)
+    specs = []
+    for item in value:
+        if isinstance(item, SLOSpec):
+            specs.append(item)
+        elif isinstance(item, str):
+            specs.append(SLOSpec.parse(item))
+        else:
+            raise TypeError(f"slo items must be SLOSpec or spec "
+                            f"strings, got {type(item).__name__}")
+    return tuple(specs)
+
+
+def _resolve(registry: "MetricRegistry",
+             key: str) -> TimeSeries | None:
+    for metric in registry:
+        if metric.key == key and isinstance(metric, TimeSeries):
+            return metric
+    return None
+
+
+def _aggregate(agg: str,
+               points: list[tuple[float, int, float, float, float]]
+               ) -> float | None:
+    # points rows: (t_start, count, mean, min, max)
+    if agg == "last":
+        return points[-1][2]
+    if agg == "mean":
+        count = sum(p[1] for p in points)
+        return sum(p[2] * p[1] for p in points) / count
+    if agg == "min":
+        return min(p[3] for p in points)
+    if agg == "max":
+        return max(p[4] for p in points)
+    if agg == "sum":
+        return sum(p[2] * p[1] for p in points)
+    if agg == "count":
+        return float(sum(p[1] for p in points))
+    if agg == "rate":
+        if len(points) < 2:
+            return None
+        span = points[-1][0] - points[0][0]
+        if span <= 0.0:
+            return None
+        return (points[-1][2] - points[0][2]) / span
+    raise ValueError(f"unknown aggregation {agg!r}")  # pragma: no cover
+
+
+class SLOWatcher:
+    """Evaluates a set of specs against a live registry.
+
+    :meth:`check` runs after every probe snapshot and records a breach
+    *event* each sim-time an objective transitions from in-bounds to
+    out-of-bounds (re-entering bounds re-arms it).  :meth:`finalize`
+    evaluates each spec once over the completed series — the verdict
+    that gates ``--slo-strict``.
+    """
+
+    def __init__(self, registry: "MetricRegistry",
+                 specs: list[SLOSpec]):
+        self.registry = registry
+        self.specs = list(specs)
+        self.breaches: list[dict[str, Any]] = []
+        self.final: dict[str, dict[str, Any]] = {}
+        self._in_breach: set[str] = set()
+
+    def check(self, now: float) -> None:
+        """In-flight evaluation at sim-time ``now``."""
+        for spec in self.specs:
+            value = spec.evaluate(self.registry, now)
+            if spec.ok(value):
+                self._in_breach.discard(spec.name)
+            elif spec.name not in self._in_breach:
+                self._in_breach.add(spec.name)
+                self.breaches.append({
+                    "slo": spec.name, "t": now, "value": value,
+                    "series": spec.series, "agg": spec.agg,
+                    "op": spec.op, "threshold": spec.threshold,
+                })
+
+    def finalize(self) -> None:
+        """End-of-run evaluation over each spec's full series."""
+        for spec in self.specs:
+            value = spec.evaluate(self.registry)
+            self.final[spec.name] = {
+                "value": value, "ok": spec.ok(value),
+            }
+
+    @property
+    def ok(self) -> bool:
+        return not self.breaches and all(
+            entry["ok"] for entry in self.final.values())
+
+    def summary(self) -> dict[str, Any]:
+        """The ``report.slo`` payload (sim-time fields only)."""
+        return {
+            "specs": [spec.to_dict() for spec in self.specs],
+            "breaches": list(self.breaches),
+            "final": dict(self.final),
+            "ok": self.ok,
+        }

@@ -84,11 +84,17 @@ class Tracer:
         Optional hard cap; once reached, further events are counted
         (:attr:`n_dropped`) but not stored, bounding memory on long
         runs.
+
+    Attributes
+    ----------
+    wants_schedule:
+        Public subclass knob.  The kernel consults it before every
+        (hot, per-event) ``schedule`` emit; a tracer that overrides
+        it to ``False`` — like the wall-clock profiler, which
+        attributes at step granularity — never receives ``schedule``
+        events, while ``step``/``process`` emits are unaffected.
     """
 
-    #: Kernel hint: tracers that set this to ``False`` skip the
-    #: (hot, per-event) ``schedule`` emits entirely — the wall-clock
-    #: profiler does, since it attributes at step granularity.
     wants_schedule = True
 
     def __init__(self, max_events: int | None = None):

@@ -23,6 +23,12 @@ from repro.parallel.engine import (
     replica_seed,
     run_replicated,
 )
+from repro.parallel.live import (
+    DEFAULT_TELEMETRY_INTERVAL,
+    ReplicaView,
+    SweepView,
+    TelemetrySampler,
+)
 from repro.parallel.merge import ReplicaResult, merge_replicas, pool_kpis
 from repro.parallel.supervisor import (
     FAULT_PLAN_ENV,
@@ -55,4 +61,8 @@ __all__ = [
     "ReplicaFailure",
     "SupervisorPolicy",
     "supervise",
+    "DEFAULT_TELEMETRY_INTERVAL",
+    "ReplicaView",
+    "SweepView",
+    "TelemetrySampler",
 ]

@@ -42,12 +42,16 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import random
+import sys
 import time
 from pathlib import Path
-from typing import Callable, Iterable, TypeVar
+from typing import Any, Callable, Iterable, TypeVar
 
 from repro import experiments
 from repro.des import kernel_counters
+from repro.obs.slo import as_slo_specs
+from repro.obs.timeseries import as_probe_spec
+from repro.parallel.live import DEFAULT_TELEMETRY_INTERVAL, SweepView
 from repro.parallel.merge import ReplicaResult, merge_replicas
 from repro.parallel.supervisor import (
     CheckpointJournal,
@@ -161,7 +165,7 @@ def _run_replica(payload: tuple) -> ReplicaResult:
     crashed/hung/raised attempt therefore never produces a partial
     result, and the retry (same seed) reproduces the clean payload.
     """
-    exp_id, index, seed, verify, attempt, plan = payload
+    exp_id, index, seed, verify, attempt, plan, probe, slo = payload
     if plan is None:
         plan = FaultPlan.from_env()
     if plan is not None:
@@ -174,7 +178,8 @@ def _run_replica(payload: tuple) -> ReplicaResult:
     counters = kernel_counters()
     counters.reset()
     start = time.perf_counter()
-    result = experiments.run(exp_id, seed=seed, verify=verify)
+    result = experiments.run(exp_id, seed=seed, verify=verify,
+                             probe=probe, slo=slo)
     wall = time.perf_counter() - start
     return ReplicaResult(
         index=index,
@@ -205,6 +210,11 @@ def run_replicated(
     checkpoint: str | Path | None = None,
     resume: str | Path | None = None,
     fault_plan: FaultPlan | None = None,
+    probe: Any = None,
+    slo: Any = None,
+    live: bool = False,
+    telemetry: float | None = None,
+    on_event: Callable[[str, dict], None] | None = None,
 ):
     """Run ``replicas`` independent replicas of one experiment and
     merge them into a pooled :class:`ExperimentResult`.
@@ -266,6 +276,34 @@ def run_replicated(
         hook — production sweeps leave it ``None`` (workers then
         honour the :data:`~repro.parallel.supervisor.FAULT_PLAN_ENV`
         variable, so subprocess-driven tests can inject too).
+    probe:
+        KPI time-series probe for every replica, as accepted by
+        :func:`repro.obs.timeseries.as_probe_spec` (``True``, an
+        interval, or a :class:`~repro.obs.timeseries.ProbeSpec`).
+        Probe series sample *simulated* time only, so they merge
+        byte-identically across worker counts like every other
+        metric.
+    slo:
+        Service-level objectives, as accepted by
+        :func:`repro.obs.slo.as_slo_specs`.  Each replica evaluates
+        them independently; the merged report carries the per-replica
+        verdicts and a pooled verdict in ``report.slo``.
+    live:
+        Render live sweep progress to stderr via a
+        :class:`~repro.parallel.live.SweepView` (implies telemetry at
+        :data:`~repro.parallel.live.DEFAULT_TELEMETRY_INTERVAL` when
+        ``telemetry`` is unset).  Display only: the merged payload is
+        byte-identical with ``live`` on or off.
+    telemetry:
+        Wall-clock seconds between out-of-band telemetry frames from
+        each worker (``None`` disables frames unless ``live`` turns
+        them on).  Frames ride the existing result pipes and never
+        reach the merged payload.
+    on_event:
+        Callback ``(kind, info)`` for supervisor lifecycle events
+        (``start``/``telemetry``/``done``/``retry``/``failed``).
+        Overrides the default live renderer; exceptions raised by the
+        callback are swallowed.
 
     Returns the pooled :class:`~repro.experiments.result.
     ExperimentResult`; ``result.report.replication`` carries the
@@ -295,6 +333,14 @@ def run_replicated(
         workers = multiprocessing.cpu_count()
     workers = max(1, min(int(workers), replicas))
 
+    probe_spec = as_probe_spec(probe)
+    slo_specs = as_slo_specs(slo)
+    if live:
+        if telemetry is None:
+            telemetry = DEFAULT_TELEMETRY_INTERVAL
+        if on_event is None:
+            on_event = SweepView(stream=sys.stderr).handle
+
     done: dict[int, ReplicaResult] = {}
     if resume is not None and Path(resume).exists():
         done = CheckpointJournal.load(
@@ -322,7 +368,7 @@ def run_replicated(
 
     def make_payload(index: int, seed_i: int, attempt: int) -> tuple:
         return (experiment.id, index, seed_i, False, attempt,
-                fault_plan)
+                fault_plan, probe_spec, slo_specs)
 
     start = time.perf_counter()
     fresh, failures = supervise(
@@ -334,6 +380,8 @@ def run_replicated(
         policy=policy,
         rng=rng,
         on_result=journal.append if journal is not None else None,
+        telemetry=telemetry,
+        on_event=on_event,
     )
     wall = time.perf_counter() - start
 

@@ -12,7 +12,9 @@ pooled :class:`~repro.experiments.result.ExperimentResult`:
   fold via :meth:`MetricRegistry.merge` (counters sum, gauges pool,
   histograms merge exactly in the aggregates);
 * per-replica kernel-counter snapshots sum into
-  ``report.replication["kernel"]``.
+  ``report.replication["kernel"]``;
+* per-replica SLO verdicts pool into ``report.slo`` — breaches tagged
+  with their replica index and concatenated in replica order.
 
 Because the fold order is the replica index and every replica's seed
 is a pure function of ``(master_seed, index)``, the merged payload is
@@ -159,6 +161,54 @@ def _merged_kernel(
     return merged
 
 
+def _merged_slo(
+    replicas: Sequence[ReplicaResult],
+) -> dict[str, Any] | None:
+    """Pool per-replica SLO records into one ``report.slo`` payload.
+
+    Breaches concatenate **in replica-index order**, each tagged with
+    its ``replica`` — breach times are sim-time, so the pooled record
+    is as deterministic as the series it derives from.  The merged
+    ``final`` verdict per objective is the conjunction of the replica
+    verdicts, carrying the *worst* observed value (largest for
+    ``<=``/``<`` objectives, smallest for ``>=``/``>``).
+    """
+    with_slo = [r for r in replicas
+                if r.report is not None and r.report.slo]
+    if not with_slo:
+        return None
+    specs = with_slo[0].report.slo.get("specs", [])
+    ops = {spec["name"]: spec["op"] for spec in specs}
+    breaches: list[dict[str, Any]] = []
+    by_replica: dict[str, dict[str, Any]] = {}
+    final: dict[str, dict[str, Any]] = {}
+    for replica in with_slo:
+        record = replica.report.slo
+        for breach in record.get("breaches", []):
+            breaches.append({**breach, "replica": replica.index})
+        by_replica[str(replica.index)] = {
+            "ok": record.get("ok", True),
+            "breaches": len(record.get("breaches", [])),
+        }
+        for name, entry in record.get("final", {}).items():
+            value = entry.get("value")
+            slot = final.setdefault(name, {"value": None, "ok": True})
+            slot["ok"] = slot["ok"] and entry.get("ok", True)
+            if value is not None:
+                worse = (max if ops.get(name, "<=") in ("<=", "<")
+                         else min)
+                slot["value"] = (value if slot["value"] is None
+                                 else worse(slot["value"], value))
+    return {
+        "specs": specs,
+        "breaches": breaches,
+        "final": final,
+        "by_replica": by_replica,
+        "ok": (not breaches
+               and all(entry["ok"] for entry in final.values())),
+    }
+
+
 def merge_replicas(
     exp_id: str,
     claim: str,
@@ -208,6 +258,7 @@ def merge_replicas(
         metrics=metrics,
         registry=merged_registry,
     )
+    report.slo = _merged_slo(replicas)
     report.replication = {
         "replicas": len(replicas),
         "workers": workers,

@@ -49,12 +49,14 @@ import json
 import os
 import pickle
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as _mp_connection
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.parallel.live import TelemetrySampler
 from repro.parallel.merge import ReplicaResult
 
 __all__ = [
@@ -311,8 +313,15 @@ class CheckpointJournal:
                 pickle.dumps(result)).decode("ascii"),
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(record, sort_keys=True) + "\n")
+        # One pre-encoded write per record: a text-mode stream chunks
+        # long lines through its encoder, so a concurrent reader (or a
+        # kill mid-append) could observe a partial line that *counts*
+        # as a record before its payload is complete.  A single
+        # buffered binary write keeps each line all-or-nothing.
+        data = (json.dumps(record, sort_keys=True) + "\n").encode(
+            "utf-8")
+        with self.path.open("ab") as stream:
+            stream.write(data)
             stream.flush()
             os.fsync(stream.fileno())
 
@@ -408,20 +417,57 @@ class _Running:
 
 
 def _worker_shell(fn: Callable[[tuple], ReplicaResult],
-                  payload: tuple, conn) -> None:
+                  payload: tuple, conn,
+                  telemetry: float | None = None,
+                  inherited: Sequence[Any] = ()) -> None:
     """Process target: run ``fn`` and ship the outcome up the pipe.
 
     A missing message (pipe closed, nonzero exit) is how the parent
     detects a crash; errors are reported as short descriptions — the
     supervisor retries by replica, it never needs the live exception.
+
+    ``inherited`` lists the *parent-side* pipe ends this fork-context
+    child copied from the supervisor — its own pipe's read end plus
+    every sibling's.  They must be closed here, first thing: a result
+    larger than the pipe buffer blocks in ``conn.send`` until the
+    parent reads it, and if the parent is SIGKILLed mid-sweep the
+    write can only fail with ``EPIPE`` (freeing the worker to exit)
+    once *no* process holds a read end — a leaked copy in this child
+    or a sibling would keep the blocked writer alive as an orphan
+    forever.
+
+    With ``telemetry`` set, a :class:`~repro.parallel.live.
+    TelemetrySampler` thread additionally sends ``("telemetry",
+    frame)`` messages every ``telemetry`` wall seconds on the *same*
+    pipe — a lock serializes them against the final result send, so
+    frames and results never interleave mid-message.  Telemetry is
+    out-of-band gossip: the parent renders it and throws it away,
+    so the merged payload is identical with it on or off.
     """
+    for stale in inherited:
+        stale.close()
+    send_lock = threading.Lock()
+    sampler: TelemetrySampler | None = None
+    if telemetry is not None:
+        def _send_frame(frame: dict) -> None:
+            with send_lock:
+                conn.send(("telemetry", frame))
+
+        sampler = TelemetrySampler(_send_frame, interval=telemetry)
+        sampler.start()
     try:
         result = fn(payload)
-        conn.send(("ok", result))
+        if sampler is not None:
+            sampler.stop()
+        with send_lock:
+            conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+        if sampler is not None:
+            sampler.stop()
         message = f"{type(exc).__name__}: {exc}"
         try:
-            conn.send(("error", message))
+            with send_lock:
+                conn.send(("error", message))
         except OSError:
             os._exit(1)  # parent gone; count as crash
         if isinstance(exc, KeyboardInterrupt):
@@ -457,6 +503,8 @@ def supervise(
     policy: SupervisorPolicy,
     rng: random.Random,
     on_result: Callable[[ReplicaResult], None] | None = None,
+    telemetry: float | None = None,
+    on_event: Callable[[str, dict[str, Any]], None] | None = None,
 ) -> tuple[dict[int, ReplicaResult], list[ReplicaFailure]]:
     """Run ``tasks`` (``(replica index, seed)`` pairs) to completion
     under the fault-tolerance ``policy``.
@@ -470,7 +518,25 @@ def supervise(
     ``KeyboardInterrupt`` — every child still running is terminated
     and joined before the exception propagates: a cancelled sweep
     leaves no orphan processes.
+
+    ``telemetry`` (wall seconds) makes every worker stream heartbeat
+    frames up its result pipe; ``on_event`` receives them as
+    ``("telemetry", {index, attempt, wall, sim_now, events_executed,
+    events_per_sec, ...})`` plus the lifecycle events ``("start",
+    ...)``, ``("done", ...)``, ``("retry", ...)`` and ``("failed",
+    ...)``.  The callback is display-plumbing: exceptions it raises
+    are swallowed (a broken progress bar must not kill a sweep), and
+    nothing it observes can reach the merged payload.  Telemetry
+    frames never extend a replica's ``policy.timeout`` deadline — a
+    hung simulation with a live heartbeat thread is still hung.
     """
+    def emit(kind: str, info: dict[str, Any]) -> None:
+        if on_event is None:
+            return
+        try:
+            on_event(kind, info)
+        except Exception:  # simlint: ignore[SL207] - display-only
+            pass
     pending: list[_Attempt] = [
         _Attempt(index=index, seed=seed, attempt=1)
         for index, seed in tasks
@@ -497,29 +563,38 @@ def supervise(
                 not_before=(time.perf_counter()
                             + _backoff(policy, task.attempt, rng)),
             ))
+            emit("retry", {"index": task.index, "seed": task.seed,
+                           "attempt": task.attempt + 1,
+                           "error": message})
             return
         failure = ReplicaFailure(index=task.index, seed=task.seed,
                                  attempts=task.attempt, error=message)
         failures.append(failure)
+        emit("failed", {"index": task.index, "seed": task.seed,
+                        "attempts": task.attempt, "error": message})
         if not policy.partial:
             raise ReplicaFailedError([failure])
 
-    def finish(record: _Running) -> None:
+    def finish(record: _Running, message: tuple | None) -> None:
         nonlocal crash_streak
-        try:
-            kind, value = record.conn.recv()
-        except (EOFError, OSError):
+        if message is None:
             record.process.join()  # reap first, so exitcode is real
             kind, value = "crash", (
                 f"worker crashed without a result "
                 f"(exit code {record.process.exitcode})"
             )
+        else:
+            kind, value = message
         record.conn.close()
         record.process.join()
         if kind == "ok":
             crash_streak = 0
             value.attempts = record.task.attempt
             results[record.task.index] = value
+            emit("done", {"index": record.task.index,
+                          "seed": record.task.seed,
+                          "attempts": record.task.attempt,
+                          "wall_seconds": value.wall_seconds})
             if on_result is not None:
                 on_result(value)
         else:
@@ -536,6 +611,19 @@ def supervise(
                 task = ready.pop(0)
                 try:
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    # A fork-context child copies every open fd, so it
+                    # must close the parent-side pipe ends it inherits
+                    # (its own and its running siblings') — otherwise
+                    # a worker blocked sending a larger-than-buffer
+                    # result never sees EPIPE after the parent dies
+                    # and leaks as an orphan.  Spawn children inherit
+                    # nothing, and Connections don't pickle into them.
+                    method = getattr(ctx, "get_start_method",
+                                     lambda: "fork")()
+                    stale_ends = (
+                        [record.conn for record in running]
+                        + [parent_conn]
+                        if method == "fork" else [])
                     # daemon=True (like the old Pool's workers): if a
                     # signal lands between start() and the bookkeeping
                     # below, interpreter exit *terminates* the stray
@@ -547,7 +635,7 @@ def supervise(
                         args=(worker,
                               make_payload(task.index, task.seed,
                                            task.attempt),
-                              child_conn),
+                              child_conn, telemetry, stale_ends),
                         daemon=True,
                     )
                     process.start()
@@ -573,6 +661,8 @@ def supervise(
                     deadline=(now + policy.timeout
                               if policy.timeout is not None else None),
                 ))
+                emit("start", {"index": task.index, "seed": task.seed,
+                               "attempt": task.attempt})
             if not running:
                 if pending:
                     delay = max(0.0, min(t.not_before for t in pending)
@@ -595,8 +685,21 @@ def supervise(
 
             for conn in ready_conns:
                 record = next(r for r in running if r.conn is conn)
+                try:
+                    message = record.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                if message is not None and message[0] == "telemetry":
+                    # Heartbeat, not a result: the replica stays
+                    # running (and keeps its original deadline).
+                    emit("telemetry", {
+                        "index": record.task.index,
+                        "attempt": record.task.attempt,
+                        **message[1],
+                    })
+                    continue
                 running.remove(record)
-                finish(record)
+                finish(record, message)
 
             now = time.perf_counter()
             for record in [r for r in running

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.power import DvfsModel
+from repro.obs.context import active_metrics
 from repro.streaming.arq import ArqPolicy, LossyLink
 from repro.streaming.client import DecoderModel, DvfsVideoClient
 from repro.streaming.fgs import FgsSource
@@ -80,10 +81,24 @@ def run_session(
     client = client or DvfsVideoClient(fps=source.fps)
     period = 1.0 / client.fps
 
+    # Per-frame telemetry: the session is a frame-indexed loop (no DES
+    # kernel), so KPI-over-sim-time series are emitted directly at each
+    # frame slot's presentation time rather than via the probe.
+    registry = active_metrics()
+    rx_series = psnr_series = drop_series = None
+    if registry is not None:
+        rx_series = registry.timeseries(
+            "stream_rx_energy_j", policy=server.name)
+        psnr_series = registry.timeseries(
+            "stream_psnr_db", policy=server.name)
+        drop_series = registry.timeseries(
+            "stream_dropped", policy=server.name)
+
     n_delivered = 0
     n_dropped = 0
     retransmissions = 0
-    for _ in range(n_frames):
+    for slot in range(n_frames):
+        t = slot * period
         frame = source.next_frame()
         enhancement = server.enhancement_to_send(frame)
         if link is not None:
@@ -92,9 +107,16 @@ def run_session(
             if not delivery.delivered:
                 n_dropped += 1
                 client.skip_frame(frame)
+                if rx_series is not None:
+                    rx_series.add(t, client.total_rx_energy())
+                    drop_series.add(t, float(n_dropped))
                 continue
         n_delivered += 1
         outcome = client.receive(frame, enhancement)
+        if rx_series is not None:
+            rx_series.add(t, client.total_rx_energy())
+            psnr_series.add(t, outcome.psnr)
+            drop_series.add(t, float(n_dropped))
         # Aptitude report for the *next* slot (one-slot delay); a lost
         # report leaves the server's view of the client stale.
         point = outcome.point

@@ -1,0 +1,97 @@
+"""Property tests for Gauge.time_mean against a reference fold.
+
+The gauge integrates a piecewise-constant signal on the fly; the
+reference below re-derives the same integral from the full sample list.
+The regression of interest: a zero-width segment after an infinite
+level (``set(inf, t); set(v, t)``) used to fold ``0 * inf = NaN`` into
+the accumulator and poison every later reading.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricRegistry
+from repro.obs.metrics import Gauge
+
+
+def reference_time_mean(samples):
+    """Integral of the piecewise-constant signal / total span.
+
+    ``samples`` are (value, t) pairs in emission order; only strictly
+    increasing time steps accumulate weight, matching the documented
+    segment semantics (an earlier t starts a new segment).
+    """
+    weight = 0.0
+    weighted = 0.0
+    last_t = None
+    previous = math.nan
+    for value, t in samples:
+        if last_t is not None and t > last_t:
+            span = t - last_t
+            weight += span
+            weighted += span * previous
+        last_t = t
+        previous = value
+    return weighted / weight if weight else math.nan
+
+
+values = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+times = st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(st.tuples(values, times), min_size=0, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_time_mean_matches_reference(samples):
+    gauge = Gauge("g", {})
+    for value, t in samples:
+        gauge.set(value, t)
+    expected = reference_time_mean(samples)
+    actual = gauge.time_mean
+    if math.isnan(expected):
+        assert math.isnan(actual)
+    else:
+        assert actual == expected  # same fold, bit-for-bit
+
+
+@given(st.lists(st.tuples(values, times), min_size=1, max_size=30),
+       st.floats(min_value=1e6, max_value=2e6, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_infinite_level_never_poisons_finite_mean(samples, t_reset):
+    """An instantaneous ±inf excursion (zero-width segment) must not
+    turn the accumulated mean into NaN."""
+    gauge = Gauge("g", {})
+    for value, t in samples:
+        gauge.set(value, t)
+    gauge.set(math.inf, t_reset)
+    gauge.set(5.0, t_reset)  # same instant: zero-width inf segment
+    gauge.set(5.0, t_reset + 1.0)
+    assert math.isfinite(gauge.time_mean)
+
+
+def test_zero_width_inf_regression():
+    gauge = Gauge("g", {})
+    gauge.set(math.inf, 1.0)
+    gauge.set(5.0, 1.0)
+    gauge.set(5.0, 2.0)
+    assert gauge.time_mean == 5.0
+
+
+def test_no_timed_samples_is_nan():
+    gauge = Gauge("g", {})
+    assert math.isnan(gauge.time_mean)
+    gauge.set(3.0)  # no time: level only
+    assert math.isnan(gauge.time_mean)
+    gauge.set(3.0, 1.0)  # first timed sample alone carries no weight
+    assert math.isnan(gauge.time_mean)
+
+
+def test_constant_signal_mean_is_the_constant():
+    registry = MetricRegistry()
+    gauge = registry.gauge("level")
+    for t in range(10):
+        gauge.set(7.5, float(t))
+    assert gauge.time_mean == 7.5

@@ -68,6 +68,22 @@ class TestGauge:
         gauge.set(6.0, t=10.0)   # segment 2: level 6 for 10s
         assert gauge.time_mean == pytest.approx(4.0)
 
+    def test_zero_width_segment_carries_no_weight(self):
+        gauge = MetricRegistry().gauge("level")
+        gauge.set(2.0, t=0.0)
+        gauge.set(100.0, t=0.0)  # instantaneous re-set: zero width
+        gauge.set(100.0, t=1.0)
+        assert gauge.time_mean == pytest.approx(100.0)
+
+    def test_zero_width_infinite_level_does_not_poison_mean(self):
+        # Regression: span=0 with previous=±inf used to fold
+        # 0 * inf = NaN into the accumulator.
+        gauge = MetricRegistry().gauge("level")
+        gauge.set(math.inf, t=1.0)
+        gauge.set(5.0, t=1.0)
+        gauge.set(5.0, t=2.0)
+        assert gauge.time_mean == 5.0
+
 
 class TestHistogram:
     def test_aggregates(self):
@@ -129,6 +145,90 @@ class TestMetricRegistry:
         assert isinstance(registry.counter("c"), Counter)
         assert isinstance(registry.gauge("g"), Gauge)
         assert isinstance(registry.histogram("h"), Histogram)
+
+
+def _populate(registry, scale=1.0, **labels):
+    """One instrument of every kind under the same label set."""
+    registry.counter("sent", **labels).inc(2.0 * scale)
+    gauge = registry.gauge("level", **labels)
+    gauge.set(1.0 * scale, t=0.0)
+    gauge.set(1.0 * scale, t=4.0)
+    registry.histogram("wait", **labels).observe(3.0 * scale)
+    series = registry.timeseries("qos", **labels)
+    series.add(0.5, 0.5 * scale)
+    series.add(1.5, 0.7 * scale)
+    return registry
+
+
+class TestRegistryMergeMatrix:
+    """Registry.merge across all four instrument kinds, with disjoint
+    and overlapping label sets, and independent of fold order."""
+
+    def test_disjoint_labels_are_adopted(self):
+        a = _populate(MetricRegistry(), node="a")
+        b = _populate(MetricRegistry(), scale=2.0, node="b")
+        merged = a.merge(b)
+        assert merged is a
+        assert len(a) == 8  # 4 kinds × 2 label sets
+        # Adopted instruments carry the other run's aggregates.
+        assert a.get("sent", node="b").value == 4.0
+        assert a.get("level", node="b").time_mean == \
+            pytest.approx(2.0)
+        assert a.get("wait", node="b").count == 1
+        assert a.get("qos", node="b").n_samples == 2
+        # Originals untouched.
+        assert a.get("sent", node="a").value == 2.0
+
+    def test_overlapping_labels_fold(self):
+        a = _populate(MetricRegistry(), node="x")
+        b = _populate(MetricRegistry(), scale=3.0, node="x")
+        a.merge(b)
+        assert len(a) == 4
+        assert a.get("sent", node="x").value == 8.0  # 2 + 6
+        # Time-weighted accumulators pool: 4s at 1 plus 4s at 3.
+        assert a.get("level", node="x").time_mean == \
+            pytest.approx(2.0)
+        histogram = a.get("wait", node="x")
+        assert histogram.count == 2
+        assert histogram.mean == pytest.approx(6.0)
+        series = a.get("qos", node="x")
+        assert series.n_samples == 4
+        # Latest bin pools both runs' samples: (0.7 + 2.1) / 2.
+        assert series.last == pytest.approx(1.4)
+
+    def test_merge_is_order_insensitive_in_aggregates(self):
+        ab = _populate(MetricRegistry(), node="x").merge(
+            _populate(MetricRegistry(), scale=2.0, node="x"))
+        ba = _populate(MetricRegistry(), scale=2.0, node="x").merge(
+            _populate(MetricRegistry(), node="x"))
+        assert ab.get("sent", node="x").value == \
+            ba.get("sent", node="x").value
+        assert ab.get("level", node="x").time_mean == \
+            ba.get("level", node="x").time_mean
+        assert ab.get("wait", node="x").mean == \
+            ba.get("wait", node="x").mean
+        assert ab.get("qos", node="x").to_dict() == \
+            ba.get("qos", node="x").to_dict()
+
+    def test_mixed_disjoint_and_overlapping(self):
+        a = MetricRegistry()
+        a.counter("shared").inc(1)
+        a.counter("only_a").inc(5)
+        b = MetricRegistry()
+        b.counter("shared").inc(2)
+        b.counter("only_b").inc(7)
+        a.merge(b)
+        assert a.get("shared").value == 3.0
+        assert a.get("only_a").value == 5.0
+        assert a.get("only_b").value == 7.0
+
+    def test_kind_conflict_across_registries_raises(self):
+        a = MetricRegistry()
+        a.counter("x")
+        b = MetricRegistry()
+        b.gauge("x")
+        with pytest.raises(TypeError, match="cannot merge"):
+            a.merge(b)
 
 
 class TestHistogramPercentile:

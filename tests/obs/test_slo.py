@@ -1,0 +1,191 @@
+"""Tests for declarative SLO specs and the in-flight watcher."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricRegistry, SLOSpec, SLOWatcher, as_slo_specs
+from repro.obs.slo import SLO_AGGREGATIONS
+
+
+def _registry_with(name, samples, **labels):
+    registry = MetricRegistry()
+    series = registry.timeseries(name, **labels)
+    for t, v in samples:
+        series.add(t, v)
+    return registry
+
+
+class TestParse:
+    def test_minimal(self):
+        spec = SLOSpec.parse("deadline_misses > 10")
+        assert spec.series == "deadline_misses"
+        assert spec.op == ">"
+        assert spec.threshold == 10.0
+        assert spec.agg == "last"
+        assert spec.window is None
+        assert spec.name == "deadline_misses > 10"
+
+    def test_named_with_agg_and_window(self):
+        spec = SLOSpec.parse("drop=probe_dropped:rate:5 <= 2.0")
+        assert spec.name == "drop"
+        assert spec.series == "probe_dropped"
+        assert spec.agg == "rate"
+        assert spec.window == 5.0
+        assert spec.op == "<="
+        assert spec.threshold == 2.0
+
+    def test_labeled_series_key(self):
+        # '=' inside the label braces must not be mistaken for a name.
+        spec = SLOSpec.parse("qos{mode=resilient}:mean >= 0.8")
+        assert spec.series == "qos{mode=resilient}"
+        assert spec.agg == "mean"
+        assert spec.name == "qos{mode=resilient}:mean >= 0.8"
+
+    def test_whitespace_optional(self):
+        spec = SLOSpec.parse("x<=1")
+        assert (spec.series, spec.op, spec.threshold) == ("x", "<=", 1.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="operator"):
+            SLOSpec.parse("no_operator_here 10")
+        with pytest.raises(ValueError, match="not a number"):
+            SLOSpec.parse("x <= lots")
+        with pytest.raises(ValueError, match="window"):
+            SLOSpec.parse("x:mean:soon <= 1")
+        with pytest.raises(ValueError, match="no series"):
+            SLOSpec.parse(":mean <= 1")
+
+    def test_round_trips_through_dict(self):
+        spec = SLOSpec.parse("drop=d:rate:5 <= 2.0")
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+        bare = SLOSpec.parse("x > 0")
+        assert SLOSpec.from_dict(bare.to_dict()) == bare
+
+    def test_validates_fields(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="n", series="s", op="==", threshold=1.0)
+        with pytest.raises(ValueError):
+            SLOSpec(name="n", series="s", op="<", threshold=1.0,
+                    agg="median")
+        with pytest.raises(ValueError):
+            SLOSpec(name="n", series="s", op="<", threshold=1.0,
+                    window=0.0)
+
+
+class TestEvaluate:
+    SAMPLES = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]
+
+    @pytest.fixture
+    def registry(self):
+        return _registry_with("m", self.SAMPLES)
+
+    @pytest.mark.parametrize("agg,expected", [
+        ("last", 7.0),
+        ("mean", 4.0),
+        ("min", 1.0),
+        ("max", 7.0),
+        ("sum", 16.0),
+        ("count", 4.0),
+        ("rate", 2.0),  # (7 - 1) / (3 - 0)
+    ])
+    def test_all_aggregations(self, registry, agg, expected):
+        spec = SLOSpec(name="n", series="m", op="<=",
+                       threshold=math.inf, agg=agg)
+        value = spec.evaluate(registry)
+        assert value == pytest.approx(expected)
+        assert set(SLO_AGGREGATIONS) == {
+            "last", "mean", "min", "max", "sum", "count", "rate"}
+
+    def test_window_restricts_points(self, registry):
+        spec = SLOSpec(name="n", series="m", op="<=",
+                       threshold=math.inf, agg="count", window=1.5)
+        # now defaults to the last bin start (t=3); cutoff 1.5 keeps
+        # the t=2 and t=3 bins.
+        assert spec.evaluate(registry) == 2.0
+
+    def test_missing_series_is_none_and_vacuously_ok(self):
+        registry = MetricRegistry()
+        spec = SLOSpec(name="n", series="absent", op="<=",
+                       threshold=0.0)
+        assert spec.evaluate(registry) is None
+        assert spec.ok(None) is True
+        assert spec.ok(math.nan) is True
+
+    def test_non_timeseries_metric_not_resolved(self):
+        registry = MetricRegistry()
+        registry.counter("m").inc()
+        spec = SLOSpec(name="n", series="m", op="<=", threshold=0.0)
+        assert spec.evaluate(registry) is None
+
+    def test_ok_operators(self):
+        for op, good, bad in [("<=", 1.0, 2.0), ("<", 0.5, 1.0),
+                              (">=", 1.0, 0.5), (">", 2.0, 1.0)]:
+            spec = SLOSpec(name="n", series="s", op=op, threshold=1.0)
+            assert spec.ok(good) is True
+            assert spec.ok(bad) is False
+
+
+class TestWatcher:
+    def test_breach_recorded_once_then_rearmed(self):
+        registry = MetricRegistry()
+        series = registry.timeseries("level")
+        specs = [SLOSpec(name="lvl", series="level", op="<=",
+                         threshold=10.0)]
+        watcher = SLOWatcher(registry, specs)
+
+        series.add(0.0, 5.0)
+        watcher.check(0.0)
+        series.add(1.0, 50.0)
+        watcher.check(1.0)
+        watcher.check(1.5)  # still in breach: no second event
+        series.add(2.0, 5.0)
+        watcher.check(2.0)  # recovered: re-armed
+        series.add(3.0, 50.0)
+        watcher.check(3.0)  # second, distinct breach
+
+        assert [b["t"] for b in watcher.breaches] == [1.0, 3.0]
+        breach = watcher.breaches[0]
+        assert breach["slo"] == "lvl"
+        assert breach["value"] == 50.0
+        assert breach["op"] == "<="
+        assert breach["threshold"] == 10.0
+
+    def test_finalize_and_ok(self):
+        registry = _registry_with("level", [(0.0, 5.0), (1.0, 7.0)])
+        good = SLOSpec(name="good", series="level", op="<=",
+                       threshold=10.0)
+        bad = SLOSpec(name="bad", series="level", op="<=",
+                      threshold=6.0)
+        watcher = SLOWatcher(registry, [good, bad])
+        watcher.finalize()
+        assert watcher.final["good"]["ok"] is True
+        assert watcher.final["bad"]["ok"] is False
+        assert watcher.final["bad"]["value"] == 7.0
+        assert watcher.ok is False
+
+    def test_summary_shape(self):
+        registry = _registry_with("level", [(0.0, 1.0)])
+        spec = SLOSpec(name="lvl", series="level", op="<=",
+                       threshold=10.0)
+        watcher = SLOWatcher(registry, [spec])
+        watcher.check(0.0)
+        watcher.finalize()
+        summary = watcher.summary()
+        assert summary["specs"] == [spec.to_dict()]
+        assert summary["breaches"] == []
+        assert summary["final"]["lvl"]["ok"] is True
+        assert summary["ok"] is True
+
+
+class TestCoercion:
+    def test_as_slo_specs(self):
+        assert as_slo_specs(None) == ()
+        spec = SLOSpec(name="n", series="s", op="<=", threshold=1.0)
+        assert as_slo_specs(spec) == (spec,)
+        parsed = as_slo_specs("x <= 1")
+        assert parsed[0].series == "x"
+        mixed = as_slo_specs([spec, "y > 2"])
+        assert mixed[0] is spec and mixed[1].series == "y"
+        with pytest.raises(TypeError):
+            as_slo_specs([42])

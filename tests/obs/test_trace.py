@@ -2,6 +2,7 @@
 
 import json
 
+from repro.des import Environment
 from repro.obs import Tracer
 
 
@@ -59,6 +60,48 @@ class TestTracer:
     def test_ids_are_unique(self):
         tracer = Tracer()
         assert len({tracer.next_id() for _ in range(100)}) == 100
+
+
+class TestWantsSchedule:
+    """The documented ``wants_schedule`` knob: the kernel skips the
+    hot per-event ``schedule`` emit when a tracer turns it off."""
+
+    @staticmethod
+    def _run(tracer):
+        def proc(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+
+        env = Environment(tracer=tracer)
+        env.process(proc(env))
+        env.run()
+
+    def test_default_tracer_records_schedule_events(self):
+        tracer = Tracer()
+        assert Tracer.wants_schedule is True
+        self._run(tracer)
+        assert tracer.counts().get("schedule", 0) > 0
+
+    def test_opt_out_skips_schedule_but_keeps_step(self):
+        class StepOnly(Tracer):
+            wants_schedule = False
+
+        tracer = StepOnly()
+        self._run(tracer)
+        counts = tracer.counts()
+        assert counts.get("schedule", 0) == 0
+        assert counts.get("step", 0) > 0
+
+    def test_opt_out_same_simulation_outcome(self):
+        # Skipping the emit is observational only: both runs execute
+        # the same events to the same final time.
+        full, lean = Tracer(), Tracer()
+        lean.wants_schedule = False
+        self._run(full)
+        self._run(lean)
+        full_steps = [e.time for e in full if e.kind == "step"]
+        lean_steps = [e.time for e in lean if e.kind == "step"]
+        assert full_steps == lean_steps
 
 
 class TestJsonlRoundTrip:

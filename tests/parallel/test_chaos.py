@@ -249,9 +249,13 @@ class TestExternalKills:
             env=_driver_env(plan), cwd=str(tmp_path),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
         try:
+            # Count newline-*terminated* records: a racing read can
+            # observe the prefix of an append in flight, and a partial
+            # trailing line must not count toward readiness (resume
+            # would then legitimately drop it as truncated).
             _wait_until(
                 lambda: journal.exists()
-                and len(journal.read_text().splitlines()) >= 3,
+                and journal.read_text().count("\n") >= 3,
                 timeout=60.0,
                 message="journal never accumulated 3 replicas")
             os.kill(process.pid, signal.SIGKILL)

@@ -95,6 +95,82 @@ class TestCli:
         assert main(["run", exp_id]) == 0
         assert "===" in capsys.readouterr().out
 
+    def test_run_json_surfaces_kernel_counters(self, capsys):
+        assert main(["run", "f1", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        kernel = document["kernel"]
+        assert kernel["events_executed"] > 0
+        assert kernel["events_scheduled"] >= kernel["events_executed"]
+        assert kernel["environments"] >= 1
+        assert kernel["peak_heap_depth"] >= 1
+        # events_per_sec is wall-clock derived and rides beside the
+        # deterministic payload, never inside it.
+        assert "kernel" not in document["report"]
+        assert "events_per_sec" in kernel
+
+    def test_run_probe_records_timeseries(self, capsys):
+        assert main(["run", "r1", "--probe", "0.5", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        stats = document["report"]["stats"]
+        series = [key for key, entry in stats.items()
+                  if entry.get("kind") == "timeseries"]
+        assert any(key.startswith("probe_kernel_") for key in series)
+        assert any(key.startswith("r1_qos") for key in series)
+
+    def test_run_slo_verdict_in_report(self, capsys):
+        assert main(["run", "f1", "--slo",
+                     "probe_kernel_events_executed{env=0}:max <= 1e12",
+                     "--probe", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        slo = document["report"]["slo"]
+        assert slo["ok"] is True
+        assert slo["breaches"] == []
+        assert len(slo["specs"]) == 1
+
+    def test_run_slo_strict_breach_exits_3(self, capsys):
+        assert main(["run", "f1", "--probe", "--slo",
+                     "probe_kernel_events_executed{env=0}:max <= 0",
+                     "--slo-strict"]) == 3
+        captured = capsys.readouterr()
+        assert "SLO breached" in captured.err
+
+    def test_run_invalid_slo_is_usage_error(self, capsys):
+        assert main(["run", "e14", "--slo", "no operator"]) == 2
+        assert "operator" in capsys.readouterr().err
+
+    def test_run_live_requires_replicas(self, capsys):
+        assert main(["run", "e14", "--live"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+
+class TestReportRendering:
+    def test_report_html_from_experiment(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert main(["report", "e14", "--probe",
+                     "--html", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        page = out.read_text(encoding="utf-8")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<svg" in page
+        assert "e14" in page
+
+    def test_report_html_from_json_file(self, tmp_path, capsys):
+        source = tmp_path / "run.json"
+        assert main(["run", "r1", "--probe", "--out",
+                     str(tmp_path), "--json"]) == 0
+        capsys.readouterr()
+        source = tmp_path / "r1.json"
+        out = tmp_path / "dash.html"
+        assert main(["report", str(source), "--html", str(out)]) == 0
+        capsys.readouterr()
+        assert "repro run: r1" in out.read_text(encoding="utf-8")
+
+    def test_report_html_needs_exactly_one_input(self, tmp_path,
+                                                 capsys):
+        out = tmp_path / "dash.html"
+        assert main(["report", "e6", "e14", "--html", str(out)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
 
 class TestCheckCommand:
     def test_check_repo_is_clean_strict(self, capsys):
