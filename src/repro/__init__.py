@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import importlib
 
-__version__ = "1.5.0"
+__version__ = "1.8.0"
 
 #: Subpackages resolved lazily (PEP 562) so ``import repro`` stays
 #: cheap; each appears in ``__all__`` as part of the public surface.

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import heapq
 import math
 import weakref
 from itertools import count
@@ -16,6 +15,7 @@ from repro.des.events import (
     Process,
     Timeout,
 )
+from repro.des.schedulers import SchedulerBackend, make_scheduler
 from repro.obs.context import active_metrics, active_probe, active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -25,6 +25,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["Environment", "EmptySchedule", "KernelCounters",
            "kernel_counters", "last_environment"]
+
+_INF = math.inf
 
 
 class EmptySchedule(Exception):
@@ -137,7 +139,17 @@ class Environment:
     Time is a float in model units (the models in this repository use
     seconds unless stated otherwise).  Events scheduled at equal times are
     ordered by priority, then insertion order, which makes every run with
-    the same seed exactly reproducible.
+    the same seed exactly reproducible — on **every** scheduler backend:
+    the queue entry is the tuple ``(time, priority, seq, event)`` and
+    ``seq`` is unique, so the execution order is a property of the
+    entries, not of the structure holding them.
+
+    The structure itself is pluggable (see :mod:`repro.des.schedulers`):
+    ``scheduler`` accepts a registered backend name (``"heap"``,
+    ``"calendar"``), a :class:`~repro.des.schedulers.SchedulerBackend`
+    instance, or a factory; ``None`` uses the process default
+    (:func:`repro.des.set_default_scheduler`, which is what
+    ``repro run/bench --scheduler NAME`` flips).
 
     Examples
     --------
@@ -160,19 +172,36 @@ class Environment:
         tracer: "Tracer | None" = None,
         metrics: "MetricRegistry | None" = None,
         probe: "Probe | None" = None,
+        scheduler: "str | SchedulerBackend | None" = None,
     ):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._scheduler = make_scheduler(scheduler)
+        # Bound once: the schedule/run hot paths call these without
+        # re-resolving backend attributes per event.
+        self._push = self._scheduler.push
+        self._pop_due = self._scheduler.pop_due
         self._seq = count()
+        self._next_seq = self._seq.__next__
         self._active_process: Process | None = None
         self._n_scheduled = 0
         self._n_executed = 0
         self._peak_heap = 0
+        self._pending = 0
+        self._probe_next = _INF
+        # Fused observability gate: the run loop pays exactly one float
+        # comparison per event (``event_time >= self._hook_next``).
+        # -inf when a tracer is attached (every step traces), the next
+        # probe due-time when only a probe is attached, +inf when
+        # neither.
+        self._hook_next = _INF
+        self._tracer: "Tracer | None" = None
+        self._emit_schedule = False
         _KERNEL.environments += 1
         _LAST_ENV[0] = weakref.ref(self)
         #: Optional :class:`~repro.obs.trace.Tracer`; when ``None``
         #: (the default outside :func:`repro.obs.instrument` blocks)
-        #: every kernel hook is a single ``is None`` test.
+        #: the kernel hot path carries no tracer branches at all —
+        #: only the fused ``_hook_next`` comparison.
         self.tracer = tracer if tracer is not None else active_tracer()
         #: Optional :class:`~repro.obs.metrics.MetricRegistry` that
         #: resources/stores built on this environment report through.
@@ -180,12 +209,13 @@ class Environment:
                         else active_metrics())
         #: Optional :class:`~repro.obs.timeseries.Probe` that snapshots
         #: KPI time series at a sim-time interval.  The hot-path cost
-        #: when absent is one float comparison per step: ``_probe_next``
-        #: stays ``inf`` and the sample branch never runs.
+        #: when absent is the shared ``_hook_next`` comparison:
+        #: ``_probe_next`` stays ``inf`` and the sample branch never
+        #: runs.
         self.probe = probe if probe is not None else active_probe()
-        self._probe_next = math.inf
         if self.probe is not None:
             self._probe_next = self.probe.attach(self)
+            self._refresh_hook_gate()
 
     @property
     def now(self) -> float:
@@ -196,6 +226,35 @@ class Environment:
     def active_process(self) -> Process | None:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def scheduler(self) -> SchedulerBackend:
+        """The scheduler backend holding this environment's queue."""
+        return self._scheduler
+
+    @property
+    def scheduler_name(self) -> str:
+        """Registry name of the active scheduler backend."""
+        return self._scheduler.name
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """Optional tracer; assigning one re-derives the cached hook
+        gates (``_hook_next``, schedule-emit flag) so the hot path
+        stays a single comparison."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: "Tracer | None") -> None:
+        self._tracer = tracer
+        self._emit_schedule = (tracer is not None
+                               and tracer.wants_schedule)
+        self._refresh_hook_gate()
+
+    def _refresh_hook_gate(self) -> None:
+        """Recompute the fused per-step hook threshold."""
+        self._hook_next = (-_INF if self._tracer is not None
+                           else self._probe_next)
 
     # ------------------------------------------------------------------
     # Event creation
@@ -226,44 +285,83 @@ class Environment:
     def schedule(
         self, event: Event, delay: float = 0.0, priority: int = NORMAL
     ) -> None:
-        """Queue ``event`` for processing ``delay`` units from now."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._seq), event),
-        )
+        """Queue ``event`` for processing ``delay`` units from now.
+
+        ``delay`` must be finite and non-negative.  NaN is rejected
+        explicitly: it compares false against everything, so a
+        ``delay < 0`` guard alone would admit it and the NaN timestamp
+        would then poison the queue order nondeterministically (every
+        comparison involving the entry is false, so *where* it
+        surfaces depends on the backend's internal layout).  ``+inf``
+        is rejected for the same reason it is useless: the event could
+        never fire, but would pin ``peek()`` and corrupt the clock if
+        it ever drained.
+        """
+        if not 0.0 <= delay < _INF:
+            if delay < 0.0:
+                raise ValueError(f"negative delay {delay}")
+            raise ValueError(f"non-finite delay {delay}")
+        time = self._now + delay
+        self._push((time, priority, self._next_seq(), event))
         self._n_scheduled += 1
         _KERNEL.events_scheduled += 1
-        depth = len(self._queue)
-        if depth > self._peak_heap:
-            self._peak_heap = depth
-            if depth > _KERNEL.peak_heap_depth:
-                _KERNEL.peak_heap_depth = depth
-        if self.tracer is not None and self.tracer.wants_schedule:
-            self.tracer.emit(
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self._peak_heap:
+            self._peak_heap = pending
+            if pending > _KERNEL.peak_heap_depth:
+                _KERNEL.peak_heap_depth = pending
+        if self._emit_schedule:
+            self._tracer.emit(
                 self._now, "schedule", type(event).__name__,
-                at=self._now + delay, priority=priority,
+                at=time, priority=priority,
+            )
+
+    def _schedule_fast(self, event: Event, time: float) -> None:
+        """Hot-path twin of :meth:`schedule` for pre-validated events.
+
+        Takes the *absolute* timestamp and assumes NORMAL priority;
+        :class:`~repro.des.events.Timeout` calls this after validating
+        its delay once, skipping the re-validation and the
+        ``now + delay`` recomputation a ``schedule()`` round trip
+        would pay.  Keep the bookkeeping in lockstep with
+        :meth:`schedule` — both must count and trace identically.
+        """
+        self._push((time, NORMAL, self._next_seq(), event))
+        self._n_scheduled += 1
+        _KERNEL.events_scheduled += 1
+        pending = self._pending + 1
+        self._pending = pending
+        if pending > self._peak_heap:
+            self._peak_heap = pending
+            if pending > _KERNEL.peak_heap_depth:
+                _KERNEL.peak_heap_depth = pending
+        if self._emit_schedule:
+            self._tracer.emit(
+                self._now, "schedule", type(event).__name__,
+                at=time, priority=NORMAL,
             )
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else math.inf
+        return self._scheduler.peek_time()
 
-    def step(self) -> None:
-        """Process exactly one event (the earliest scheduled one)."""
-        if not self._queue:
-            raise EmptySchedule("no more events")
-        event_time, _, _, event = heapq.heappop(self._queue)
-        self._now = event_time
-        self._n_executed += 1
-        _KERNEL.events_executed += 1
+    def _fire_hooks(self, event_time: float, event: Event) -> None:
+        """Cold half of the fused observability gate.
+
+        Runs only when ``event_time >= self._hook_next``: samples the
+        probe if due (before tracing, preserving the historical order)
+        and emits the step trace record with process attribution.
+        """
         if event_time >= self._probe_next:
             # Passive sim-time probe: snapshots metrics, schedules
             # nothing, so it can never affect event order or keep
             # run(until=None) alive.
             self._probe_next = self.probe.sample(self, event_time)
-        if self.tracer is not None:
+            if self._tracer is None:
+                self._hook_next = self._probe_next
+        tracer = self._tracer
+        if tracer is not None:
             # Attribute the step to every process the event resumes
             # (their _resume bound methods sit in the callback list),
             # so profilers can charge wall time to simulated
@@ -276,22 +374,36 @@ class Environment:
                 if isinstance(bound, Process):
                     owners.append(bound.name)
             if not owners:
-                self.tracer.emit(
+                tracer.emit(
                     event_time, "step", type(event).__name__,
-                    ok=event._ok, pending=len(self._queue),
+                    ok=event._ok, pending=self._pending,
                 )
             elif len(owners) == 1:
-                self.tracer.emit(
+                tracer.emit(
                     event_time, "step", type(event).__name__,
-                    ok=event._ok, pending=len(self._queue),
+                    ok=event._ok, pending=self._pending,
                     proc=owners[0],
                 )
             else:
-                self.tracer.emit(
+                tracer.emit(
                     event_time, "step", type(event).__name__,
-                    ok=event._ok, pending=len(self._queue),
+                    ok=event._ok, pending=self._pending,
                     proc=owners[0], procs=tuple(owners),
                 )
+
+    def step(self) -> None:
+        """Process exactly one event (the earliest scheduled one)."""
+        entry = self._pop_due(_INF)
+        if entry is None:
+            raise EmptySchedule("no more events")
+        event_time = entry[0]
+        event = entry[3]
+        self._now = event_time
+        self._n_executed += 1
+        _KERNEL.events_executed += 1
+        self._pending -= 1
+        if event_time >= self._hook_next:
+            self._fire_hooks(event_time, event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -328,13 +440,19 @@ class Environment:
         ulp after the horizon (``math.nextafter(t, inf)``) stays
         queued.  See ``docs/des_kernel.md`` ("Horizon boundary") and
         ``tests/des/test_run_until_boundary.py`` for the contract.
+
+        **Non-finite horizons.**  ``run(until=float('nan'))`` raises
+        ``ValueError``: NaN slips past an ordering guard (every
+        comparison with NaN is false), would process nothing, and
+        would silently set the clock to NaN — poisoning all subsequent
+        scheduling.  ``run(until=math.inf)`` is legal and equivalent
+        to ``run()``: the queue drains and the clock stops at the last
+        executed event (it is *not* set to infinity, preserving
+        idempotence and the ability to keep scheduling afterwards).
         """
         if until is None:
-            while self._queue:
-                self.step()
-            return None
-
-        if isinstance(until, Event):
+            horizon = _INF
+        elif isinstance(until, Event):
             if until.env is not self:
                 raise ValueError(
                     "run(until=event) got an event from a different "
@@ -342,22 +460,48 @@ class Environment:
                 )
             if until.processed:
                 return until.value
-            while self._queue:
+            while self._pending:
                 self.step()
                 if until.processed:
                     return until.value
             raise EmptySchedule(
                 "event queue drained before the target event triggered"
             )
+        else:
+            horizon = float(until)
+            if math.isnan(horizon):
+                raise ValueError("run(until=nan): horizon must be a "
+                                 "number, not NaN")
+            if horizon < self._now:
+                raise ValueError(
+                    f"cannot run until {horizon}, clock already at "
+                    f"{self._now}"
+                )
 
-        horizon = float(until)
-        if horizon < self._now:
-            raise ValueError(
-                f"cannot run until {horizon}, clock already at {self._now}"
-            )
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
-        self._now = horizon
+        # The fused hot loop.  Mirrors step() exactly (keep the two in
+        # sync); inlined here so the per-event cost is one backend
+        # call, the counter increments and a single hook comparison.
+        pop_due = self._pop_due
+        kernel = _KERNEL
+        while True:
+            entry = pop_due(horizon)
+            if entry is None:
+                break
+            event_time = entry[0]
+            event = entry[3]
+            self._now = event_time
+            self._n_executed += 1
+            kernel.events_executed += 1
+            self._pending -= 1
+            if event_time >= self._hook_next:
+                self._fire_hooks(event_time, event)
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event._defused:
+                raise event._value
+        if horizon < _INF:
+            self._now = horizon
         return None
 
     def perf_stats(self) -> dict[str, int | float]:
@@ -372,9 +516,9 @@ class Environment:
             "events_scheduled": self._n_scheduled,
             "events_executed": self._n_executed,
             "peak_heap_depth": self._peak_heap,
-            "pending": len(self._queue),
+            "pending": self._pending,
             "now": self._now,
         }
 
     def __repr__(self) -> str:
-        return f"Environment(now={self._now}, pending={len(self._queue)})"
+        return f"Environment(now={self._now}, pending={self._pending})"

@@ -20,6 +20,7 @@ familiarly:
 
 from __future__ import annotations
 
+from math import inf
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,7 +53,16 @@ class Event:
     Events move through three states: *pending* (created), *triggered*
     (given a value and placed in the event queue) and *processed* (its
     callbacks have run).  Processes wait for events by yielding them.
+
+    Event records are slab-style: every class in the hierarchy
+    declares ``__slots__``, so instances carry no ``__dict__`` — the
+    five kernel fields live at fixed offsets, which makes the
+    per-event allocation smaller and attribute access on the hot path
+    cheaper.  Subclasses must declare their own ``__slots__`` (an
+    empty tuple when they add no fields).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -119,16 +129,33 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    ``delay`` must be finite and non-negative — NaN and ``inf`` raise
+    ``ValueError`` (a chained ``0 <= delay < inf`` comparison, which
+    NaN fails by comparing false against everything; a bare
+    ``delay < 0`` guard would silently admit it and poison the queue
+    order).  This is the hottest allocation in every model
+    (``env.timeout()``), so the constructor initialises the event
+    fields inline and schedules through the pre-validated
+    ``_schedule_fast`` path instead of ``Event.__init__`` +
+    ``Environment.schedule``.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = float(delay)
-        self._ok = True
+        if not 0.0 <= delay < inf:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            raise ValueError(f"non-finite delay {delay}")
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=self.delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay = float(delay)
+        env._schedule_fast(self, env._now + delay)
 
 
 class Interrupt(Exception):
@@ -147,6 +174,8 @@ class Process(Event):
     terminates, so processes can wait for each other by yielding the
     process object.
     """
+
+    __slots__ = ("_generator", "_name", "_trace_id", "_target")
 
     def __init__(self, env: "Environment", generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -271,6 +300,8 @@ class Condition(Event):
     value is a dict mapping each triggered constituent to its value.
     """
 
+    __slots__ = ("_events", "_evaluate", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -315,12 +346,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Triggered as soon as any constituent event succeeds."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count >= 1)
 
 
 class AllOf(Condition):
     """Triggered once every constituent event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(

@@ -38,6 +38,10 @@ __all__ = ["Request", "Resource", "PriorityRequest", "PriorityResource"]
 class Request(Event):
     """A pending or granted claim on a :class:`Resource`."""
 
+    # _requested_at is only assigned (and only read) when the owning
+    # resource has a wait-time metric; the slot simply reserves it.
+    __slots__ = ("resource", "_requested_at")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -152,6 +156,8 @@ class Resource:
 
 class PriorityRequest(Request):
     """A request with a priority (lower value = more urgent)."""
+
+    __slots__ = ("priority",)
 
     def __init__(self, resource: "PriorityResource", priority: float = 0.0):
         self.priority = float(priority)

@@ -1,0 +1,413 @@
+"""Pluggable scheduler backends for the DES kernel event queue.
+
+The :class:`~repro.des.environment.Environment` hot path is generic
+over a *scheduler backend*: the priority structure that holds pending
+``(time, priority, seq, event)`` entries and yields them in
+non-decreasing ``(time, priority, seq)`` order.  Entries are plain
+tuples, so every backend inherits the same total order for free —
+``seq`` is unique per environment, which means tuple comparison never
+reaches the event object and equal-time behavior is pinned to
+insertion order for **every** backend.  That is what makes the
+cross-backend determinism matrix (`tests/des/test_scheduler_matrix.py`)
+byte-exact rather than merely statistically equivalent.
+
+Two backends ship by default:
+
+* ``heap`` — a binary heap on :mod:`heapq` (C-accelerated,
+  ``O(log n)`` push/pop).  The default, and the strongest general
+  choice at the queue depths most models reach.
+* ``calendar`` — a classic Brown calendar queue (``O(1)`` amortized
+  push/pop on workloads whose event-time distribution is stable):
+  events hash into year-of-buckets by timestamp, buckets sort lazily,
+  and the bucket count/width resize to track the queue size and event
+  spacing.  See ``docs/des_kernel.md`` ("Scheduler backends") for the
+  complexity trade-offs and the resize policy.
+
+Models pick a backend per environment (``Environment(scheduler=...)``)
+or per process (:func:`set_default_scheduler`, what
+``repro run/bench --scheduler NAME`` sets before any environment is
+built).  Third-party backends join via :func:`register_scheduler`; the
+registry pattern follows the ``SimulatorManager`` backend registry in
+the related-work exemplars.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from functools import partial
+from heapq import heappop, heappush
+from math import inf
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "SchedulerBackend",
+    "HeapScheduler",
+    "CalendarQueueScheduler",
+    "register_scheduler",
+    "scheduler_names",
+    "make_scheduler",
+    "default_scheduler",
+    "set_default_scheduler",
+    "use_scheduler",
+]
+
+#: A queue entry: ``(time, priority, seq, event)``.
+Entry = tuple  # (float, int, int, Event)
+
+
+class SchedulerBackend:
+    """Contract every event-queue backend implements.
+
+    The environment caches ``push`` and ``pop_due`` as bound callables
+    at construction, so implementations are free to assign instance
+    attributes shadowing these methods when that is faster (the heap
+    backend binds ``push`` to a :func:`functools.partial` over
+    :func:`heapq.heappush`).
+
+    Invariant: :meth:`pop_due` returns entries in strictly increasing
+    ``(time, priority, seq)`` order, interleaved arbitrarily with
+    pushes of entries whose time is ``>=`` the last popped time (the
+    kernel never schedules into the past).
+    """
+
+    #: Registry name of the backend (class attribute).
+    name = "abstract"
+
+    __slots__ = ()
+
+    def push(self, entry: Entry) -> None:
+        """Insert one entry."""
+        raise NotImplementedError
+
+    def pop_due(self, horizon: float) -> Entry | None:
+        """Remove and return the minimum entry if its time is
+        ``<= horizon``; return ``None`` (without removing anything)
+        when the queue is empty or the minimum lies beyond the
+        horizon.  ``pop_due(math.inf)`` is an unconditional pop."""
+        raise NotImplementedError
+
+    def peek_time(self) -> float:
+        """Time of the minimum entry (``inf`` when empty)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name}) depth={len(self)}>"
+
+
+class HeapScheduler(SchedulerBackend):
+    """Binary-heap backend on :mod:`heapq` — the default.
+
+    ``O(log n)`` push/pop with C-implemented comparisons; hard to beat
+    in CPython below tens of thousands of pending events, which is why
+    it stays the default even with the calendar queue available.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "push")
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+        # Bind the C fast path once: one positional call per push, no
+        # per-event attribute or global lookups.
+        self.push = partial(heappush, self._heap)
+
+    def pop_due(self, horizon: float) -> Entry | None:
+        heap = self._heap
+        if heap and heap[0][0] <= horizon:
+            return heappop(heap)
+        return None
+
+    def peek_time(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else inf
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarQueueScheduler(SchedulerBackend):
+    """Calendar-queue backend (R. Brown, CACM 1988).
+
+    Entries hash into ``nbuckets`` buckets by
+    ``floor(time / width) % nbuckets`` — one *year* spans
+    ``nbuckets * width`` time units.  A push appends to its bucket in
+    ``O(1)``; buckets sort lazily (descending, so the minimum pops off
+    the tail in ``O(1)``) the first time a dequeue inspects them.  A
+    dequeue scans at most one year of buckets from the cursor left by
+    the previous dequeue and falls back to a direct minimum search
+    when a whole year comes up empty (sparse regimes).
+
+    **Resize policy.**  When the population exceeds ``2 * nbuckets``
+    the bucket count doubles; when it falls below ``nbuckets / 2``
+    (and more than the 8-bucket floor remain) it halves.  Each resize
+    re-derives the bucket width from the head of the queue: the mean
+    gap of up to 32 leading entries, doubled — wide enough that a
+    bucket holds a handful of events, narrow enough that a year scan
+    touches few empty buckets.  A degenerate sample (all equal times)
+    keeps the previous width.  Resizing rehashes every entry
+    (``O(n)``), amortized by the doubling schedule.
+
+    The pop order is the same total ``(time, priority, seq)`` order as
+    every other backend — equal-time events cannot land in different
+    buckets, and within a bucket the lazy sort compares full entries —
+    so seeded results are byte-identical to the heap backend's.
+    """
+
+    name = "calendar"
+
+    #: Never shrink below this many buckets.
+    MIN_BUCKETS = 8
+    #: Entries sampled (from the head) to re-derive the width.
+    WIDTH_SAMPLE = 32
+
+    __slots__ = ("_buckets", "_dirty", "_nbuckets", "_width", "_size",
+                 "_last", "_grow_at", "_shrink_at")
+
+    def __init__(self, nbuckets: int = MIN_BUCKETS,
+                 width: float = 1.0) -> None:
+        if nbuckets < 1:
+            raise ValueError(f"nbuckets must be >= 1, got {nbuckets}")
+        if not width > 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._nbuckets = int(nbuckets)
+        self._width = float(width)
+        self._buckets: list[list[Entry]] = [
+            [] for _ in range(self._nbuckets)]
+        self._dirty = [False] * self._nbuckets
+        self._size = 0
+        self._last = -inf
+        self._set_thresholds()
+
+    def _set_thresholds(self) -> None:
+        self._grow_at = 2 * self._nbuckets
+        self._shrink_at = self._nbuckets // 2
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def push(self, entry: Entry) -> None:
+        index = int(entry[0] // self._width) % self._nbuckets
+        self._buckets[index].append(entry)
+        self._dirty[index] = True
+        self._size += 1
+        if self._size > self._grow_at:
+            self._resize(self._nbuckets * 2)
+
+    def _find_min(self) -> tuple[int, Entry] | None:
+        """Locate (without removing) the minimum entry.
+
+        Returns ``(bucket_index, entry)`` with the entry left at the
+        tail of its (descending-sorted) bucket, or ``None`` when
+        empty.
+        """
+        if self._size == 0:
+            return None
+        width = self._width
+        nbuckets = self._nbuckets
+        buckets = self._buckets
+        dirty = self._dirty
+        # Resume the scan where the previous dequeue stopped: the
+        # bucket-year containing the last popped time.  All remaining
+        # entries are >= self._last (the kernel never schedules into
+        # the past), so earlier years are provably empty.
+        if self._last == -inf:
+            year = min(entry[0] for bucket in buckets
+                       for entry in bucket) // width
+        else:
+            year = self._last // width
+        index = int(year) % nbuckets
+        top = (year + 1.0) * width
+        for _ in range(nbuckets):
+            bucket = buckets[index]
+            if bucket:
+                if dirty[index]:
+                    bucket.sort(reverse=True)
+                    dirty[index] = False
+                head = bucket[-1]
+                if head[0] < top:
+                    return index, head
+            index += 1
+            if index == nbuckets:
+                index = 0
+            top += width
+        # A whole year of buckets held nothing due this year: the
+        # queue is sparse relative to the calendar.  Direct search.
+        best_index = -1
+        best_time = inf
+        for index, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            if dirty[index]:
+                bucket.sort(reverse=True)
+                dirty[index] = False
+            head_time = bucket[-1][0]
+            if head_time < best_time:
+                best_time = head_time
+                best_index = index
+        return best_index, buckets[best_index][-1]
+
+    def pop_due(self, horizon: float) -> Entry | None:
+        found = self._find_min()
+        if found is None:
+            return None
+        index, entry = found
+        if entry[0] > horizon:
+            return None
+        self._buckets[index].pop()
+        self._size -= 1
+        self._last = entry[0]
+        if self._size < self._shrink_at \
+                and self._nbuckets > self.MIN_BUCKETS:
+            self._resize(self._nbuckets // 2)
+        return entry
+
+    def peek_time(self) -> float:
+        found = self._find_min()
+        return found[1][0] if found is not None else inf
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Resizing
+    # ------------------------------------------------------------------
+    def _sampled_width(self, entries: list[Entry]) -> float:
+        """Bucket width for the resized calendar: twice the mean gap
+        of the leading entries (Brown's heuristic, simplified)."""
+        sample = sorted(entries)[: self.WIDTH_SAMPLE]
+        if len(sample) < 2:
+            return self._width
+        span = sample[-1][0] - sample[0][0]
+        if span <= 0.0:
+            # All sampled events are simultaneous; any width works.
+            return self._width
+        return 2.0 * span / (len(sample) - 1)
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        self._nbuckets = max(nbuckets, 1)
+        self._width = self._sampled_width(entries)
+        self._buckets = [[] for _ in range(self._nbuckets)]
+        self._dirty = [True] * self._nbuckets
+        self._set_thresholds()
+        width = self._width
+        count = self._nbuckets
+        buckets = self._buckets
+        for entry in entries:
+            buckets[int(entry[0] // width) % count].append(entry)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[[], SchedulerBackend]] = {}
+_DEFAULT = "heap"
+
+
+def register_scheduler(name: str,
+                       factory: Callable[[], SchedulerBackend], *,
+                       replace: bool = False) -> None:
+    """Register a backend ``factory`` (a zero-argument callable —
+    typically the class) under ``name``.
+
+    Registering an already-taken name raises ``ValueError`` unless
+    ``replace=True`` — silently shadowing a backend would silently
+    change seeded execution order for everyone selecting it by name.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"scheduler name must be a non-empty string, "
+                         f"got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"scheduler backend {name!r} is already "
+                         f"registered (pass replace=True to shadow it)")
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} is not callable")
+    _REGISTRY[name] = factory
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_scheduler(spec: Any = None) -> SchedulerBackend:
+    """Resolve ``spec`` into a fresh backend instance.
+
+    ``None`` builds the process default (:func:`default_scheduler`);
+    a string looks up the registry; an existing
+    :class:`SchedulerBackend` passes through; any other callable is
+    invoked as a factory.
+    """
+    if spec is None:
+        spec = _DEFAULT
+    if isinstance(spec, SchedulerBackend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = _REGISTRY[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler backend {spec!r}; registered: "
+                f"{', '.join(scheduler_names())}"
+            ) from None
+        return factory()
+    if callable(spec):
+        backend = spec()
+        if not isinstance(backend, SchedulerBackend):
+            raise TypeError(
+                f"scheduler factory returned {type(backend).__name__}, "
+                f"not a SchedulerBackend")
+        return backend
+    raise TypeError(f"scheduler must be a name, backend instance or "
+                    f"factory, got {type(spec).__name__}")
+
+
+def default_scheduler() -> str:
+    """Name of the process-wide default backend."""
+    return _DEFAULT
+
+
+def set_default_scheduler(name: str) -> str:
+    """Make ``name`` the default for every subsequently constructed
+    :class:`~repro.des.Environment`; returns the previous default.
+
+    This is what ``repro run/bench --scheduler NAME`` calls before
+    running anything: experiments build environments deep inside
+    library code, so the backend choice travels ambiently (and, via
+    fork, into :mod:`repro.parallel` worker processes).
+    """
+    global _DEFAULT
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown scheduler backend {name!r}; registered: "
+            f"{', '.join(scheduler_names())}")
+    previous = _DEFAULT
+    _DEFAULT = name
+    return previous
+
+
+@contextmanager
+def use_scheduler(name: str) -> Iterator[str]:
+    """Context manager: ``name`` becomes the default inside the block.
+
+    >>> from repro.des import Environment, use_scheduler
+    >>> with use_scheduler("calendar") as active:
+    ...     Environment().scheduler_name == active
+    True
+    """
+    previous = set_default_scheduler(name)
+    try:
+        yield name
+    finally:
+        set_default_scheduler(previous)
+
+
+register_scheduler(HeapScheduler.name, HeapScheduler)
+register_scheduler(CalendarQueueScheduler.name, CalendarQueueScheduler)

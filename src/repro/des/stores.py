@@ -29,6 +29,8 @@ __all__ = ["StorePut", "StoreGet", "Store", "FiniteQueue"]
 class StorePut(Event):
     """Pending insertion of ``item`` into a store."""
 
+    __slots__ = ("item", "store")
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -52,6 +54,10 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending retrieval of an item from a store."""
+
+    # _requested_at is only assigned (and only read) when the store has
+    # a get-wait metric; the slot simply reserves it.
+    __slots__ = ("store", "_requested_at")
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)

@@ -56,6 +56,7 @@ def simulate_lifetime(
     fault_plan: dict[int, list[tuple[int, str]]] | None = None,
     route_repair: bool = True,
     traffic_pairs: int | None = None,
+    track_drain: bool = True,
 ) -> LifetimeResult:
     """Drive random sessions until the death threshold or session cap.
 
@@ -88,6 +89,15 @@ def simulate_lifetime(
         pairs (hotspot traffic, e.g. a handful of media flows) instead
         of uniformly random pairs; fixed pairs exercise the route
         cache heavily, which is what makes stale routes hurt.
+    track_drain:
+        When True (default), close each node's session window into
+        its EWMA drain-rate estimate after every session — the state
+        :class:`~repro.manet.routing.LifetimePredictionRouting`
+        reads.  Protocols that never consult drain predictions
+        (min-power, battery-cost) can pass False to skip the
+        per-session fold; routing decisions, energy accounting and
+        results are unchanged, only ``drain_rate``/``window_energy``
+        on the nodes are left unmaintained.
     """
     if not 0.0 < death_fraction <= 1.0:
         raise ValueError("death_fraction must lie in (0, 1]")
@@ -99,6 +109,7 @@ def simulate_lifetime(
     threshold = math.ceil(death_fraction * n_nodes)
 
     pairs: list[tuple[int, int]] | None = None
+    pair_indices = None
     if traffic_pairs is not None:
         if traffic_pairs < 1:
             raise ValueError("traffic_pairs must be >= 1")
@@ -106,6 +117,14 @@ def simulate_lifetime(
         for _ in range(traffic_pairs):
             a, b = rng.choice(node_ids, size=2, replace=False)
             pairs.append((int(a), int(b)))
+        # Pre-draw every session's pair index in one vectorized call:
+        # numpy's bounded-integer sampling consumes the bit stream one
+        # value at a time, so this sequence is bit-identical to a
+        # scalar draw per session — and after pair setup nothing else
+        # reads this rng, so drawing past an early break is
+        # unobservable.  ``.tolist()`` yields plain ints (faster list
+        # indices than numpy scalars).
+        pair_indices = rng.integers(len(pairs), size=n_sessions).tolist()
 
     delivered = 0
     failed = 0
@@ -116,11 +135,40 @@ def simulate_lifetime(
     n_fault_events = 0
     stale_failures = 0
     route_cache: dict[tuple[int, int], tuple[list[int], int]] = {}
+    nodes = network.nodes
+    # The lifetime definition counts deaths "as a result of energy
+    # exhaustion" — a transiently faulted node with charge left is out
+    # of service, not dead.  Batteries only ever drain (repair does not
+    # recharge), so the energy-dead set grows monotonically and is
+    # maintained incrementally: seeded here, extended with each
+    # session's newly dead instead of rescanned per session.
+    energy_dead: set[int] = {
+        node_id for node_id in node_ids
+        if nodes[node_id].battery <= 0.0
+    }
+
+    # Session index of the most recent aliveness change (fault event
+    # or energy death); cached routes validated after it need no
+    # member-aliveness rescan.
+    last_aliveness_change = 0
+    # Only route members are ever charged energy (forwarding, RX and
+    # control overhead), so only they can accumulate window energy or
+    # a drain-rate estimate; the per-session EWMA fold walks this set
+    # instead of every node (folding an untouched node is an exact
+    # no-op).  Insertion-ordered, but fold order is immaterial: each
+    # fold touches one node.
+    touched: dict[int, object] = {}
+    # Per-route forwarding plans (hop nodes + energies), keyed on the
+    # route list's identity: positions are constant for the duration
+    # of this call and cached routes are reused by object, so the
+    # per-hop distance/radio work happens once per discovered route.
+    # The route is kept in the value to pin its id against reuse.
+    hop_plans: dict[int, tuple[list[int], list]] = {}
 
     for session in range(1, n_sessions + 1):
         if fault_plan:
-            for node_id, action in fault_plan.get(session, []):
-                node = network.node(node_id)
+            for node_id, action in fault_plan.get(session) or ():
+                node = nodes[node_id]
                 if action == "fail":
                     node.fail()
                 elif action == "repair":
@@ -128,42 +176,54 @@ def simulate_lifetime(
                 else:
                     raise ValueError(f"unknown fault action {action!r}")
                 n_fault_events += 1
-        alive_before = {
-            n.node_id for n in network.alive_nodes()
-        }
-        # The lifetime definition counts deaths "as a result of energy
-        # exhaustion" — a transiently faulted node with charge left is
-        # out of service, not dead.
-        energy_dead_before = {
-            node_id for node_id in node_ids
-            if network.node(node_id).battery <= 0.0
-        }
-        if len(energy_dead_before) >= threshold:
+                last_aliveness_change = session
+        if len(energy_dead) >= threshold:
             lifetime = session - 1
             break
         if pairs is not None:
-            src, dst = pairs[int(rng.integers(len(pairs)))]
+            src, dst = pairs[pair_indices[session - 1]]
         else:
             src, dst = rng.choice(node_ids, size=2, replace=False)
             src, dst = int(src), int(dst)
-        if src not in alive_before or dst not in alive_before:
+        endpoint = nodes[src]
+        if endpoint.battery <= 0.0 or endpoint.failed:
+            failed += 1
+            continue
+        endpoint = nodes[dst]
+        if endpoint.battery <= 0.0 or endpoint.failed:
             failed += 1
             continue
 
         cached = route_cache.get((src, dst))
-        if cached is not None and session - cached[1] < reroute_every \
-                and (not route_repair
-                     or all(network.node(n).alive for n in cached[0])):
+        if cached is not None and session - cached[1] < reroute_every:
             route = cached[0]
+            # All members were alive when the route was found; a
+            # rescan (inlined ManetNode.alive) is only needed if
+            # aliveness changed anywhere since then.
+            if route_repair and cached[1] <= last_aliveness_change:
+                for node_id in route:
+                    node = nodes[node_id]
+                    if node.battery <= 0.0 or node.failed:
+                        route = None
+                        break
         else:
+            route = None
+        if route is None:
             route = protocol.find_route(network, src, dst)
             if route is not None:
                 route_cache[(src, dst)] = (route, session)
         if route is None:
             failed += 1
             continue
+        for node_id in route:
+            if node_id not in touched:
+                touched[node_id] = nodes[node_id]
 
-        energy, ok = network.forward_partial(route, bits_per_session)
+        entry = hop_plans.get(id(route))
+        if entry is None or entry[0] is not route:
+            entry = (route, network.hop_plan(route, bits_per_session))
+            hop_plans[id(route)] = entry
+        energy, ok = network.forward_plan(entry[1])
         total_energy += energy
         if not ok:
             # The route broke mid-transfer (stale cache over a dead
@@ -180,15 +240,28 @@ def simulate_lifetime(
                 total_energy += overhead
             delivered += 1
 
-        for node in network.alive_nodes():
-            node.end_window()
+        if track_drain:
+            for node in touched.values():
+                # Inlined ManetNode.alive / end_window — the same EWMA
+                # fold, minus ~2 method calls per node per session.
+                if node.battery > 0.0 and not node.failed:
+                    node.drain_rate = (
+                        node._ewma_alpha * node.window_energy
+                        + (1 - node._ewma_alpha) * node.drain_rate
+                    )
+                    node.window_energy = 0.0
 
+        # Only nodes on this session's route spent energy (forwarding,
+        # RX and control overhead all charge route members), so the
+        # death scan is confined to them.
         newly_dead = [
-            node_id for node_id in node_ids
-            if node_id not in energy_dead_before
-            and network.node(node_id).battery <= 0.0
+            node_id for node_id in route
+            if node_id not in energy_dead
+            and nodes[node_id].battery <= 0.0
         ]
         if newly_dead:
+            last_aliveness_change = session
+            energy_dead.update(newly_dead)
             deaths.extend([session] * len(newly_dead))
             if first_death is None:
                 first_death = session

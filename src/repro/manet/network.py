@@ -10,6 +10,21 @@ from repro.utils.rng import spawn_rng
 
 __all__ = ["ManetNetwork", "random_network"]
 
+# Module-level caches shared across ManetNetwork instances.  A fault
+# sweep runs many simulations over identically-seeded (same positions,
+# same radio) networks, so keys carry everything a value depends on —
+# radio model (frozen dataclass, hashable), tx_range, node ids and
+# positions — and hits are exact across instances.
+#
+# _FULL_EDGES: all-pairs in-range edge list for a node layout,
+# regardless of aliveness: (a_id, b_id, distance, tx_energy_unit).
+# _GRAPHS: built connectivity graphs per alive subset.  Graph-level
+# annotations the routing protocols attach (e.g. min-power route
+# memos) are pure functions of topology + radio, so sharing them is
+# exact too.
+_FULL_EDGES: dict[tuple, list[tuple[int, int, float, float]]] = {}
+_GRAPHS: dict[tuple, nx.Graph] = {}
+
 
 class ManetNetwork:
     """A set of nodes within radio range of each other.
@@ -37,6 +52,13 @@ class ManetNetwork:
         self.nodes = {n.node_id: n for n in nodes}
         self.radio = radio or RadioModel()
         self.tx_range = tx_range
+        # Pure-function memos over the radio model: TX energy keyed on
+        # (bits, distance), RX energy keyed on bits.  Distances repeat
+        # exactly while positions are static, and the values are
+        # recomputed (not guessed) on any new distance, so the caches
+        # stay exact under mobility too.
+        self._tx_energy_cache: dict[tuple[float, float], float] = {}
+        self._rx_energy_cache: dict[float, float] = {}
 
     def node(self, node_id: int) -> ManetNode:
         """Look up a node."""
@@ -51,16 +73,67 @@ class ManetNetwork:
         return len(self.alive_nodes()) / len(self.nodes)
 
     def connectivity_graph(self) -> nx.Graph:
-        """Undirected graph of links between alive nodes in range."""
+        """Undirected graph of links between alive nodes in range.
+
+        Each edge carries ``distance`` and ``tx_energy_unit`` (the TX
+        energy for one bit across it, precomputed so routing metrics
+        never re-evaluate the radio model per Dijkstra relaxation).
+
+        Graphs are cached (module-wide, keyed on radio, range, alive
+        nodes and positions — the only inputs), so battery drain
+        between topology changes, fail→repair cycles that restore an
+        earlier topology, and identically-seeded sibling networks in a
+        sweep all reuse a built graph instead of an O(n^2) rebuild.
+        Callers share the cached instance: annotating extra edge/graph
+        attributes is fine (the routing protocols do), mutating its
+        structure is not.
+        """
+        radio = self.radio
+        tx_range = self.tx_range
+        alive_key = tuple(
+            (n.node_id, n.x, n.y)
+            for n in self.nodes.values()
+            if n.battery > 0.0 and not n.failed
+        )
+        key = (radio, tx_range, alive_key)
+        graph = _GRAPHS.get(key)
+        if graph is not None:
+            return graph
+        # All-pairs edge precompute for this layout: pairs are walked
+        # in node order here and filtered by aliveness below, the same
+        # relative (and therefore adjacency-insertion) order the naive
+        # alive×alive loop produced — Dijkstra tie-breaks are
+        # insertion-order-sensitive, so this must not change.
+        full_key = (radio, tx_range,
+                    tuple((n.node_id, n.x, n.y)
+                          for n in self.nodes.values()))
+        edges = _FULL_EDGES.get(full_key)
+        if edges is None:
+            everyone = list(self.nodes.values())
+            tx_energy = radio.tx_energy
+            edges = []
+            for i, a in enumerate(everyone):
+                for b in everyone[i + 1:]:
+                    distance = a.distance_to(b)
+                    if distance <= tx_range:
+                        edges.append((a.node_id, b.node_id, distance,
+                                      tx_energy(1.0, distance)))
+            if len(_FULL_EDGES) >= 64:
+                # Mobility workloads never repeat a layout; bound the
+                # cache instead of holding every historic one.
+                _FULL_EDGES.clear()
+            _FULL_EDGES[full_key] = edges
+        alive_ids = {node_id for node_id, _, _ in alive_key}
         graph = nx.Graph()
-        alive = self.alive_nodes()
-        graph.add_nodes_from(n.node_id for n in alive)
-        for i, a in enumerate(alive):
-            for b in alive[i + 1:]:
-                distance = a.distance_to(b)
-                if distance <= self.tx_range:
-                    graph.add_edge(a.node_id, b.node_id,
-                                   distance=distance)
+        graph.add_nodes_from(node_id for node_id, _, _ in alive_key)
+        add_edge = graph.add_edge
+        for a_id, b_id, distance, unit in edges:
+            if a_id in alive_ids and b_id in alive_ids:
+                add_edge(a_id, b_id, distance=distance,
+                         tx_energy_unit=unit)
+        if len(_GRAPHS) >= 2048:
+            _GRAPHS.clear()
+        _GRAPHS[key] = graph
         return graph
 
     def is_connected(self) -> bool:
@@ -79,17 +152,30 @@ class ManetNetwork:
         """
         if len(route) < 2:
             raise ValueError("route needs at least two nodes")
+        nodes = self.nodes
+        tx_cache = self._tx_energy_cache
+        radio = self.radio
+        rx = 0.0
+        if count_rx:
+            rx = self._rx_energy_cache.get(bits, -1.0)
+            if rx < 0.0:
+                rx = self._rx_energy_cache[bits] = radio.rx_energy(bits)
         total = 0.0
         for src_id, dst_id in zip(route, route[1:]):
-            src = self.nodes[src_id]
-            dst = self.nodes[dst_id]
+            src = nodes[src_id]
+            dst = nodes[dst_id]
             distance = src.distance_to(dst)
-            tx = self.radio.tx_energy(bits, distance)
-            src.consume(tx)
+            tx = tx_cache.get((bits, distance), -1.0)
+            if tx < 0.0:
+                tx = tx_cache[(bits, distance)] = radio.tx_energy(
+                    bits, distance)
+            # Inlined ManetNode.consume (plain attribute math).
+            src.battery -= tx
+            src.window_energy += tx
             total += tx
             if count_rx:
-                rx = self.radio.rx_energy(bits)
-                dst.consume(rx)
+                dst.battery -= rx
+                dst.window_energy += rx
                 total += rx
         return total
 
@@ -103,20 +189,89 @@ class ManetNetwork:
         """
         if len(route) < 2:
             raise ValueError("route needs at least two nodes")
+        nodes = self.nodes
+        tx_cache = self._tx_energy_cache
+        radio = self.radio
+        rx = 0.0
+        if count_rx:
+            rx = self._rx_energy_cache.get(bits, -1.0)
+            if rx < 0.0:
+                rx = self._rx_energy_cache[bits] = radio.rx_energy(bits)
         total = 0.0
         for src_id, dst_id in zip(route, route[1:]):
-            src = self.nodes[src_id]
-            dst = self.nodes[dst_id]
-            if not src.alive:
+            src = nodes[src_id]
+            dst = nodes[dst_id]
+            # Inlined ManetNode.alive / consume (hot path: one check
+            # and two attribute updates per hop).
+            if src.battery <= 0.0 or src.failed:
                 return total, False
-            tx = self.radio.tx_energy(bits, src.distance_to(dst))
-            src.consume(tx)
+            distance = src.distance_to(dst)
+            tx = tx_cache.get((bits, distance), -1.0)
+            if tx < 0.0:
+                tx = tx_cache[(bits, distance)] = radio.tx_energy(
+                    bits, distance)
+            src.battery -= tx
+            src.window_energy += tx
             total += tx
-            if not dst.alive:
+            if dst.battery <= 0.0 or dst.failed:
                 return total, False
             if count_rx:
-                rx = self.radio.rx_energy(bits)
-                dst.consume(rx)
+                dst.battery -= rx
+                dst.window_energy += rx
+                total += rx
+        return total, True
+
+    def hop_plan(self, route: list[int], bits: float,
+                 count_rx: bool = True
+                 ) -> list[tuple[ManetNode, ManetNode, float, float]]:
+        """Precompute per-hop ``(src, dst, tx_energy, rx_energy)`` for
+        forwarding ``bits`` along ``route``.
+
+        A plan is valid while node positions are unchanged (energies
+        are pure functions of distance); aliveness and batteries are
+        read live at execution time by :meth:`forward_plan`, so a plan
+        may be executed many times — the point: session drivers that
+        reuse cached routes skip the per-hop distance/radio work.
+        """
+        if len(route) < 2:
+            raise ValueError("route needs at least two nodes")
+        nodes = self.nodes
+        tx_cache = self._tx_energy_cache
+        radio = self.radio
+        rx = 0.0
+        if count_rx:
+            rx = self._rx_energy_cache.get(bits, -1.0)
+            if rx < 0.0:
+                rx = self._rx_energy_cache[bits] = radio.rx_energy(bits)
+        plan = []
+        for src_id, dst_id in zip(route, route[1:]):
+            src = nodes[src_id]
+            dst = nodes[dst_id]
+            distance = src.distance_to(dst)
+            tx = tx_cache.get((bits, distance), -1.0)
+            if tx < 0.0:
+                tx = tx_cache[(bits, distance)] = radio.tx_energy(
+                    bits, distance)
+            plan.append((src, dst, tx, rx))
+        return plan
+
+    def forward_plan(self, plan, count_rx: bool = True
+                     ) -> tuple[float, bool]:
+        """Execute a :meth:`hop_plan`: same semantics (and float-level
+        arithmetic) as :meth:`forward_partial` over the plan's route.
+        """
+        total = 0.0
+        for src, dst, tx, rx in plan:
+            if src.battery <= 0.0 or src.failed:
+                return total, False
+            src.battery -= tx
+            src.window_energy += tx
+            total += tx
+            if dst.battery <= 0.0 or dst.failed:
+                return total, False
+            if count_rx:
+                dst.battery -= rx
+                dst.window_energy += rx
                 total += rx
         return total, True
 

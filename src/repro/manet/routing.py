@@ -65,14 +65,24 @@ class MinimumPowerRouting(RoutingProtocol):
         graph = self._graph(network)
         if src not in graph or dst not in graph:
             return None
-
-        def weight(u, v, data):
-            return network.radio.tx_energy(1.0, data["distance"])
-
+        # Min-power link costs depend only on the topology, so for a
+        # given connectivity graph the (src, dst) route is a pure
+        # function — memoize it on the graph itself (graph-level attr
+        # dict), which the network rebuilds on every topology change.
+        memo = graph.graph.setdefault("_min_power_routes", {})
+        route = memo.get((src, dst), False)
+        if route is not False:
+            return route
+        # tx_energy_unit is precomputed per edge at graph build (the
+        # same radio.tx_energy(1.0, distance) value this protocol used
+        # to evaluate per relaxation).
         try:
-            return nx.dijkstra_path(graph, src, dst, weight=weight)
+            route = nx.dijkstra_path(graph, src, dst,
+                                     weight="tx_energy_unit")
         except nx.NetworkXNoPath:
-            return None
+            route = None
+        memo[(src, dst)] = route
+        return route
 
 
 class BatteryCostRouting(RoutingProtocol):
@@ -93,8 +103,7 @@ class BatteryCostRouting(RoutingProtocol):
 
         def weight(u, v, data):
             residual = max(network.node(u).residual_fraction, 1e-6)
-            energy = network.radio.tx_energy(1.0, data["distance"])
-            return energy / residual
+            return data["tx_energy_unit"] / residual
 
         try:
             return nx.dijkstra_path(graph, src, dst, weight=weight)
@@ -147,9 +156,7 @@ class LifetimePredictionRouting(RoutingProtocol):
         # lifetime criterion then arbitrates among them.
         for u, v, data in graph.edges(data=True):
             residual = max(network.node(u).residual_fraction, 1e-6)
-            data["tx_energy"] = network.radio.tx_energy(
-                1.0, data["distance"]
-            ) / residual
+            data["tx_energy"] = data["tx_energy_unit"] / residual
         try:
             candidates = []
             for path in nx.shortest_simple_paths(

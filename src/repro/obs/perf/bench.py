@@ -23,6 +23,7 @@ committed, diffed and gated (see :mod:`repro.obs.perf.compare`).
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import statistics
@@ -91,6 +92,12 @@ def _timed_run(payload: tuple) -> tuple:
     from repro.des import kernel_counters
 
     exp_id, seed = payload
+    # Finalize leftovers from earlier runs in this process before the
+    # reset: suspended simulation generators schedule cleanup events
+    # when the cycle collector frees them, and those increments would
+    # otherwise land in this repetition's snapshot (same hygiene as
+    # the replica worker in repro.parallel.engine).
+    gc.collect()
     counters = kernel_counters()
     counters.reset()
     start = perf_counter()
@@ -139,6 +146,9 @@ def measure_experiment(exp_id: str, *, repeat: int = 3,
         counters = kernel_counters()
         samples = []
         for _ in range(repeat):
+            # Same pre-reset finalization as _timed_run: keep earlier
+            # repetitions' GC side effects out of this snapshot.
+            gc.collect()
             counters.reset()
             start = perf_counter()
             result = run_replicated(exp_id, replicas=replicas,
@@ -192,7 +202,7 @@ def measure_experiment(exp_id: str, *, repeat: int = 3,
 
 def run_bench(ids: Sequence[str], *, repeat: int = 3, seed: int = 0,
               workers: int = 1, replicas: int = 1,
-              live: bool = False,
+              live: bool = False, scheduler: str | None = None,
               progress: Callable[[str], None] | None = None
               ) -> dict[str, Any]:
     """Measure ``ids`` and assemble the full bench document.
@@ -200,7 +210,10 @@ def run_bench(ids: Sequence[str], *, repeat: int = 3, seed: int = 0,
     ``live`` streams per-replica progress to stderr while each
     replicated repetition runs (display only; ignored when
     ``replicas == 1`` since plain repetitions have no sweep to
-    watch).
+    watch).  ``scheduler`` names the DES backend the measurements ran
+    under; recorded in ``meta`` when it is not the default so
+    per-backend documents are distinguishable (stripped for payload
+    comparison — backends are byte-equivalent by contract).
     """
     records = []
     for exp_id in ids:
@@ -222,6 +235,8 @@ def run_bench(ids: Sequence[str], *, repeat: int = 3, seed: int = 0,
         meta["replicas"] = replicas
     if workers > 1:
         meta["workers"] = workers
+    if scheduler is not None and scheduler != "heap":
+        meta["scheduler"] = scheduler
     return {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
@@ -321,6 +336,9 @@ def strip_timings(document: dict[str, Any]) -> dict[str, Any]:
     meta = stripped.get("meta")
     if isinstance(meta, dict):
         meta.pop("workers", None)
+        # Scheduler backends are byte-equivalent by contract, so the
+        # backend is execution geometry too.
+        meta.pop("scheduler", None)
     for record in stripped.get("experiments", []):
         for field in TIMING_FIELDS:
             record.pop(field, None)

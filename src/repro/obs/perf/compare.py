@@ -4,9 +4,11 @@
 its **median wall time**: a positive delta beyond the threshold is a
 regression, a negative one an improvement.  When the executed-event
 counts differ between the documents the workload itself changed (new
-code simulates more or less), so the wall-time verdict is advisory
-and the row is flagged ``workload_changed`` — the delta report still
-shows the throughput change (events/sec) for those rows.
+code simulates more or less), so the row is flagged
+``workload_changed`` and judged on the throughput change (events/sec)
+instead; if either side reports no event rate (``events_per_sec`` is
+null for experiments that never touch the DES kernel) the wall-time
+verdict still applies — a row is never left ungated.
 
 ``repro bench --compare OLD.json`` prints the delta table and exits
 non-zero when any regression exceeds the threshold, which is what the
@@ -143,12 +145,13 @@ def compare_documents(old: dict[str, Any], new: dict[str, Any], *,
             if old_rate and new_rate else None
         )
         # A changed workload makes raw wall time incomparable; gate on
-        # throughput when both sides report it, else advisory only.
-        if workload_changed:
-            regressed = (rate_delta is not None
-                         and -rate_delta > threshold_pct)
-            improved = (rate_delta is not None
-                        and rate_delta > threshold_pct)
+        # throughput when both sides report it.  When either side has
+        # no event rate (``events_per_sec`` is null for kernel-less
+        # experiments), fall back to the wall-time verdict — leaving
+        # the row ungated would let any regression through silently.
+        if workload_changed and rate_delta is not None:
+            regressed = -rate_delta > threshold_pct
+            improved = rate_delta > threshold_pct
         else:
             regressed = delta_pct > threshold_pct
             improved = -delta_pct > threshold_pct

@@ -97,7 +97,8 @@ class TimeSeries(Metric):
         if not math.isfinite(value):
             return
         self.n_samples += 1
-        index = math.floor(t / self.width)
+        # self.width, inlined (hot path: one call per sample).
+        index = math.floor(t / (self.base_width * (1 << self.level)))
         bin_ = self._bins.get(index)
         if bin_ is None:
             self._bins[index] = [1.0, value, value, value]

@@ -249,6 +249,9 @@ def manet_qos(
         n_sessions=n_sessions, bits_per_session=bits_per_session,
         seed=seed + 1, reroute_every=50, traffic_pairs=8,
         fault_plan=plan, route_repair=resilient,
+        # Min-power routing never reads drain predictions; skip the
+        # per-session EWMA maintenance.
+        track_drain=False,
     )
     return QosPoint(fault_rate=fault_rate,
                     qos=result.delivered / n_sessions,

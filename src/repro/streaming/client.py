@@ -114,6 +114,17 @@ class DvfsVideoClient:
         self.max_gain_db = max_gain_db
         self.dvfs_enabled = dvfs_enabled
         self.outcomes: list[SlotOutcome] = []
+        # Running energy totals, folded in outcome-append order — the
+        # same left-to-right float additions ``sum(...)`` over the
+        # outcome list performs, so the aggregates are bit-identical
+        # while per-frame telemetry reads them in O(1) instead of
+        # re-summing the session so far (quadratic in frames).
+        self._rx_energy_total = 0.0
+        self._compute_energy_total = 0.0
+        # Lazily-computed _required_enh_fraction (a constant of the
+        # configuration); None until first use so the unreachable-PSNR
+        # error still surfaces on first decode, not construction.
+        self._required_enh: float | None = None
 
     # ------------------------------------------------------------------
     def _required_enh_fraction(self) -> float:
@@ -132,9 +143,13 @@ class DvfsVideoClient:
         if not self.dvfs_enabled:
             return self.dvfs.fastest()
         period = 1.0 / self.fps
+        required = self._required_enh
+        if required is None:
+            required = self._required_enh = \
+                self._required_enh_fraction()
         must_decode = self.decoder.cycles(
             frame.base_bits,
-            self._required_enh_fraction() * frame.enhancement_bits,
+            required * frame.enhancement_bits,
         )
         point = self.dvfs.slowest_point_meeting(must_decode, period)
         return point if point is not None else self.dvfs.fastest()
@@ -185,6 +200,8 @@ class DvfsVideoClient:
             normalized_load=received_cycles / available_cycles,
         )
         self.outcomes.append(outcome)
+        self._rx_energy_total += outcome.rx_energy
+        self._compute_energy_total += outcome.compute_energy
         return outcome
 
     def skip_frame(self, frame: FgsFrame,
@@ -210,6 +227,8 @@ class DvfsVideoClient:
             normalized_load=0.0,
         )
         self.outcomes.append(outcome)
+        self._rx_energy_total += outcome.rx_energy
+        self._compute_energy_total += outcome.compute_energy
         return outcome
 
     # ------------------------------------------------------------------
@@ -217,11 +236,11 @@ class DvfsVideoClient:
     # ------------------------------------------------------------------
     def total_rx_energy(self) -> float:
         """Communication energy over the session, joules."""
-        return sum(o.rx_energy for o in self.outcomes)
+        return self._rx_energy_total
 
     def total_compute_energy(self) -> float:
         """Decode energy over the session, joules."""
-        return sum(o.compute_energy for o in self.outcomes)
+        return self._compute_energy_total
 
     def mean_psnr(self) -> float:
         """Average delivered quality, dB."""

@@ -117,18 +117,21 @@ class FgsSource:
         self._rng = spawn_rng(seed, "fgs-source")
         self._log_state = 0.0
         self._index = 0
+        # AR(1) lognormal constants, hoisted out of the per-frame path
+        # (cv and correlation are fixed at construction).
+        self._sigma2 = math.log(1 + complexity_cv**2)
+        self._innovation_std = math.sqrt(
+            self._sigma2 * (1 - correlation**2))
 
     def _next_complexity(self) -> float:
         """AR(1) lognormal multiplier with unit mean."""
         if self.complexity_cv == 0:
             return 1.0
-        sigma2 = math.log(1 + self.complexity_cv**2)
-        innovation_std = math.sqrt(sigma2 * (1 - self.correlation**2))
         self._log_state = (
             self.correlation * self._log_state
-            + self._rng.normal(0.0, innovation_std)
+            + self._rng.normal(0.0, self._innovation_std)
         )
-        return math.exp(self._log_state - sigma2 / 2.0)
+        return math.exp(self._log_state - self._sigma2 / 2.0)
 
     def next_frame(self) -> FgsFrame:
         """Generate the next frame."""

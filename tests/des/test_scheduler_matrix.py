@@ -1,0 +1,64 @@
+"""Cross-backend determinism matrix.
+
+The scheduler-backend contract (``docs/des_kernel.md``, "Scheduler
+backends") is byte-exactness, not statistical equivalence: because
+queue entries are ``(time, priority, seq, event)`` tuples with a
+unique ``seq``, every backend pops the same total order, so a seeded
+experiment's payload — after :func:`strip_timings` removes host
+timings and execution geometry — must be sha-identical whichever
+backend ran it.  This matrix pins that for cheap experiments; the CI
+bench job extends it to the heavyweight ones (see
+``benchmarks/bench_parallel_equivalence.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.des import scheduler_names, use_scheduler
+from repro.experiments import registry
+from repro.parallel import run_replicated
+
+EXPERIMENTS = ["e1", "e14", "f1"]
+BACKENDS = ["heap", "calendar"]
+
+
+def _run_stripped(exp_id: str, backend: str) -> str:
+    with use_scheduler(backend):
+        result = registry.run(exp_id)
+    return json.dumps(result.strip_timings(), sort_keys=True,
+                      default=str)
+
+
+class TestBackendInvariance:
+    @pytest.mark.parametrize("exp_id", EXPERIMENTS)
+    def test_calendar_matches_heap_byte_identical(self, exp_id):
+        assert (_run_stripped(exp_id, "calendar")
+                == _run_stripped(exp_id, "heap"))
+
+    def test_matrix_covers_every_registered_backend(self):
+        # A new backend must join this matrix to ship: the assertion
+        # fails the moment one is registered without being listed.
+        assert sorted(BACKENDS) == sorted(scheduler_names())
+
+
+class TestBackendTimesWorkerInvariance:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_workers_1_vs_4_byte_identical_per_backend(self, backend):
+        # The backend choice travels into forked workers via the
+        # process default, so the replication contract must hold on
+        # every backend, not just the default.
+        with use_scheduler(backend):
+            serial = run_replicated("e14", replicas=3, workers=1)
+            fanned = run_replicated("e14", replicas=3, workers=4)
+        assert (json.dumps(serial.strip_timings(), sort_keys=True)
+                == json.dumps(fanned.strip_timings(), sort_keys=True))
+
+    def test_backends_agree_across_replication(self):
+        payloads = set()
+        for backend in BACKENDS:
+            with use_scheduler(backend):
+                result = run_replicated("e14", replicas=2, workers=2)
+            payloads.add(json.dumps(result.strip_timings(),
+                                    sort_keys=True))
+        assert len(payloads) == 1

@@ -1,0 +1,193 @@
+"""Scheduler backends: ordering contract, calendar queue internals,
+and the backend registry.
+
+Backends carry ``(time, priority, seq, event)`` entries whose ``seq``
+is unique, so the pop order is a total order — any two backends must
+produce byte-identical simulations.  These tests pin the primitive
+contract; the cross-backend experiment matrix lives in
+``tests/des/test_scheduler_matrix.py``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.des import (
+    CalendarQueueScheduler,
+    Environment,
+    HeapScheduler,
+    default_scheduler,
+    make_scheduler,
+    register_scheduler,
+    scheduler_names,
+    set_default_scheduler,
+    use_scheduler,
+)
+
+BACKENDS = [HeapScheduler, CalendarQueueScheduler]
+
+
+def drain(backend, horizon=math.inf):
+    out = []
+    while True:
+        entry = backend.pop_due(horizon)
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+class TestOrderingContract:
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_pop_order_matches_sorted_reference(self, backend_cls):
+        rng = random.Random(7)
+        entries = [
+            (rng.choice([0.0, 1.5, 2.25, 10.0, rng.random() * 50]),
+             rng.choice([0, 1, 2]), seq, object())
+            for seq in range(500)
+        ]
+        backend = backend_cls()
+        for entry in entries:
+            backend.push(entry)
+        assert drain(backend) == sorted(entries, key=lambda e: e[:3])
+        assert len(backend) == 0
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_interleaved_push_pop(self, backend_cls):
+        # Respect the backend invariant: pushes never go behind the
+        # last popped time (the kernel cannot schedule into the past).
+        rng = random.Random(21)
+        backend = backend_cls()
+        reference = []
+        seq = 0
+        now = 0.0
+        for _ in range(200):
+            for _ in range(rng.randrange(4)):
+                entry = (now + rng.random() * 20, 1, seq, None)
+                seq += 1
+                backend.push(entry)
+                reference.append(entry)
+            if rng.random() < 0.6 and reference:
+                reference.sort(key=lambda e: e[:3])
+                expected = reference.pop(0)
+                assert backend.pop_due(math.inf) == expected
+                now = expected[0]
+        reference.sort(key=lambda e: e[:3])
+        assert drain(backend) == reference
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_pop_due_respects_horizon_boundary(self, backend_cls):
+        backend = backend_cls()
+        backend.push((5.0, 1, 0, "at"))
+        backend.push((math.nextafter(5.0, math.inf), 1, 1, "after"))
+        # Closed horizon: exactly-at pops, one-ulp-later stays.
+        assert backend.pop_due(5.0) == (5.0, 1, 0, "at")
+        assert backend.pop_due(5.0) is None
+        assert len(backend) == 1
+        assert backend.peek_time() == math.nextafter(5.0, math.inf)
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_ties_break_on_priority_then_seq(self, backend_cls):
+        backend = backend_cls()
+        backend.push((1.0, 2, 0, "late-prio"))
+        backend.push((1.0, 1, 1, "urgent"))
+        backend.push((1.0, 2, 2, "late-prio-2"))
+        assert [e[3] for e in drain(backend)] == [
+            "urgent", "late-prio", "late-prio-2"]
+
+    @pytest.mark.parametrize("backend_cls", BACKENDS)
+    def test_peek_time_empty_is_inf(self, backend_cls):
+        backend = backend_cls()
+        assert backend.peek_time() == math.inf
+        assert not backend
+        backend.push((3.0, 1, 0, None))
+        assert backend.peek_time() == 3.0
+        assert backend
+
+
+class TestCalendarQueueInternals:
+    def test_resize_preserves_order(self):
+        backend = CalendarQueueScheduler()
+        entries = [(float(i % 37) * 0.25, 1, i, None)
+                   for i in range(1000)]
+        for entry in entries:
+            backend.push(entry)
+        assert len(backend) == 1000
+        assert drain(backend) == sorted(entries, key=lambda e: e[:3])
+
+    def test_shrinks_after_draining(self):
+        backend = CalendarQueueScheduler()
+        for i in range(512):
+            backend.push((float(i), 1, i, None))
+        grown = backend._nbuckets
+        assert grown > CalendarQueueScheduler.MIN_BUCKETS
+        drain(backend)
+        for i in range(4):
+            backend.push((float(i), 1, i, None))
+            backend.pop_due(math.inf)
+        assert backend._nbuckets < grown
+
+    def test_all_same_time(self):
+        backend = CalendarQueueScheduler()
+        entries = [(2.5, 1, i, None) for i in range(300)]
+        for entry in entries:
+            backend.push(entry)
+        assert drain(backend) == entries
+
+    def test_sparse_far_apart_times(self):
+        backend = CalendarQueueScheduler()
+        entries = [(10.0 ** i, 1, i, None) for i in range(9)]
+        for entry in reversed(entries):
+            backend.push(entry)
+        assert drain(backend) == entries
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarQueueScheduler(nbuckets=0)
+        with pytest.raises(ValueError):
+            CalendarQueueScheduler(width=0.0)
+
+
+class TestRegistry:
+    def test_names_include_builtins(self):
+        names = scheduler_names()
+        assert "heap" in names and "calendar" in names
+
+    def test_make_scheduler_from_name_instance_factory_none(self):
+        assert isinstance(make_scheduler("calendar"),
+                          CalendarQueueScheduler)
+        backend = HeapScheduler()
+        assert make_scheduler(backend) is backend
+        assert isinstance(make_scheduler(HeapScheduler),
+                          HeapScheduler)
+        assert isinstance(make_scheduler(None), HeapScheduler)
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="calendar"):
+            make_scheduler("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheduler("heap", HeapScheduler)
+
+    def test_set_default_scheduler_roundtrip(self):
+        previous = set_default_scheduler("calendar")
+        try:
+            assert previous == "heap"
+            assert default_scheduler() == "calendar"
+            assert isinstance(Environment().scheduler,
+                              CalendarQueueScheduler)
+        finally:
+            set_default_scheduler(previous)
+        assert default_scheduler() == "heap"
+
+    def test_use_scheduler_context_restores(self):
+        with use_scheduler("calendar"):
+            assert Environment().scheduler_name == "calendar"
+        assert Environment().scheduler_name == "heap"
+
+    def test_environment_accepts_backend_spec(self):
+        assert Environment(scheduler="calendar").scheduler_name == \
+            "calendar"
+        backend = CalendarQueueScheduler()
+        assert Environment(scheduler=backend).scheduler is backend

@@ -173,6 +173,32 @@ class TestCompare:
             threshold_pct=10.0)
         assert report.deltas[0].regressed
 
+    def test_null_rate_baseline_falls_back_to_wall_gate(self):
+        # Older baselines (and kernel-less experiments) may carry
+        # ``events_per_sec: null``.  A workload-changed row must then
+        # gate on wall time instead of silently passing ungated.
+        old = _doc(1.0, events=1000)
+        old["experiments"][0]["events_per_sec"] = None
+        report = perf.compare_documents(
+            old, _doc(4.0, events=2000), threshold_pct=10.0)
+        delta = report.deltas[0]
+        assert delta.workload_changed
+        assert delta.rate_delta_pct is None
+        assert delta.regressed
+        # The same null baseline with unchanged wall time stays clean.
+        report = perf.compare_documents(
+            old, _doc(1.0, events=2000), threshold_pct=10.0)
+        assert not report.any_regression
+
+    def test_null_rate_on_both_sides_never_crashes(self):
+        old = _doc(1.0, events=0)
+        new = _doc(2.5, events=0)
+        assert old["experiments"][0]["events_per_sec"] is None
+        report = perf.compare_documents(old, new, threshold_pct=10.0)
+        delta = report.deltas[0]
+        assert not delta.workload_changed
+        assert delta.regressed
+
     def test_missing_ids_are_reported_not_gated(self):
         old = _doc(1.0, exp_id="gone")
         new = _doc(1.0, exp_id="new")
@@ -200,3 +226,19 @@ class TestBaseline:
         assert perf.validate_document(document) == []
         ids = document["meta"]["ids"]
         assert ids == ["e3", "e14", "r1"]
+
+    def test_committed_calendar_baseline_matches_heap(self):
+        # The per-backend baseline must describe the same science:
+        # stripped of timings (which drops the meta ``scheduler``
+        # marker too), the two committed documents are byte-identical.
+        calendar = BASELINE.with_name("BENCH_perf_calendar.json")
+        assert calendar.is_file(), (
+            "benchmarks/baseline/BENCH_perf_calendar.json must be "
+            "committed")
+        document = perf.load_document(calendar)
+        assert perf.validate_document(document) == []
+        assert document["meta"]["scheduler"] == "calendar"
+        heap = perf.strip_timings(perf.load_document(BASELINE))
+        stripped = perf.strip_timings(document)
+        assert (json.dumps(stripped, sort_keys=True)
+                == json.dumps(heap, sort_keys=True))

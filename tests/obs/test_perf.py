@@ -183,11 +183,14 @@ class TestProfiler:
     def test_cprofile_mode_has_exact_call_counts(self):
         report = Profiler(mode="cprofile").profile(_two_process_sim, 30)
         assert report.hotspots
-        step_rows = [s for s in report.hotspots
-                     if s.function.endswith(":step")]
-        assert step_rows, "Environment.step must appear in the profile"
-        # 2 bootstraps + 30 + 30 timeouts + 2 process-end events.
-        assert step_rows[0].calls == 64
+        # The run loop is inlined in Environment.run; the per-event
+        # marker in a profile is the scheduler backend's pop_due.
+        pop_rows = [s for s in report.hotspots
+                    if s.function.endswith(":pop_due")]
+        assert pop_rows, "the backend's pop_due must appear in the profile"
+        # 2 bootstraps + 30 + 30 timeouts + 2 process-end events, plus
+        # the final empty pop that terminates the drain.
+        assert pop_rows[0].calls == 65
 
     def test_cprofile_attributes_processes(self):
         report = Profiler(mode="cprofile").profile(_two_process_sim, 30)
